@@ -1,0 +1,37 @@
+//! Baseline error-bounded lossy compressors for the CliZ evaluation.
+//!
+//! The paper compares CliZ against SZ3, ZFP, SPERR, and QoZ. None of those
+//! is available offline, so this crate reimplements each family's defining
+//! algorithm structure from the published descriptions:
+//!
+//! * [`SzInterp`] — SZ3 (Zhao et al., ICDE'21): multilevel spline
+//!   interpolation + linear quantization + Huffman + lossless backend, with
+//!   no climate-specific features (no mask awareness, no permutation/fusion,
+//!   no classification, no periodic split);
+//! * [`Qoz`] — QoZ 1.1 (Liu et al., SC'22): SZ3 plus level-wise error-bound
+//!   tightening, which spends bits on coarse levels to improve downstream
+//!   predictions;
+//! * [`Zfp`] — ZFP (Lindstrom, TVCG'14): 4^d blocks, block-floating-point,
+//!   orthogonal-ish lifting decorrelation, per-block precision chosen for a
+//!   fixed accuracy target (with a hard per-block verification loop);
+//! * [`Sperr`] — SPERR (NCAR): multi-level CDF 9/7 wavelet, quantized
+//!   coefficient coding, and an outlier-correction pass that enforces the
+//!   pointwise bound.
+//!
+//! All four honour the same contract as CliZ: `max |x − x̂| ≤ eb` everywhere
+//! (baselines are mask-blind, so "everywhere" includes fill values — exactly
+//! the handicap Sec. V-A describes).
+
+pub mod qoz;
+pub mod sperr;
+pub mod sz2;
+pub mod sz_interp;
+pub mod traits;
+pub mod zfp;
+
+pub use qoz::Qoz;
+pub use sperr::Sperr;
+pub use sz2::Sz2Lorenzo;
+pub use sz_interp::SzInterp;
+pub use traits::{BaselineError, Compressor};
+pub use zfp::Zfp;

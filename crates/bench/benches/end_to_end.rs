@@ -1,0 +1,42 @@
+//! End-to-end compression/decompression throughput per compressor on an
+//! SSH-like field — the Sec. VII-C4 "comparable speed" comparison (CliZ vs
+//! SZ3 vs ZFP, with SPERR expected substantially slower).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let dataset = cliz::data::ssh(&[48, 40, 120], 7);
+    let bound = cliz::rel_bound_on_valid(&dataset.data, dataset.mask.as_ref(), 1e-3);
+    let bytes_in = (dataset.data.len() * 4) as u64;
+
+    let mut g = c.benchmark_group("end_to_end_ssh_230k");
+    g.throughput(Throughput::Bytes(bytes_in));
+    for compressor in cliz::all_compressors(None) {
+        g.bench_function(format!("{}_compress", compressor.name()), |b| {
+            b.iter(|| {
+                compressor
+                    .compress(black_box(&dataset.data), dataset.mask.as_ref(), bound)
+                    .unwrap()
+            })
+        });
+        let packed = compressor
+            .compress(&dataset.data, dataset.mask.as_ref(), bound)
+            .unwrap();
+        g.bench_function(format!("{}_decompress", compressor.name()), |b| {
+            b.iter(|| {
+                compressor
+                    .decompress(black_box(&packed), dataset.mask.as_ref())
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,149 @@
+//! Criterion micro-benchmarks for CliZ's kernels: Huffman vs multi-Huffman,
+//! interpolation predictors, FFT, and the zlite lossless backend. These back
+//! the paper's "comparable compression/decompression speed" claim
+//! (Sec. VII-C4) with per-stage numbers.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bin_stream(n: usize) -> Vec<u32> {
+    // A realistic quantization-bin stream: peaked at the zero bin with
+    // geometric tails.
+    (0..n)
+        .map(|i| {
+            let x = (i * 2654435761) % 100;
+            match x {
+                0..=69 => 1,          // bin 0
+                70..=84 => 2,         // bin -1
+                85..=94 => 3,         // bin +1
+                95..=97 => 4,
+                _ => 5 + (i % 11) as u32,
+            }
+        })
+        .collect()
+}
+
+fn bench_huffman(c: &mut Criterion) {
+    let n = 1 << 20;
+    let symbols = bin_stream(n);
+    let groups: Vec<u8> = (0..n).map(|i| ((i / 64) % 2) as u8).collect();
+
+    let mut g = c.benchmark_group("entropy");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("huffman_encode_1M_bins", |b| {
+        b.iter(|| cliz::entropy::huffman::encode_stream(black_box(&symbols)))
+    });
+    let encoded = cliz::entropy::huffman::encode_stream(&symbols);
+    g.bench_function("huffman_decode_1M_bins", |b| {
+        b.iter(|| cliz::entropy::huffman::decode_stream(black_box(&encoded)).unwrap())
+    });
+    g.bench_function("multi_huffman_encode_1M_bins_2trees", |b| {
+        b.iter(|| cliz::entropy::multi_encode(black_box(&symbols), black_box(&groups), 2))
+    });
+    let multi = cliz::entropy::multi_encode(&symbols, &groups, 2);
+    g.bench_function("multi_huffman_decode_1M_bins_2trees", |b| {
+        b.iter(|| cliz::entropy::multi_decode(black_box(&multi), black_box(&groups)).unwrap())
+    });
+    g.bench_function("range_encode_1M_bins", |b| {
+        b.iter(|| cliz::entropy::range_encode_stream(black_box(&symbols)))
+    });
+    let rc = cliz::entropy::range_encode_stream(&symbols);
+    g.bench_function("range_decode_1M_bins", |b| {
+        b.iter(|| cliz::entropy::range_decode_stream(black_box(&rc)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    use cliz::predict::{predict_quantize, Fitting, InterpParams};
+    use cliz::quant::LinearQuantizer;
+
+    let dims = [64usize, 128, 128];
+    let n: usize = dims.iter().product();
+    let data: Vec<f32> = (0..n)
+        .map(|i| ((i as f64 * 0.002).sin() * 40.0 + (i % 977) as f64 * 0.001) as f32)
+        .collect();
+    let q = LinearQuantizer::new(1e-3);
+    let mask: Vec<bool> = (0..n).map(|i| i % 5 != 0).collect();
+
+    let mut g = c.benchmark_group("predictor");
+    g.throughput(Throughput::Elements(n as u64));
+    for (name, fitting) in [("linear", Fitting::Linear), ("cubic", Fitting::Cubic)] {
+        g.bench_function(format!("interp_{name}_1M_points"), |b| {
+            b.iter_batched(
+                || (data.clone(), vec![0u32; n]),
+                |(mut buf, mut symbols)| {
+                    predict_quantize(
+                        &mut buf,
+                        &dims,
+                        &InterpParams::new(fitting),
+                        &q,
+                        &mut symbols,
+                    )
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.bench_function("interp_cubic_masked_1M_points", |b| {
+        b.iter_batched(
+            || (data.clone(), vec![0u32; n]),
+            |(mut buf, mut symbols)| {
+                predict_quantize(
+                    &mut buf,
+                    &dims,
+                    &InterpParams::with_mask(Fitting::Cubic, &mask),
+                    &q,
+                    &mut symbols,
+                )
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    use cliz::fft::{fft, Complex};
+    let mut g = c.benchmark_group("fft");
+    for n in [1024usize, 1032] {
+        let signal: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), 0.0))
+            .collect();
+        g.bench_function(format!("fft_{n}"), |b| {
+            b.iter_batched(
+                || signal.clone(),
+                |mut s| {
+                    fft(&mut s);
+                    s
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_lossless(c: &mut Criterion) {
+    // Huffman-stream-like bytes: runs with sparse punctuation.
+    let data: Vec<u8> = (0..1usize << 20)
+        .map(|i| if i % 17 == 0 { (i % 251) as u8 } else { 0 })
+        .collect();
+    let mut g = c.benchmark_group("zlite");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("compress_1MiB", |b| {
+        b.iter(|| cliz::lossless::compress(black_box(&data)))
+    });
+    let packed = cliz::lossless::compress(&data);
+    g.bench_function("decompress_1MiB", |b| {
+        b.iter(|| cliz::lossless::decompress(black_box(&packed)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_huffman, bench_predictor, bench_fft, bench_lossless
+);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Tiny flag parser shared by the harness binaries (no clap offline).
+
+/// Common harness flags.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Args {
+    /// Run at the paper's full dataset sizes instead of the scaled defaults.
+    pub full: bool,
+    /// Extra-small sizes for smoke testing (`--quick`).
+    pub quick: bool,
+}
+
+impl Args {
+    /// Parses `std::env::args()`. Unknown flags abort with usage.
+    pub fn parse() -> Self {
+        let mut out = Args::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--full" => out.full = true,
+                "--quick" => out.quick = true,
+                "--help" | "-h" => {
+                    eprintln!("flags: --full (paper-size datasets)  --quick (smoke-test sizes)");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other}; try --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_scaled() {
+        let a = Args::default();
+        assert!(!a.full && !a.quick);
+    }
+}

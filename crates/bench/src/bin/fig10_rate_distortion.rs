@@ -1,0 +1,93 @@
+//! Fig. 10: rate-distortion (PSNR and SSIM vs bit-rate) for five climate
+//! datasets × five compressors.
+//!
+//! ```sh
+//! cargo run -p cliz-bench --release --bin fig10_rate_distortion [--full|--quick]
+//! ```
+
+use cliz::prelude::*;
+use cliz_bench::{datasets, rd_point, Args, Report, ScaledDims};
+
+fn main() {
+    let args = Args::parse();
+    let tier = ScaledDims::from_args(&args);
+    let rel_ebs = [1e-1, 1e-2, 1e-3, 1e-4];
+    let mut report = Report::new(
+        "fig10_rate_distortion",
+        "dataset,compressor,rel_eb,bit_rate,ratio,psnr_db,ssim,compress_s,decompress_s",
+    );
+
+    // Table III recap, printed once for context.
+    println!("Table III — tested datasets:");
+    println!(
+        "{:<12} {:>18} {:>8} {:>8} {:>8}",
+        "Name", "Dims", "Mask", "Period", "Masked%"
+    );
+    for kind in datasets::fig10_kinds() {
+        let d = datasets::scaled(kind, tier);
+        println!(
+            "{:<12} {:>18} {:>8} {:>8} {:>7.0}%",
+            kind.name(),
+            format!("{}", d.data.shape()),
+            if d.mask.is_some() { "Yes" } else { "No" },
+            d.nominal_period.map_or("No".into(), |p| p.to_string()),
+            d.invalid_fraction() * 100.0
+        );
+    }
+
+    for kind in datasets::fig10_kinds() {
+        let dataset = datasets::scaled(kind, tier);
+
+        // The paper tunes CliZ offline per climate model; do the same here.
+        let tuned = cliz::autotune(
+            &dataset.data,
+            dataset.mask.as_ref(),
+            TuneSpec {
+                sampling_rate: 0.01,
+                time_axis: dataset.time_axis,
+                bound: cliz::rel_bound_on_valid(&dataset.data, dataset.mask.as_ref(), 1e-3),
+            },
+        )
+        .expect("autotune");
+
+        println!(
+            "\n=== {} {} — CliZ pipeline: {}",
+            kind.name(),
+            dataset.data.shape(),
+            tuned.best.describe()
+        );
+        println!(
+            "{:<8} {:>8} {:>9} {:>9} {:>9} {:>8} {:>9} {:>9}",
+            "comp", "rel_eb", "bitrate", "ratio", "PSNR", "SSIM", "comp_s", "decomp_s"
+        );
+        for &rel in &rel_ebs {
+            for compressor in cliz::all_compressors(Some(tuned.best.clone())) {
+                let p = rd_point(compressor.as_ref(), &dataset, rel);
+                println!(
+                    "{:<8} {:>8.0e} {:>9.4} {:>9.2} {:>9.2} {:>8.5} {:>9.3} {:>9.3}",
+                    p.compressor,
+                    p.rel_eb,
+                    p.bit_rate,
+                    p.ratio,
+                    p.psnr_db,
+                    p.ssim,
+                    p.compress_s,
+                    p.decompress_s
+                );
+                report.row(&format!(
+                    "{},{},{:e},{},{},{},{},{},{}",
+                    kind.name(),
+                    p.compressor,
+                    p.rel_eb,
+                    p.bit_rate,
+                    p.ratio,
+                    p.psnr_db,
+                    p.ssim,
+                    p.compress_s,
+                    p.decompress_s
+                ));
+            }
+        }
+    }
+    println!("\nCSV mirrored to target/experiments/fig10_rate_distortion.csv");
+}

@@ -1,0 +1,124 @@
+//! The shared-configuration claim (Fig. 1 / Sec. VII-C4): one offline tuning
+//! per climate model, reused across its fields and snapshots.
+//!
+//! Tunes on one SSH training member, then compresses (a) other SSH ensemble
+//! members, (b) the Tsfc variable (same [lat, lon, time] family), and — for
+//! the 4-D ocean family — tunes on one SALT member and reuses across SALT
+//! members. Reports the tuned-shared ratio against per-field tuning and the
+//! untuned default, plus the fast heuristic tuner.
+//!
+//! ```sh
+//! cargo run -p cliz-bench --release --bin shared_config [--full|--quick]
+//! ```
+
+use cliz::data::ClimateDataset;
+use cliz::prelude::*;
+use cliz_bench::{Args, Report, ScaledDims};
+
+fn ratio(
+    field: &ClimateDataset,
+    config: &PipelineConfig,
+) -> f64 {
+    let bound = cliz::rel_bound_on_valid(&field.data, field.mask.as_ref(), 1e-3);
+    let bytes = cliz::compress(&field.data, field.mask.as_ref(), bound, config).unwrap();
+    (field.data.len() * 4) as f64 / bytes.len() as f64
+}
+
+fn tune(field: &ClimateDataset, fast: bool) -> (PipelineConfig, f64) {
+    let spec = TuneSpec {
+        sampling_rate: 0.01,
+        time_axis: field.time_axis,
+        bound: cliz::rel_bound_on_valid(&field.data, field.mask.as_ref(), 1e-3),
+    };
+    let r = if fast {
+        cliz::autotune_fast(&field.data, field.mask.as_ref(), spec).unwrap()
+    } else {
+        cliz::autotune(&field.data, field.mask.as_ref(), spec).unwrap()
+    };
+    (r.best, r.seconds)
+}
+
+fn main() {
+    let args = Args::parse();
+    let tier = ScaledDims::from_args(&args);
+    let (d3, t3): (&[usize; 3], &[usize; 3]) = match tier {
+        ScaledDims::Quick => (&[48, 40, 72], &[48, 40, 60]),
+        _ => (&[96, 80, 240], &[96, 80, 120]),
+    };
+    let d4: &[usize; 4] = match tier {
+        ScaledDims::Quick => &[5, 32, 28, 36],
+        _ => &[10, 64, 56, 60],
+    };
+    let mut report = Report::new(
+        "shared_config",
+        "field,config_source,ratio,tuning_s",
+    );
+
+    // --- ocean-surface family: tune on SSH member 0 ---
+    let train = cliz::data::ssh(d3, 500);
+    let (shared, shared_s) = tune(&train, false);
+    let (fast_cfg, fast_s) = tune(&train, true);
+    println!(
+        "ocean-surface model: tuned on SSH member 500 in {shared_s:.2}s \
+         (fast heuristic: {fast_s:.2}s)\n  shared pipeline: {}\n",
+        shared.describe()
+    );
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>10}",
+        "field", "shared", "fast", "own-tune", "untuned"
+    );
+    let mut fields: Vec<(String, ClimateDataset)> = (501..=503)
+        .map(|s| (format!("SSH member {s}"), cliz::data::ssh(d3, s)))
+        .collect();
+    fields.push(("Tsfc (same family)".into(), cliz::data::tsfc(t3, 500)));
+    for (name, field) in &fields {
+        let r_shared = ratio(field, &shared);
+        let r_fast = ratio(field, &fast_cfg);
+        let (own, _) = tune(field, false);
+        let r_own = ratio(field, &own);
+        let r_untuned = ratio(field, &PipelineConfig::default_for(3));
+        println!(
+            "{name:<22} {r_shared:>10.2} {r_fast:>10.2} {r_own:>10.2} {r_untuned:>10.2}"
+        );
+        report.row(&format!("{name},shared,{r_shared},{shared_s}"));
+        report.row(&format!("{name},own,{r_own},"));
+        report.row(&format!("{name},untuned,{r_untuned},"));
+    }
+
+    // --- 4-D ocean-interior family: SALT across members ---
+    // Note the higher sampling rate: at 1% a 4-D grid's per-axis block side
+    // shrinks like rate^(1/4)/2 ≈ 0.16, leaving spatial blocks too petite to
+    // judge smoothness (the paper's own caveat about small blocks, amplified
+    // by the extra dimension).
+    let strain = cliz::data::salt(d4, 700);
+    let (s_shared, s_secs) = {
+        let spec = TuneSpec {
+            sampling_rate: 0.05,
+            time_axis: strain.time_axis,
+            bound: cliz::rel_bound_on_valid(&strain.data, strain.mask.as_ref(), 1e-3),
+        };
+        let r = cliz::autotune(&strain.data, strain.mask.as_ref(), spec).unwrap();
+        (r.best, r.seconds)
+    };
+    println!(
+        "\nocean-interior model (4-D): tuned on SALT member 700 in {s_secs:.2}s\n  \
+         shared pipeline: {}\n",
+        s_shared.describe()
+    );
+    println!("{:<22} {:>10} {:>10}", "field", "shared", "untuned");
+    for s in 701..=702 {
+        let field = cliz::data::salt(d4, s);
+        let r_shared = ratio(&field, &s_shared);
+        let r_untuned = ratio(&field, &PipelineConfig::default_for(4));
+        println!("SALT member {s:<9} {r_shared:>10.2} {r_untuned:>10.2}");
+        report.row(&format!("SALT member {s},shared,{r_shared},{s_secs}"));
+        report.row(&format!("SALT member {s},untuned,{r_untuned},"));
+    }
+
+    println!(
+        "\nExpected shape (paper Fig. 1 workflow): the shared configuration lands within a \
+         few percent of per-field tuning at zero additional tuning cost, and well above \
+         the untuned default on masked/periodic variables."
+    );
+    println!("CSV mirrored to target/experiments/shared_config.csv");
+}

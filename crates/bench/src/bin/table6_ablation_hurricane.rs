@@ -1,0 +1,103 @@
+//! Table VI: ablation on Hurricane-T — a dataset with no mask and no
+//! periodicity, where classification may *not* pay (the paper shows it
+//! slightly hurting) and a random permutation/fusion choice costs ratio.
+//!
+//! ```sh
+//! cargo run -p cliz-bench --release --bin table6_ablation_hurricane [--full|--quick]
+//! ```
+
+use cliz::data::DatasetKind;
+use cliz::grid::FusionSpec;
+use cliz::prelude::*;
+use cliz_bench::{datasets, Args, Report, ScaledDims};
+
+fn main() {
+    let args = Args::parse();
+    let tier = ScaledDims::from_args(&args);
+    let dataset = datasets::scaled(DatasetKind::HurricaneT, tier);
+    let bound = cliz::rel_bound_on_valid(&dataset.data, dataset.mask.as_ref(), 1e-3);
+    let original = dataset.data.len() * 4;
+    let mut report = Report::new(
+        "table6_ablation_hurricane",
+        "case,classification,permutation,fusion,fitting,ratio,cr_improvement_pct,seconds,time_increment_pct",
+    );
+
+    let tuned = cliz::autotune(
+        &dataset.data,
+        dataset.mask.as_ref(),
+        TuneSpec {
+            sampling_rate: 0.01,
+            time_axis: None,
+            bound,
+        },
+    )
+    .expect("autotune")
+    .best;
+
+    println!(
+        "Table VI — Hurricane-T ablation ({} {}, rel eb 1e-3; no mask, no periodicity)\n",
+        dataset.kind.name(),
+        dataset.data.shape()
+    );
+    println!(
+        "{:<24} {:>6} {:>6} {:>7} {:>7} {:>9} {:>10} {:>8} {:>10}",
+        "case", "class", "perm", "fusion", "fit", "ratio", "CR impr", "time_s", "time incr"
+    );
+
+    let mut run = |label: &str, cfg: &PipelineConfig, baseline: Option<(f64, f64)>| {
+        let t0 = std::time::Instant::now();
+        let bytes = cliz::compress(&dataset.data, dataset.mask.as_ref(), bound, cfg).unwrap();
+        let secs = t0.elapsed().as_secs_f64();
+        let ratio = original as f64 / bytes.len() as f64;
+        let (cr_impr, time_incr) = match baseline {
+            Some((r0, t0)) => ((r0 / ratio - 1.0) * 100.0, (t0 / secs - 1.0) * 100.0),
+            None => (0.0, 0.0),
+        };
+        println!(
+            "{:<24} {:>6} {:>6} {:>7} {:>7} {:>9.3} {:>9.2}% {:>8.3} {:>9.2}%",
+            label,
+            if cfg.classification { "Yes" } else { "No" },
+            cfg.permutation_label(),
+            cfg.fusion.label(),
+            cfg.fitting.label(),
+            ratio,
+            cr_impr,
+            secs,
+            time_incr
+        );
+        report.row(&format!(
+            "{label},{},{},{},{},{ratio},{cr_impr},{secs},{time_incr}",
+            cfg.classification,
+            cfg.permutation_label(),
+            cfg.fusion.label(),
+            cfg.fitting.label(),
+        ));
+        (ratio, secs)
+    };
+
+    let opt = run("estimated optimal", &tuned, None);
+
+    let mut toggled = tuned.clone();
+    toggled.classification = !tuned.classification;
+    run(
+        if tuned.classification {
+            "classification off"
+        } else {
+            "classification on"
+        },
+        &toggled,
+        Some(opt),
+    );
+
+    // A deliberately poor permutation/fusion, as the paper's third column.
+    let mut random_cfg = tuned.clone();
+    random_cfg.permutation = vec![0, 2, 1];
+    random_cfg.fusion = FusionSpec { start: 0, len: 2 };
+    run("random perm+fusion", &random_cfg, Some(opt));
+
+    println!(
+        "\nExpected shape (paper Table VI): classification is ~neutral-to-negative here \
+         (convection destroys topographic bin patterns), while a bad permutation costs ratio."
+    );
+    println!("CSV mirrored to target/experiments/table6_ablation_hurricane.csv");
+}

@@ -1,0 +1,16 @@
+//! Shared support for the experiment harness binaries.
+//!
+//! Each `fig*_*` / `table*_*` binary regenerates one table or figure from the
+//! paper (see DESIGN.md's experiment index). They print paper-style rows to
+//! stdout and mirror them as CSV under `target/experiments/` so
+//! EXPERIMENTS.md can cite exact numbers.
+
+pub mod args;
+pub mod datasets;
+pub mod report;
+pub mod sweep;
+
+pub use args::Args;
+pub use datasets::{scaled, ScaledDims};
+pub use report::Report;
+pub use sweep::{rd_point, RdPoint};

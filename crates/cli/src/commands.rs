@@ -1,0 +1,364 @@
+//! The individual CLI commands.
+
+use crate::args::{CliError, Parsed};
+use crate::czfile::{self, Codec, CzFile};
+use cliz::prelude::*;
+use cliz_store::Dataset;
+use std::path::Path;
+
+fn parse_dims(text: &str) -> Result<Vec<usize>, CliError> {
+    let dims: Result<Vec<usize>, _> = text.split(',').map(|p| p.trim().parse()).collect();
+    let dims = dims.map_err(|_| CliError::new(format!("cannot parse --dims {text}")))?;
+    if dims.is_empty() || dims.len() > 4 {
+        return Err(CliError::new("--dims takes 1-4 comma-separated extents"));
+    }
+    Ok(dims)
+}
+
+fn dims3(dims: &[usize], kind: &str) -> Result<[usize; 3], CliError> {
+    dims.try_into()
+        .map_err(|_| CliError::new(format!("{kind} needs exactly 3 dims")))
+}
+
+/// `cliz gen <kind> --dims ... [--seed N] -o out.caf`
+pub fn gen(p: &Parsed) -> Result<(), CliError> {
+    let kind = p.positional(0, "dataset kind")?;
+    let seed: u64 = p.parse_option("seed", 42)?;
+    let out = p.required("out")?;
+    let dims_text = p.required("dims")?;
+    let dims = parse_dims(dims_text)?;
+
+    let field = match kind {
+        "ssh" => cliz::data::ssh(&dims3(&dims, kind)?, seed),
+        "cesm-t" => cliz::data::cesm_t(&dims3(&dims, kind)?, seed),
+        "relhum" => cliz::data::relhum(&dims3(&dims, kind)?, seed),
+        "tsfc" => cliz::data::tsfc(&dims3(&dims, kind)?, seed),
+        "hurricane-t" => cliz::data::hurricane_t(&dims3(&dims, kind)?, seed),
+        "soilliq" => {
+            let d4: [usize; 4] = dims
+                .as_slice()
+                .try_into()
+                .map_err(|_| CliError::new("soilliq needs exactly 4 dims"))?;
+            cliz::data::soilliq(&d4, seed)
+        }
+        "salt" => {
+            let d4: [usize; 4] = dims
+                .as_slice()
+                .try_into()
+                .map_err(|_| CliError::new("salt needs exactly 4 dims"))?;
+            cliz::data::salt(&d4, seed)
+        }
+        other => return Err(CliError::new(format!("unknown dataset kind '{other}'"))),
+    };
+
+    let mut ds = Dataset::new(field.kind.name(), field.data, field.mask);
+    if let Some(axis) = field.time_axis {
+        ds.set_attr("time_axis", axis.to_string());
+    }
+    if let Some(period) = field.nominal_period {
+        ds.set_attr("period", period.to_string());
+    }
+    ds.set_attr("generator_seed", seed.to_string());
+    cliz_store::save(Path::new(out), &ds)?;
+    println!(
+        "wrote {} ({} {}, {} bytes of f32{})",
+        out,
+        ds.name,
+        ds.data.shape(),
+        ds.data.len() * 4,
+        if ds.mask.is_some() { ", masked" } else { "" }
+    );
+    Ok(())
+}
+
+/// `cliz info <file.caf>`
+pub fn info(p: &Parsed) -> Result<(), CliError> {
+    let path = p.positional(0, "input file")?;
+    let ds = cliz_store::load(Path::new(path))?;
+    println!("variable: {}", ds.name);
+    print!("dims:    ");
+    for (name, &extent) in ds.dim_names.iter().zip(ds.data.shape().dims()) {
+        print!(" {name}={extent}");
+    }
+    println!();
+    println!("points:   {}", ds.data.len());
+    if let Some(m) = &ds.mask {
+        println!(
+            "mask:     {} valid / {} total ({:.1}% invalid)",
+            m.valid_count(),
+            m.len(),
+            m.invalid_fraction() * 100.0
+        );
+    } else {
+        println!("mask:     none");
+    }
+    for (k, v) in &ds.attrs {
+        println!("attr:     {k} = {v}");
+    }
+    let (mn, mx) = cliz::valid_min_max(&ds.data, ds.mask.as_ref());
+    println!("range:    [{mn}, {mx}] over valid points");
+    Ok(())
+}
+
+/// `cliz tune <file.caf> [--rate R] [--rel E] -o model.clizcfg`
+pub fn tune(p: &Parsed) -> Result<(), CliError> {
+    let path = p.positional(0, "input file")?;
+    let rate: f64 = p.parse_option("rate", 0.01)?;
+    let rel: f64 = p.parse_option("rel", 1e-3)?;
+    let out = p.required("out")?;
+    let ds = cliz_store::load(Path::new(path))?;
+
+    let bound = cliz::rel_bound_on_valid(&ds.data, ds.mask.as_ref(), rel);
+    let result = cliz::autotune(
+        &ds.data,
+        ds.mask.as_ref(),
+        TuneSpec {
+            sampling_rate: rate,
+            time_axis: ds.time_axis(),
+            bound,
+        },
+    )?;
+    std::fs::write(out, result.best.to_config_string())?;
+    println!(
+        "tuned {} pipelines on {} sampled points in {:.2}s",
+        result.ranking.len(),
+        result.sample_points,
+        result.seconds
+    );
+    if let Some(period) = result.period_detected {
+        println!("detected period: {period}");
+    }
+    println!("winner: {}", result.best.describe());
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn codec_instance(codec: Codec, config: Option<PipelineConfig>) -> Box<dyn Compressor> {
+    match codec {
+        Codec::Cliz => Box::new(match config {
+            Some(c) => Cliz::tuned(c),
+            None => Cliz::new(),
+        }),
+        Codec::Sz3 => Box::new(SzInterp),
+        Codec::Sz2 => Box::new(cliz::Sz2Lorenzo),
+        Codec::Zfp => Box::new(Zfp),
+        Codec::Sperr => Box::new(Sperr),
+        Codec::Qoz => Box::new(Qoz),
+        Codec::ClizChunked => unreachable!("chunked streams bypass codec_instance"),
+    }
+}
+
+/// `cliz compress <file.caf> -o file.cz [--rel E | --abs X] [--config F] [--compressor C]`
+pub fn compress(p: &Parsed) -> Result<(), CliError> {
+    let path = p.positional(0, "input file")?;
+    let out = p.required("out")?;
+    let ds = cliz_store::load(Path::new(path))?;
+
+    let bound = match (p.option("abs"), p.option("rel")) {
+        (Some(a), None) => cliz::quant::ErrorBound::Abs(
+            a.parse().map_err(|_| CliError::new("bad --abs"))?,
+        ),
+        (None, rel) => {
+            let r: f64 = rel.unwrap_or("1e-3").parse().map_err(|_| CliError::new("bad --rel"))?;
+            cliz::rel_bound_on_valid(&ds.data, ds.mask.as_ref(), r)
+        }
+        (Some(_), Some(_)) => return Err(CliError::new("--abs and --rel are exclusive")),
+    };
+
+    let chunk: Option<usize> = match p.option("chunk") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| CliError::new("bad --chunk"))?),
+    };
+    let codec = match (p.option("compressor"), chunk) {
+        (None, None) => Codec::Cliz,
+        (None, Some(_)) => Codec::ClizChunked,
+        (Some(name), None) => Codec::from_name(name)
+            .ok_or_else(|| CliError::new(format!("unknown compressor '{name}'")))?,
+        (Some(_), Some(_)) => {
+            return Err(CliError::new("--chunk only applies to the cliz compressor"))
+        }
+    };
+    let is_cliz = matches!(codec, Codec::Cliz | Codec::ClizChunked);
+    let config = match p.option("config") {
+        None => None,
+        Some(f) => {
+            if !is_cliz {
+                return Err(CliError::new("--config only applies to the cliz compressor"));
+            }
+            Some(PipelineConfig::from_config_string(&std::fs::read_to_string(f)?)?)
+        }
+    };
+    let masked = is_cliz
+        && ds.mask.as_ref().is_some_and(|m| !m.is_all_valid())
+        && config.as_ref().map_or(true, |c| c.use_mask);
+
+    let t0 = std::time::Instant::now();
+    let (payload, codec_name): (Vec<u8>, &str) = match codec {
+        Codec::ClizChunked => {
+            let cfg = config
+                .clone()
+                .unwrap_or_else(|| PipelineConfig::default_for(ds.data.shape().ndim()));
+            (
+                cliz::compress_chunked(
+                    &ds.data,
+                    ds.mask.as_ref(),
+                    bound,
+                    &cfg,
+                    chunk.unwrap(),
+                )?,
+                "cliz-chunked",
+            )
+        }
+        _ => {
+            let compressor = codec_instance(codec, config);
+            (
+                compressor.compress(&ds.data, ds.mask.as_ref(), bound)?,
+                compressor.name(),
+            )
+        }
+    };
+    let secs = t0.elapsed().as_secs_f64();
+
+    let cz = CzFile {
+        codec,
+        name: ds.name.clone(),
+        dim_names: ds.dim_names.clone(),
+        attrs: ds.attrs.clone(),
+        masked,
+        payload,
+    };
+    czfile::save(Path::new(out), &cz)?;
+    let original = ds.data.len() * 4;
+    println!(
+        "{}: {} -> {} bytes (ratio {:.2}x, {:.3} bits/value) in {:.2}s",
+        codec_name,
+        original,
+        cz.payload.len(),
+        original as f64 / cz.payload.len() as f64,
+        cz.payload.len() as f64 * 8.0 / ds.data.len() as f64,
+        secs
+    );
+    if masked {
+        println!("note: stream is mask-dependent; decompress with --mask-from {path}");
+    }
+    Ok(())
+}
+
+/// `cliz decompress <file.cz> -o out.caf [--mask-from orig.caf]`
+pub fn decompress(p: &Parsed) -> Result<(), CliError> {
+    let path = p.positional(0, "input file")?;
+    let out = p.required("out")?;
+    let cz = czfile::load(Path::new(path))?;
+
+    let mask = match p.option("mask-from") {
+        Some(f) => cliz_store::load(Path::new(f))?.mask,
+        None => None,
+    };
+    if cz.masked && mask.is_none() {
+        return Err(CliError::new(
+            "stream was compressed against a mask map; pass --mask-from <orig.caf>",
+        ));
+    }
+
+    let data = match cz.codec {
+        Codec::ClizChunked => cliz::decompress_chunked(&cz.payload, mask.as_ref())?,
+        _ => codec_instance(cz.codec, None).decompress(&cz.payload, mask.as_ref())?,
+    };
+    let mut ds = Dataset::new(cz.name.clone(), data, mask);
+    ds.dim_names = cz.dim_names.clone();
+    ds.attrs = cz.attrs.clone();
+    cliz_store::save(Path::new(out), &ds)?;
+    println!(
+        "decompressed {} ({}) -> {} [{} values]",
+        path,
+        cz.codec.name(),
+        out,
+        ds.data.len()
+    );
+    Ok(())
+}
+
+/// `cliz slab <file.cz> --index N -o slab.caf [--mask-from orig.caf]` —
+/// random access into a chunked stream without decoding the rest.
+pub fn slab(p: &Parsed) -> Result<(), CliError> {
+    let path = p.positional(0, "input file")?;
+    let out = p.required("out")?;
+    let index: usize = p
+        .required("index")?
+        .parse()
+        .map_err(|_| CliError::new("bad --index"))?;
+    let cz = czfile::load(Path::new(path))?;
+    if cz.codec != Codec::ClizChunked {
+        return Err(CliError::new(
+            "slab extraction needs a chunked stream (compress with --chunk N)",
+        ));
+    }
+    let mask = match p.option("mask-from") {
+        Some(f) => cliz_store::load(Path::new(f))?.mask,
+        None => None,
+    };
+    if cz.masked && mask.is_none() {
+        return Err(CliError::new(
+            "stream was compressed against a mask map; pass --mask-from <orig.caf>",
+        ));
+    }
+    let data = cliz::decompress_chunk(&cz.payload, index, mask.as_ref())?;
+    let mut ds = Dataset::new(format!("{}[slab {index}]", cz.name), data, None);
+    ds.dim_names = cz.dim_names.clone();
+    ds.attrs = cz.attrs.clone();
+    ds.set_attr("slab_index", index.to_string());
+    cliz_store::save(Path::new(out), &ds)?;
+    println!("extracted slab {index} of {path} -> {out}");
+    Ok(())
+}
+
+/// `cliz eval <orig.caf> <recon.caf>`
+pub fn eval(p: &Parsed) -> Result<(), CliError> {
+    let orig = cliz_store::load(Path::new(p.positional(0, "original file")?))?;
+    let recon = cliz_store::load(Path::new(p.positional(1, "reconstructed file")?))?;
+    if orig.data.shape() != recon.data.shape() {
+        return Err(CliError::new("shape mismatch between files"));
+    }
+    let mask = orig.mask.as_ref();
+    let stats = cliz::metrics::error::error_stats(
+        orig.data.as_slice(),
+        recon.data.as_slice(),
+        mask,
+    );
+    let ssim = cliz::metrics::ssim(
+        &orig.data,
+        &recon.data,
+        mask,
+        cliz::metrics::SsimSpec::default(),
+    );
+    println!("points compared: {} (valid)", stats.points);
+    println!("max |error|:     {:.6e}", stats.max_abs);
+    println!("RMSE:            {:.6e}", stats.rmse);
+    println!("PSNR:            {:.2} dB", stats.psnr());
+    println!("SSIM:            {ssim:.6}");
+
+    // Z-checker-style distribution diagnostics.
+    let analysis = cliz::metrics::analyze_errors(
+        orig.data.as_slice(),
+        recon.data.as_slice(),
+        mask,
+        21,
+        8,
+    );
+    println!("pearson:         {:.8}", analysis.pearson);
+    println!("error bias:      {:+.3e}", analysis.mean_error);
+    println!(
+        "max |autocorr|:  {:.4} over lags 1..=8 (near 0 = unstructured error)",
+        analysis.max_autocorrelation()
+    );
+    if analysis.max_abs > 0.0 && analysis.points > 0 {
+        let peak = analysis.histogram.iter().copied().max().unwrap_or(1).max(1);
+        println!("error histogram over [-{0:.2e}, +{0:.2e}]:", analysis.max_abs);
+        for (b, &count) in analysis.histogram.iter().enumerate() {
+            let bar = "#".repeat(count * 40 / peak);
+            let lo = -analysis.max_abs + b as f64 * analysis.bucket_width;
+            println!("  {lo:+.2e} {bar}");
+        }
+    }
+    Ok(())
+}

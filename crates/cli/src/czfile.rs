@@ -1,0 +1,191 @@
+//! `.cz` wrapper: dataset metadata + a codec container, so `decompress`
+//! reproduces a complete CAF dataset.
+
+use crate::args::CliError;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: u32 = 0x435A_4631; // "CZF1"
+
+/// Codec identifiers stored in the wrapper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Codec {
+    Cliz = 0,
+    Sz3 = 1,
+    Sz2 = 2,
+    Zfp = 3,
+    Sperr = 4,
+    Qoz = 5,
+    /// CliZ chunked container (`compress --chunk N`): random slab access.
+    ClizChunked = 6,
+}
+
+impl Codec {
+    pub fn from_name(name: &str) -> Option<Codec> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "cliz" => Codec::Cliz,
+            "sz3" => Codec::Sz3,
+            "sz2" => Codec::Sz2,
+            "zfp" => Codec::Zfp,
+            "sperr" => Codec::Sperr,
+            "qoz" | "qoz1.1" => Codec::Qoz,
+            "cliz-chunked" => Codec::ClizChunked,
+            _ => return None,
+        })
+    }
+
+    pub fn from_id(id: u8) -> Option<Codec> {
+        Some(match id {
+            0 => Codec::Cliz,
+            1 => Codec::Sz3,
+            2 => Codec::Sz2,
+            3 => Codec::Zfp,
+            4 => Codec::Sperr,
+            5 => Codec::Qoz,
+            6 => Codec::ClizChunked,
+            _ => return None,
+        })
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Codec::Cliz => "cliz",
+            Codec::Sz3 => "sz3",
+            Codec::Sz2 => "sz2",
+            Codec::Zfp => "zfp",
+            Codec::Sperr => "sperr",
+            Codec::Qoz => "qoz",
+            Codec::ClizChunked => "cliz-chunked",
+        }
+    }
+}
+
+/// Everything a `.cz` file carries.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CzFile {
+    pub codec: Codec,
+    pub name: String,
+    pub dim_names: Vec<String>,
+    pub attrs: Vec<(String, String)>,
+    /// Whether the stream was compressed against a mask (decompression then
+    /// needs `--mask-from`).
+    pub masked: bool,
+    /// The codec's own container bytes.
+    pub payload: Vec<u8>,
+}
+
+fn write_string(w: &mut impl Write, s: &str) -> std::io::Result<()> {
+    w.write_all(&(s.len() as u16).to_le_bytes())?;
+    w.write_all(s.as_bytes())
+}
+
+fn read_string(r: &mut impl Read) -> Result<String, CliError> {
+    let mut len = [0u8; 2];
+    r.read_exact(&mut len)?;
+    let mut buf = vec![0u8; u16::from_le_bytes(len) as usize];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| CliError::new("cz: non-UTF8 string"))
+}
+
+pub fn save(path: &Path, cz: &CzFile) -> Result<(), CliError> {
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    w.write_all(&MAGIC.to_le_bytes())?;
+    w.write_all(&[cz.codec as u8])?;
+    write_string(&mut w, &cz.name)?;
+    w.write_all(&[cz.dim_names.len() as u8])?;
+    for d in &cz.dim_names {
+        write_string(&mut w, d)?;
+    }
+    w.write_all(&(cz.attrs.len() as u16).to_le_bytes())?;
+    for (k, v) in &cz.attrs {
+        write_string(&mut w, k)?;
+        write_string(&mut w, v)?;
+    }
+    w.write_all(&[u8::from(cz.masked)])?;
+    w.write_all(&(cz.payload.len() as u64).to_le_bytes())?;
+    w.write_all(&cz.payload)?;
+    Ok(())
+}
+
+pub fn load(path: &Path) -> Result<CzFile, CliError> {
+    let mut r = std::io::BufReader::new(std::fs::File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if u32::from_le_bytes(magic) != MAGIC {
+        return Err(CliError::new("not a .cz file"));
+    }
+    let mut codec = [0u8; 1];
+    r.read_exact(&mut codec)?;
+    let codec = Codec::from_id(codec[0]).ok_or_else(|| CliError::new("cz: unknown codec"))?;
+    let name = read_string(&mut r)?;
+    let mut ndim = [0u8; 1];
+    r.read_exact(&mut ndim)?;
+    let mut dim_names = Vec::with_capacity(ndim[0] as usize);
+    for _ in 0..ndim[0] {
+        dim_names.push(read_string(&mut r)?);
+    }
+    let mut nattrs = [0u8; 2];
+    r.read_exact(&mut nattrs)?;
+    let mut attrs = Vec::with_capacity(u16::from_le_bytes(nattrs) as usize);
+    for _ in 0..u16::from_le_bytes(nattrs) {
+        let k = read_string(&mut r)?;
+        let v = read_string(&mut r)?;
+        attrs.push((k, v));
+    }
+    let mut masked = [0u8; 1];
+    r.read_exact(&mut masked)?;
+    let mut len = [0u8; 8];
+    r.read_exact(&mut len)?;
+    let mut payload = vec![0u8; u64::from_le_bytes(len) as usize];
+    r.read_exact(&mut payload)?;
+    Ok(CzFile {
+        codec,
+        name,
+        dim_names,
+        attrs,
+        masked: masked[0] != 0,
+        payload,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_names_roundtrip() {
+        for c in [Codec::Cliz, Codec::Sz3, Codec::Sz2, Codec::Zfp, Codec::Sperr, Codec::Qoz] {
+            assert_eq!(Codec::from_name(c.name()), Some(c));
+            assert_eq!(Codec::from_id(c as u8), Some(c));
+        }
+        assert_eq!(Codec::from_name("bogus"), None);
+        assert_eq!(Codec::from_id(99), None);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let cz = CzFile {
+            codec: Codec::Cliz,
+            name: "SSH".into(),
+            dim_names: vec!["lat".into(), "lon".into(), "time".into()],
+            attrs: vec![("period".into(), "12".into())],
+            masked: true,
+            payload: vec![1, 2, 3, 4, 5],
+        };
+        let dir = std::env::temp_dir().join("cliz_cz_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.cz");
+        save(&path, &cz).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back, cz);
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        let dir = std::env::temp_dir().join("cliz_cz_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.cz");
+        std::fs::write(&path, b"not a cz file at all").unwrap();
+        assert!(load(&path).is_err());
+    }
+}

@@ -1,0 +1,62 @@
+//! Command implementations for the `cliz` CLI.
+//!
+//! ```text
+//! cliz gen <ssh|cesm-t|relhum|soilliq|tsfc|hurricane-t> --dims 96,80,360 [--seed N] -o file.caf
+//! cliz info <file.caf>
+//! cliz tune <file.caf> [--rate 0.01] [--rel 1e-3] -o model.clizcfg
+//! cliz compress <file.caf> -o file.cz [--rel 1e-3 | --abs X]
+//!               [--config model.clizcfg] [--compressor cliz|sz3|sz2|zfp|sperr|qoz]
+//! cliz decompress <file.cz> -o out.caf [--mask-from orig.caf]
+//! cliz eval <orig.caf> <recon.caf>
+//! ```
+//!
+//! Compressed files are `.cz` wrappers: dataset metadata (name, dim names,
+//! attributes, compressor id) plus the codec's own container, so
+//! decompression rebuilds a complete CAF dataset. The mask map is *not*
+//! embedded (CESM convention: it ships with the dataset); masked streams
+//! need `--mask-from`.
+
+pub mod args;
+pub mod commands;
+pub mod czfile;
+
+pub use args::{CliError, Parsed};
+
+/// Entry point used by `main` and by the integration tests.
+pub fn run(argv: &[String]) -> Result<(), CliError> {
+    let parsed = Parsed::parse(argv)?;
+    match parsed.command.as_str() {
+        "gen" => commands::gen(&parsed),
+        "info" => commands::info(&parsed),
+        "tune" => commands::tune(&parsed),
+        "compress" => commands::compress(&parsed),
+        "decompress" => commands::decompress(&parsed),
+        "slab" => commands::slab(&parsed),
+        "eval" => commands::eval(&parsed),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(CliError::new(format!(
+            "unknown command '{other}'\n{}",
+            usage()
+        ))),
+    }
+}
+
+/// Top-level usage text.
+pub fn usage() -> &'static str {
+    "cliz — error-bounded lossy compression for climate datasets
+
+USAGE:
+  cliz gen <kind> --dims A,B[,C[,D]] [--seed N] -o file.caf
+  cliz info <file.caf>
+  cliz tune <file.caf> [--rate 0.01] [--rel 1e-3] -o model.clizcfg
+  cliz compress <file.caf> -o file.cz [--rel 1e-3 | --abs X]
+                [--config model.clizcfg] [--compressor cliz|sz3|sz2|zfp|sperr|qoz]
+  cliz decompress <file.cz> -o out.caf [--mask-from orig.caf]
+  cliz slab <file.cz> --index N -o slab.caf [--mask-from orig.caf]
+  cliz eval <orig.caf> <recon.caf>
+
+KINDS: ssh, cesm-t, relhum, soilliq, salt, tsfc, hurricane-t"
+}

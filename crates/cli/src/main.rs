@@ -1,0 +1,12 @@
+//! `cliz` — command-line front end for the CliZ compressor.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cliz_cli::run(&args) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Synthetic CESM-like climate datasets for CliZ experiments.
+//!
+//! We do not ship the paper's CESM / Hurricane-Isabel files, so this crate
+//! generates fields that reproduce the *properties CliZ exploits* (see
+//! DESIGN.md "Substitutions"):
+//!
+//! * land/ocean **masks** with CESM's huge fill value (≈9.97e36) covering
+//!   realistic fractions of the globe (Sec. V-A);
+//! * strong **smoothness anisotropy** — e.g. CESM-T varies ~4.4 K per height
+//!   level but only ~0.02–0.05 K per lat/lon step (Sec. V-B);
+//! * an **annual cycle** along the time axis of the monthly datasets
+//!   (Sec. V-C, period 12);
+//! * **topography-coupled variance** — rough terrain ⇒ locally rough fields,
+//!   the pattern the quantization-bin classifier feeds on (Sec. V-D).
+//!
+//! Every generator is deterministic in its seed, and each Table III dataset
+//! has a paper-sized default plus arbitrary-dims variants so experiments can
+//! scale down to CI-friendly sizes.
+
+pub mod datasets;
+pub mod terrain;
+
+pub use datasets::{
+    cesm_t, hurricane_t, relhum, salt, soilliq, ssh, tsfc, ClimateDataset, DatasetKind,
+};
+pub use terrain::{terrain_field, TerrainSpec};
+
+/// CESM's standard fill value for invalid points.
+pub const FILL_VALUE: f32 = 9.96921e36;

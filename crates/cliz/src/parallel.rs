@@ -1,0 +1,96 @@
+//! Rayon-parallel batch compression.
+//!
+//! Climate campaigns compress many independent fields (ensemble members,
+//! variables, snapshots). CliZ's interpolation is inherently sequential
+//! *within* a field, so the natural parallelism is across fields — exactly
+//! how the paper's Fig. 13 farm uses its cores. These helpers fan a batch
+//! over the rayon thread pool with one shared configuration.
+
+use crate::{BaselineError, Compressor};
+use cliz_grid::{Grid, MaskMap};
+use cliz_quant::ErrorBound;
+use rayon::prelude::*;
+
+/// One compression job: a field, its optional mask, and its bound.
+pub struct Job<'a> {
+    pub data: &'a Grid<f32>,
+    pub mask: Option<&'a MaskMap>,
+    pub bound: ErrorBound,
+}
+
+/// Compresses every job in parallel, preserving order.
+pub fn compress_many(
+    compressor: &dyn Compressor,
+    jobs: &[Job<'_>],
+) -> Vec<Result<Vec<u8>, BaselineError>> {
+    jobs.par_iter()
+        .map(|job| compressor.compress(job.data, job.mask, job.bound))
+        .collect()
+}
+
+/// Decompresses every stream in parallel, preserving order. `masks[i]` must
+/// match what `streams[i]` was compressed with.
+pub fn decompress_many(
+    compressor: &dyn Compressor,
+    streams: &[Vec<u8>],
+    masks: &[Option<&MaskMap>],
+) -> Vec<Result<Grid<f32>, BaselineError>> {
+    assert_eq!(streams.len(), masks.len());
+    streams
+        .par_iter()
+        .zip(masks.par_iter())
+        .map(|(bytes, mask)| compressor.decompress(bytes, *mask))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cliz;
+    use cliz_grid::Shape;
+
+    fn field(seed: usize) -> Grid<f32> {
+        Grid::from_fn(Shape::new(&[24, 24]), |c| {
+            ((c[0] + seed) as f32 * 0.2).sin() + (c[1] as f32 * 0.3).cos()
+        })
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let fields: Vec<Grid<f32>> = (0..8).map(field).collect();
+        let jobs: Vec<Job> = fields
+            .iter()
+            .map(|f| Job {
+                data: f,
+                mask: None,
+                bound: ErrorBound::Abs(1e-3),
+            })
+            .collect();
+        let cliz = Cliz::new();
+        let batch = compress_many(&cliz, &jobs);
+        for (f, result) in fields.iter().zip(&batch) {
+            let sequential = cliz.compress(f, None, ErrorBound::Abs(1e-3)).unwrap();
+            assert_eq!(result.as_ref().unwrap(), &sequential, "order or determinism broken");
+        }
+        let streams: Vec<Vec<u8>> = batch.into_iter().map(|r| r.unwrap()).collect();
+        let masks = vec![None; streams.len()];
+        let decoded = decompress_many(&cliz, &streams, &masks);
+        for (f, d) in fields.iter().zip(decoded) {
+            let d = d.unwrap();
+            for (a, b) in f.as_slice().iter().zip(d.as_slice()) {
+                assert!((a - b).abs() <= 1e-3 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn errors_are_per_job() {
+        let good = field(0);
+        let cliz = Cliz::new();
+        let stream = cliz.compress(&good, None, ErrorBound::Abs(1e-3)).unwrap();
+        let garbage = vec![1u8, 2, 3];
+        let results = decompress_many(&cliz, &[stream, garbage], &[None, None]);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+    }
+}

@@ -1,0 +1,356 @@
+//! Chunked compression: slab-split containers with random chunk access.
+//!
+//! HDF5/NetCDF deployments (the paper's integration target) compress
+//! chunk-by-chunk so readers can decode a time slice without touching the
+//! rest of the file. This module splits a grid into slabs along axis 0,
+//! compresses each slab as an independent CLIZ container under one shared
+//! pipeline configuration and one globally-resolved error bound, and lays
+//! them out behind an offset table for O(1) chunk lookup.
+//!
+//! Format: `magic "CLZC" | ndim u8 | dims ndim×u64 | chunk_len u64 |
+//! n_chunks u32 | offsets (n_chunks+1)×u64 | chunk containers…`.
+
+use crate::bytesio::{ByteReader, ByteWriter};
+use crate::compressor::{compress, decompress, valid_min_max};
+use crate::config::PipelineConfig;
+use crate::error::ClizError;
+use cliz_grid::{Grid, MaskMap, Shape};
+use cliz_quant::ErrorBound;
+
+const MAGIC: u32 = 0x434C_5A43; // "CLZC"
+
+/// Number of slabs a grid of `dim0` splits into with `chunk_len` thickness.
+fn chunk_count(dim0: usize, chunk_len: usize) -> usize {
+    dim0.div_ceil(chunk_len)
+}
+
+/// Extracts slab `i` of `data` (and mask) along axis 0.
+fn slab<T: Copy>(grid: &Grid<T>, chunk_len: usize, i: usize) -> Grid<T> {
+    let dims = grid.shape().dims();
+    let start = i * chunk_len;
+    let len = chunk_len.min(dims[0] - start);
+    let mut s = vec![0usize; dims.len()];
+    s[0] = start;
+    let mut size = dims.to_vec();
+    size[0] = len;
+    grid.block(&s, &size)
+}
+
+/// Compresses `data` as independent slabs along axis 0.
+///
+/// The error bound is resolved once against the whole (valid) value range,
+/// so every chunk honours the same absolute bound the caller asked for.
+///
+/// ```
+/// use cliz_core::{compress_chunked, decompress_chunk, config::PipelineConfig};
+/// use cliz_grid::{Grid, Shape};
+/// use cliz_quant::ErrorBound;
+///
+/// let data = Grid::from_fn(Shape::new(&[12, 16]), |c| (c[0] + c[1]) as f32);
+/// let bytes = compress_chunked(
+///     &data, None, ErrorBound::Abs(1e-3), &PipelineConfig::default_for(2), 4,
+/// ).unwrap();
+/// // Random access: decode only the second slab (rows 4..8).
+/// let slab = decompress_chunk(&bytes, 1, None).unwrap();
+/// assert_eq!(slab.shape().dims(), &[4, 16]);
+/// assert!((slab.get(&[0, 0]) - 4.0).abs() <= 1e-3);
+/// ```
+pub fn compress_chunked(
+    data: &Grid<f32>,
+    mask: Option<&MaskMap>,
+    bound: ErrorBound,
+    config: &PipelineConfig,
+    chunk_len: usize,
+) -> Result<Vec<u8>, ClizError> {
+    if chunk_len == 0 {
+        return Err(ClizError::BadConfig("chunk length must be positive"));
+    }
+    config.validate(data.shape())?;
+    if let Some(m) = mask {
+        if m.shape() != data.shape() {
+            return Err(ClizError::BadConfig("mask shape mismatch"));
+        }
+    }
+    let (mn, mx) = valid_min_max(data, mask);
+    let eb = ErrorBound::Abs(bound.resolve(mn, mx));
+
+    let dims = data.shape().dims().to_vec();
+    let n_chunks = chunk_count(dims[0], chunk_len);
+    let mask_grid = mask.map(|m| Grid::from_vec(m.shape().clone(), m.as_slice().to_vec()));
+
+    // Chunks are independent: compress them across the rayon pool. Ordered
+    // collect keeps the container byte-for-byte deterministic.
+    use rayon::prelude::*;
+    let blobs: Vec<Vec<u8>> = (0..n_chunks)
+        .into_par_iter()
+        .map(|i| {
+            let chunk = slab(data, chunk_len, i);
+            let chunk_mask = mask_grid.as_ref().map(|mg| {
+                let mg = slab(mg, chunk_len, i);
+                MaskMap::from_flags(mg.shape().clone(), mg.as_slice().to_vec())
+            });
+            // The per-chunk config must validate against the chunk shape
+            // (periodicity along axis 0 may not fit a slab).
+            let mut chunk_config = config.clone();
+            if chunk_config.validate(chunk.shape()).is_err() {
+                // Degrade gracefully: drop the offending periodicity.
+                chunk_config.periodicity = crate::config::Periodicity::None;
+                chunk_config.validate(chunk.shape())?;
+            }
+            compress(&chunk, chunk_mask.as_ref(), eb, &chunk_config)
+        })
+        .collect::<Result<_, ClizError>>()?;
+
+    let mut w = ByteWriter::new();
+    w.u32(MAGIC);
+    w.u8(dims.len() as u8);
+    for &d in &dims {
+        w.u64(d as u64);
+    }
+    w.u64(chunk_len as u64);
+    w.u32(n_chunks as u32);
+    let header_len = w.len() + (n_chunks + 1) * 8;
+    let mut offset = header_len as u64;
+    w.u64(offset);
+    for b in &blobs {
+        offset += b.len() as u64;
+        w.u64(offset);
+    }
+    for b in &blobs {
+        w.raw(b);
+    }
+    Ok(w.finish())
+}
+
+/// Parsed chunked-container header.
+#[derive(Clone, Debug)]
+pub struct ChunkedHeader {
+    pub dims: Vec<usize>,
+    pub chunk_len: usize,
+    pub n_chunks: usize,
+    /// Byte offsets of each chunk (plus the end sentinel).
+    pub offsets: Vec<usize>,
+}
+
+/// Reads just the header (cheap; no decompression).
+pub fn read_header(bytes: &[u8]) -> Result<ChunkedHeader, ClizError> {
+    let mut r = ByteReader::new(bytes);
+    if r.u32()? != MAGIC {
+        return Err(ClizError::BadMagic);
+    }
+    let ndim = r.u8()? as usize;
+    if ndim == 0 || ndim > cliz_grid::shape::MAX_DIMS {
+        return Err(ClizError::Corrupt("bad rank"));
+    }
+    let mut dims = Vec::with_capacity(ndim);
+    for _ in 0..ndim {
+        let d = r.u64()? as usize;
+        if d == 0 {
+            return Err(ClizError::Corrupt("zero dimension"));
+        }
+        dims.push(d);
+    }
+    let chunk_len = r.u64()? as usize;
+    if chunk_len == 0 {
+        return Err(ClizError::Corrupt("zero chunk length"));
+    }
+    let n_chunks = r.u32()? as usize;
+    if n_chunks != chunk_count(dims[0], chunk_len) {
+        return Err(ClizError::Corrupt("chunk count mismatch"));
+    }
+    let mut offsets = Vec::with_capacity(n_chunks + 1);
+    for _ in 0..=n_chunks {
+        offsets.push(r.u64()? as usize);
+    }
+    if offsets.windows(2).any(|w| w[1] < w[0]) || *offsets.last().unwrap() > bytes.len() {
+        return Err(ClizError::Corrupt("bad offset table"));
+    }
+    Ok(ChunkedHeader {
+        dims,
+        chunk_len,
+        n_chunks,
+        offsets,
+    })
+}
+
+/// Decompresses a single chunk (random access). `mask` is the full-grid mask
+/// in the original layout, from which the chunk's slice is derived.
+pub fn decompress_chunk(
+    bytes: &[u8],
+    chunk_index: usize,
+    mask: Option<&MaskMap>,
+) -> Result<Grid<f32>, ClizError> {
+    let header = read_header(bytes)?;
+    if chunk_index >= header.n_chunks {
+        return Err(ClizError::BadConfig("chunk index out of range"));
+    }
+    let blob = &bytes[header.offsets[chunk_index]..header.offsets[chunk_index + 1]];
+    let chunk_mask = match mask {
+        Some(m) => {
+            if m.shape().dims() != header.dims.as_slice() {
+                return Err(ClizError::MaskRequired);
+            }
+            let mg = Grid::from_vec(m.shape().clone(), m.as_slice().to_vec());
+            let s = slab(&mg, header.chunk_len, chunk_index);
+            Some(MaskMap::from_flags(s.shape().clone(), s.into_vec()))
+        }
+        None => None,
+    };
+    decompress(blob, chunk_mask.as_ref())
+}
+
+/// Decompresses the whole container back into one grid.
+pub fn decompress_chunked(
+    bytes: &[u8],
+    mask: Option<&MaskMap>,
+) -> Result<Grid<f32>, ClizError> {
+    let header = read_header(bytes)?;
+    let shape = Shape::new(&header.dims);
+    let mut out = vec![0.0f32; shape.len()];
+    let slab_stride: usize = header.dims[1..].iter().product();
+    for i in 0..header.n_chunks {
+        let chunk = decompress_chunk(bytes, i, mask)?;
+        let start = i * header.chunk_len * slab_stride;
+        out[start..start + chunk.len()].copy_from_slice(chunk.as_slice());
+    }
+    Ok(Grid::from_vec(shape, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth(dims: &[usize]) -> Grid<f32> {
+        Grid::from_fn(Shape::new(dims), |c| {
+            let mut v = 0.0f64;
+            for (k, &x) in c.iter().enumerate() {
+                v += ((x as f64) * 0.21 * (k + 1) as f64).sin() * 3.0;
+            }
+            v as f32
+        })
+    }
+
+    #[test]
+    fn chunked_roundtrip_matches_bound() {
+        let g = smooth(&[20, 16, 12]);
+        let eb = 1e-3;
+        let cfg = PipelineConfig::default_for(3);
+        let bytes =
+            compress_chunked(&g, None, ErrorBound::Abs(eb), &cfg, 6).unwrap();
+        let out = decompress_chunked(&bytes, None).unwrap();
+        assert_eq!(out.shape(), g.shape());
+        for (a, b) in g.as_slice().iter().zip(out.as_slice()) {
+            assert!((a - b).abs() as f64 <= eb * (1.0 + 1e-12));
+        }
+    }
+
+    #[test]
+    fn random_access_chunk_equals_full_decode_slice() {
+        let g = smooth(&[15, 10, 8]);
+        let cfg = PipelineConfig::default_for(3);
+        let bytes =
+            compress_chunked(&g, None, ErrorBound::Abs(1e-3), &cfg, 4).unwrap();
+        let full = decompress_chunked(&bytes, None).unwrap();
+        let header = read_header(&bytes).unwrap();
+        assert_eq!(header.n_chunks, 4); // 15 = 4+4+4+3
+        for i in 0..header.n_chunks {
+            let chunk = decompress_chunk(&bytes, i, None).unwrap();
+            let start = i * 4;
+            let len = chunk.shape().dim(0);
+            assert_eq!(len, if i == 3 { 3 } else { 4 });
+            let expected = full.block(&[start, 0, 0], &[len, 10, 8]);
+            assert_eq!(chunk, expected, "chunk {i}");
+        }
+    }
+
+    #[test]
+    fn masked_chunked_roundtrip() {
+        let mut g = smooth(&[12, 14]);
+        let mut valid = vec![true; g.len()];
+        for i in 0..g.len() {
+            if i % 6 == 0 {
+                g.as_mut_slice()[i] = 1e33;
+                valid[i] = false;
+            }
+        }
+        let mask = MaskMap::from_flags(g.shape().clone(), valid);
+        let cfg = PipelineConfig::default_for(2);
+        let bytes =
+            compress_chunked(&g, Some(&mask), ErrorBound::Rel(1e-3), &cfg, 5).unwrap();
+        let out = decompress_chunked(&bytes, Some(&mask)).unwrap();
+        let (mn, mx) = valid_min_max(&g, Some(&mask));
+        let eb = 1e-3 * (mx - mn) as f64;
+        for (i, (a, b)) in g.as_slice().iter().zip(out.as_slice()).enumerate() {
+            if mask.is_valid(i) {
+                assert!((*a as f64 - *b as f64).abs() <= eb * (1.0 + 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn rel_bound_is_global_not_per_chunk() {
+        // A grid whose chunks have very different local ranges: the bound
+        // must come from the global range, or chunk-local resolution would
+        // give chunk-dependent quality.
+        let g = Grid::from_fn(Shape::new(&[8, 32]), |c| {
+            if c[0] < 4 {
+                c[1] as f32 * 0.001
+            } else {
+                c[1] as f32 * 10.0
+            }
+        });
+        let cfg = PipelineConfig::default_for(2);
+        let bytes = compress_chunked(&g, None, ErrorBound::Rel(1e-4), &cfg, 4).unwrap();
+        let out = decompress_chunked(&bytes, None).unwrap();
+        let (mn, mx) = g.finite_min_max().unwrap();
+        let eb = 1e-4 * (mx - mn) as f64;
+        for (a, b) in g.as_slice().iter().zip(out.as_slice()) {
+            assert!((*a as f64 - *b as f64).abs() <= eb * (1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn periodicity_degrades_gracefully_in_small_chunks() {
+        // Periodic along axis 1 — fits in every chunk; periodic along axis 0
+        // with chunks smaller than the period must degrade, not fail.
+        let g = Grid::from_fn(Shape::new(&[24, 20]), |c| {
+            ((c[0] % 12) as f32 * 0.7).sin() + c[1] as f32 * 0.01
+        });
+        let cfg = PipelineConfig {
+            periodicity: crate::config::Periodicity::Extract {
+                time_axis: 0,
+                period: 12,
+            },
+            ..PipelineConfig::default_for(2)
+        };
+        let bytes = compress_chunked(&g, None, ErrorBound::Abs(1e-3), &cfg, 6).unwrap();
+        let out = decompress_chunked(&bytes, None).unwrap();
+        for (a, b) in g.as_slice().iter().zip(out.as_slice()) {
+            assert!((a - b).abs() <= 1e-3 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let g = smooth(&[8, 8]);
+        let cfg = PipelineConfig::default_for(2);
+        assert!(compress_chunked(&g, None, ErrorBound::Abs(1e-3), &cfg, 0).is_err());
+        let bytes = compress_chunked(&g, None, ErrorBound::Abs(1e-3), &cfg, 4).unwrap();
+        assert!(decompress_chunk(&bytes, 99, None).is_err());
+        assert!(read_header(&bytes[..10]).is_err());
+        assert!(read_header(b"garbage.....").is_err());
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let g = smooth(&[10, 6]);
+        let cfg = PipelineConfig::default_for(2);
+        let bytes = compress_chunked(&g, None, ErrorBound::Abs(1e-2), &cfg, 3).unwrap();
+        let h = read_header(&bytes).unwrap();
+        assert_eq!(h.dims, vec![10, 6]);
+        assert_eq!(h.chunk_len, 3);
+        assert_eq!(h.n_chunks, 4);
+        assert_eq!(h.offsets.len(), 5);
+        assert_eq!(*h.offsets.last().unwrap(), bytes.len());
+    }
+}

@@ -1,0 +1,446 @@
+//! Public compress/decompress API and the CLIZ container format.
+//!
+//! Container layout (little-endian):
+//!
+//! ```text
+//! magic  u32  "CLIZ"
+//! ver    u8   1
+//! ndim   u8
+//! dims   ndim × u64
+//! eb     f64  resolved absolute bound
+//! fill   f32  value written at masked positions on decompression
+//! mask   u8   1 when the stream was compressed against a mask map
+//! mode   u8   0 = plain pipeline, 1 = periodic template/residual split
+//! mode 0: plain section (see `pipeline`)
+//! mode 1: time_axis u8, period u32,
+//!         template: length-prefixed nested CLIZ container,
+//!         residual: length-prefixed nested CLIZ container
+//! ```
+//!
+//! The mask map itself is **not** stored: as in CESM practice it is dataset
+//! metadata shared out of band, and the paper's compression ratios likewise
+//! exclude it. Decompressing a masked stream without the mask yields
+//! [`ClizError::MaskRequired`].
+
+use crate::bytesio::{ByteReader, ByteWriter};
+use crate::config::{Periodicity, PipelineConfig};
+use crate::error::ClizError;
+use crate::periodic::{add_template, build_template, subtract_template, template_mask};
+use crate::pipeline::{compress_plain, decompress_plain, PlainStats};
+use cliz_grid::{Grid, MaskMap, Shape};
+use cliz_quant::ErrorBound;
+
+const MAGIC: u32 = 0x434C_495A; // "CLIZ"
+const VERSION: u8 = 1;
+const MODE_PLAIN: u8 = 0;
+const MODE_PERIODIC: u8 = 1;
+
+/// Accounting returned by [`compress_with_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CompressStats {
+    pub compressed_bytes: usize,
+    /// The resolved absolute error bound actually enforced.
+    pub eb_abs: f64,
+    /// Escapes across all sections (template + residual for periodic mode).
+    pub escapes: usize,
+    /// Whether bin classification engaged in the main/residual section.
+    pub classification_used: bool,
+    /// Whether periodic extraction ran.
+    pub periodic: bool,
+}
+
+/// Min/max of the data over valid, finite points — the range a [`ErrorBound::Rel`]
+/// resolves against. Public so harnesses can compute the matching absolute
+/// bound when driving mask-blind baselines at equal fidelity.
+pub fn valid_min_max(data: &Grid<f32>, mask: Option<&MaskMap>) -> (f32, f32) {
+    let mut mn = f32::INFINITY;
+    let mut mx = f32::NEG_INFINITY;
+    for (i, &v) in data.as_slice().iter().enumerate() {
+        if mask.is_some_and(|m| !m.is_valid(i)) || !v.is_finite() {
+            continue;
+        }
+        mn = mn.min(v);
+        mx = mx.max(v);
+    }
+    if mn > mx {
+        (0.0, 0.0)
+    } else {
+        (mn, mx)
+    }
+}
+
+/// Representative fill value: the first masked value in the data (CESM fill
+/// constants are uniform per variable), or 0 when everything is valid.
+fn representative_fill(data: &Grid<f32>, mask: Option<&MaskMap>) -> f32 {
+    if let Some(m) = mask {
+        for (i, &v) in data.as_slice().iter().enumerate() {
+            if !m.is_valid(i) {
+                return v;
+            }
+        }
+    }
+    0.0
+}
+
+/// Compresses `data` to a self-describing CLIZ container.
+///
+/// `mask` marks invalid points (fill values); when `config.use_mask` is set
+/// and the mask has invalid points, masked data is neither encoded nor used
+/// for prediction, and the same mask must be passed to [`decompress`].
+pub fn compress(
+    data: &Grid<f32>,
+    mask: Option<&MaskMap>,
+    bound: ErrorBound,
+    config: &PipelineConfig,
+) -> Result<Vec<u8>, ClizError> {
+    compress_with_stats(data, mask, bound, config).map(|(bytes, _)| bytes)
+}
+
+/// [`compress`] plus accounting.
+pub fn compress_with_stats(
+    data: &Grid<f32>,
+    mask: Option<&MaskMap>,
+    bound: ErrorBound,
+    config: &PipelineConfig,
+) -> Result<(Vec<u8>, CompressStats), ClizError> {
+    config.validate(data.shape())?;
+    if let Some(m) = mask {
+        if m.shape() != data.shape() {
+            return Err(ClizError::BadConfig("mask shape mismatch"));
+        }
+    }
+    let effective_mask = match mask {
+        Some(m) if config.use_mask && !m.is_all_valid() => Some(m),
+        _ => None,
+    };
+    // Relative bounds always resolve against the *valid* value range when a
+    // mask is supplied — even with `use_mask: false` (the ablation toggle
+    // only disables mask-aware prediction/encoding, it must not let fill
+    // values inflate the error budget by 30 orders of magnitude).
+    let (mn, mx) = valid_min_max(data, mask);
+    let eb_abs = bound.resolve(mn, mx);
+    let fill = representative_fill(data, effective_mask);
+
+    let mut w = ByteWriter::new();
+    w.u32(MAGIC);
+    w.u8(VERSION);
+    w.u8(data.shape().ndim() as u8);
+    for &d in data.shape().dims() {
+        w.u64(d as u64);
+    }
+    w.f64(eb_abs);
+    w.f32(fill);
+    w.u8(effective_mask.is_some() as u8);
+
+    let mut stats = CompressStats {
+        eb_abs,
+        ..Default::default()
+    };
+
+    match config.periodicity {
+        Periodicity::Extract { time_axis, period } => {
+            w.u8(MODE_PERIODIC);
+            w.u8(time_axis as u8);
+            w.u32(period as u32);
+
+            let inner_config = PipelineConfig {
+                periodicity: Periodicity::None,
+                ..config.clone()
+            };
+
+            // Template: per-phase mean, compressed as a nested container.
+            let template = build_template(data, effective_mask, time_axis, period);
+            let tmask = effective_mask.map(|m| template_mask(m, time_axis, period));
+            let (t_bytes, t_stats) = compress_with_stats(
+                &template,
+                tmask.as_ref(),
+                ErrorBound::Abs(eb_abs * config.template_eb_factor),
+                &inner_config,
+            )?;
+            // The residual is taken against what the decoder will actually
+            // see, so the user bound rides entirely on the residual stage —
+            // minus a small slack for the two f32 roundings on the path
+            // (data − template at encode, residual + template at decode),
+            // each bounded by half a ULP of the operand magnitude. Without
+            // this the reconstruction can land a fraction of a ULP past eb.
+            let template_recon = decompress(&t_bytes, tmask.as_ref())?;
+            let residual =
+                subtract_template(data, &template_recon, effective_mask, time_axis);
+            let vmax = mn.abs().max(mx.abs()) as f64 + eb_abs;
+            let slack = 4.0 * vmax * f64::from(f32::EPSILON);
+            let eb_res = (eb_abs - slack).max(eb_abs * 0.5);
+            let (r_bytes, r_stats) = compress_with_stats(
+                &residual,
+                effective_mask,
+                ErrorBound::Abs(eb_res),
+                &inner_config,
+            )?;
+            w.block(&t_bytes);
+            w.block(&r_bytes);
+            stats.escapes = t_stats.escapes + r_stats.escapes;
+            stats.classification_used = r_stats.classification_used;
+            stats.periodic = true;
+        }
+        Periodicity::None => {
+            w.u8(MODE_PLAIN);
+            let plain: PlainStats =
+                compress_plain(data, effective_mask, eb_abs, config, &mut w)?;
+            stats.escapes = plain.escapes;
+            stats.classification_used = plain.classification_used;
+        }
+    }
+
+    let bytes = w.finish();
+    stats.compressed_bytes = bytes.len();
+    Ok((bytes, stats))
+}
+
+/// Decompresses a CLIZ container. Streams compressed with a mask require the
+/// same mask here.
+pub fn decompress(bytes: &[u8], mask: Option<&MaskMap>) -> Result<Grid<f32>, ClizError> {
+    let mut r = ByteReader::new(bytes);
+    if r.u32()? != MAGIC {
+        return Err(ClizError::BadMagic);
+    }
+    let version = r.u8()?;
+    if version != VERSION {
+        return Err(ClizError::UnsupportedVersion(version));
+    }
+    let ndim = r.u8()? as usize;
+    if ndim == 0 || ndim > cliz_grid::shape::MAX_DIMS {
+        return Err(ClizError::Corrupt("bad rank"));
+    }
+    let mut dims = Vec::with_capacity(ndim);
+    for _ in 0..ndim {
+        let d = r.u64()? as usize;
+        if d == 0 {
+            return Err(ClizError::Corrupt("zero dimension"));
+        }
+        dims.push(d);
+    }
+    // Reject corrupt headers before any multiplication can overflow or any
+    // allocation can explode: the element count must fit comfortably and
+    // cannot exceed what the (compressed!) stream could plausibly describe.
+    let total = dims
+        .iter()
+        .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+        .ok_or(ClizError::Corrupt("dimension overflow"))?;
+    if total > (1usize << 42) {
+        return Err(ClizError::Corrupt("implausible element count"));
+    }
+    let eb_abs = r.f64()?;
+    if !(eb_abs > 0.0) {
+        return Err(ClizError::Corrupt("bad error bound"));
+    }
+    let fill = r.f32()?;
+    let uses_mask = r.u8()? != 0;
+    let shape = Shape::new(&dims);
+    let mask = if uses_mask {
+        match mask {
+            Some(m) if m.shape() == &shape => Some(m),
+            _ => return Err(ClizError::MaskRequired),
+        }
+    } else {
+        None
+    };
+
+    match r.u8()? {
+        MODE_PLAIN => decompress_plain(&mut r, &dims, eb_abs, mask, fill),
+        MODE_PERIODIC => {
+            let time_axis = r.u8()? as usize;
+            let period = r.u32()? as usize;
+            if time_axis >= ndim || period < 2 || period >= dims[time_axis] {
+                return Err(ClizError::Corrupt("bad periodic parameters"));
+            }
+            let t_bytes = r.block()?;
+            let r_bytes = r.block()?;
+            let tmask = mask.map(|m| template_mask(m, time_axis, period));
+            let template = decompress(t_bytes, tmask.as_ref())?;
+            let residual = decompress(r_bytes, mask)?;
+            if template.shape() != &crate::periodic::template_shape(&shape, time_axis, period)
+                || residual.shape() != &shape
+            {
+                return Err(ClizError::Corrupt("periodic shape mismatch"));
+            }
+            Ok(add_template(&residual, &template, mask, time_axis, fill))
+        }
+        _ => Err(ClizError::Corrupt("unknown mode")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cliz_grid::FusionSpec;
+
+    fn smooth(dims: &[usize]) -> Grid<f32> {
+        Grid::from_fn(Shape::new(dims), |c| {
+            let mut v = 0.0f64;
+            for (k, &x) in c.iter().enumerate() {
+                v += ((x as f64) * 0.13 * (k + 1) as f64).sin() * 4.0;
+            }
+            v as f32
+        })
+    }
+
+    fn check_roundtrip(
+        data: &Grid<f32>,
+        mask: Option<&MaskMap>,
+        bound: ErrorBound,
+        config: &PipelineConfig,
+    ) -> CompressStats {
+        let (bytes, stats) = compress_with_stats(data, mask, bound, config).unwrap();
+        let out = decompress(&bytes, mask).unwrap();
+        assert_eq!(out.shape(), data.shape());
+        for (i, (&a, &b)) in data.as_slice().iter().zip(out.as_slice()).enumerate() {
+            if mask.is_none_or(|m| m.is_valid(i)) {
+                assert!(
+                    (a as f64 - b as f64).abs() <= stats.eb_abs * (1.0 + 1e-12),
+                    "bound violated at {i}: {a} vs {b} (eb {})",
+                    stats.eb_abs
+                );
+            }
+        }
+        stats
+    }
+
+    #[test]
+    fn plain_roundtrip_abs_bound() {
+        let g = smooth(&[9, 17, 21]);
+        check_roundtrip(&g, None, ErrorBound::Abs(1e-3), &PipelineConfig::default_for(3));
+    }
+
+    #[test]
+    fn plain_roundtrip_rel_bound() {
+        let g = smooth(&[30, 40]);
+        let stats = check_roundtrip(
+            &g,
+            None,
+            ErrorBound::Rel(1e-3),
+            &PipelineConfig::default_for(2),
+        );
+        let (mn, mx) = g.finite_min_max().unwrap();
+        assert!((stats.eb_abs - 1e-3 * (mx - mn) as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn periodic_roundtrip() {
+        // Station offset + annual cycle + small trend.
+        let g = Grid::from_fn(Shape::new(&[6, 48]), |c| {
+            let phase = 2.0 * std::f64::consts::PI * (c[1] % 12) as f64 / 12.0;
+            (c[0] as f64 * 5.0 + 3.0 * phase.sin() + c[1] as f64 * 0.01) as f32
+        });
+        let mut config = PipelineConfig::default_for(2);
+        config.periodicity = Periodicity::Extract {
+            time_axis: 1,
+            period: 12,
+        };
+        let stats = check_roundtrip(&g, None, ErrorBound::Abs(1e-3), &config);
+        assert!(stats.periodic);
+    }
+
+    #[test]
+    fn periodic_beats_plain_on_periodic_data() {
+        let g = Grid::from_fn(Shape::new(&[16, 120]), |c| {
+            let phase = 2.0 * std::f64::consts::PI * (c[1] % 12) as f64 / 12.0;
+            // Per-station random-ish phase pattern repeated every 12 steps.
+            let station = (c[0] as f64 * 7.7).sin() * 20.0;
+            (station + 8.0 * (phase + c[0] as f64).sin()) as f32
+        });
+        let plain = PipelineConfig::default_for(2);
+        let periodic = PipelineConfig {
+            periodicity: Periodicity::Extract {
+                time_axis: 1,
+                period: 12,
+            },
+            ..plain.clone()
+        };
+        let b_plain = compress(&g, None, ErrorBound::Abs(1e-4), &plain).unwrap();
+        let b_per = compress(&g, None, ErrorBound::Abs(1e-4), &periodic).unwrap();
+        assert!(
+            b_per.len() < b_plain.len(),
+            "periodic {} !< plain {}",
+            b_per.len(),
+            b_plain.len()
+        );
+    }
+
+    #[test]
+    fn masked_roundtrip_and_mask_required() {
+        let mut g = smooth(&[20, 20]);
+        let mut valid = vec![true; 400];
+        for i in 0..400 {
+            if (i / 20 + i % 20) % 5 == 0 {
+                g.as_mut_slice()[i] = 9.96921e36; // CESM-style fill
+                valid[i] = false;
+            }
+        }
+        let mask = MaskMap::from_flags(g.shape().clone(), valid);
+        let config = PipelineConfig::default_for(2);
+        check_roundtrip(&g, Some(&mask), ErrorBound::Abs(1e-3), &config);
+
+        let bytes = compress(&g, Some(&mask), ErrorBound::Abs(1e-3), &config).unwrap();
+        assert_eq!(decompress(&bytes, None), Err(ClizError::MaskRequired));
+        // Masked positions come back as the representative fill.
+        let out = decompress(&bytes, Some(&mask)).unwrap();
+        for i in 0..400 {
+            if !mask.is_valid(i) {
+                assert_eq!(out.as_slice()[i], 9.96921e36);
+            }
+        }
+    }
+
+    #[test]
+    fn full_cliz_pipeline_roundtrip() {
+        // Everything on at once: permutation, fusion, classification,
+        // periodicity, mask.
+        let mut g = Grid::from_fn(Shape::new(&[10, 24, 16]), |c| {
+            let phase = 2.0 * std::f64::consts::PI * (c[1] % 6) as f64 / 6.0;
+            (c[0] as f64 * 2.0 + phase.cos() * 5.0 + c[2] as f64 * 0.1) as f32
+        });
+        let mut valid = vec![true; g.len()];
+        for (i, v) in valid.iter_mut().enumerate() {
+            if i % 11 == 0 {
+                g.as_mut_slice()[i] = 1e35;
+                *v = false;
+            }
+        }
+        let mask = MaskMap::from_flags(g.shape().clone(), valid);
+        let config = PipelineConfig {
+            permutation: vec![1, 0, 2],
+            fusion: FusionSpec { start: 1, len: 2 },
+            classification: true,
+            periodicity: Periodicity::Extract {
+                time_axis: 1,
+                period: 6,
+            },
+            ..PipelineConfig::default_for(3)
+        };
+        check_roundtrip(&g, Some(&mask), ErrorBound::Rel(1e-3), &config);
+    }
+
+    #[test]
+    fn garbage_input_rejected() {
+        assert_eq!(decompress(b"nonsense", None), Err(ClizError::BadMagic));
+        assert!(decompress(&[0x5A, 0x49], None).is_err());
+    }
+
+    #[test]
+    fn truncated_container_rejected() {
+        let g = smooth(&[16, 16]);
+        let bytes = compress(&g, None, ErrorBound::Abs(1e-3), &PipelineConfig::default_for(2))
+            .unwrap();
+        for frac in [4, 10, 30, bytes.len() - 1] {
+            assert!(decompress(&bytes[..frac], None).is_err(), "cut {frac}");
+        }
+    }
+
+    #[test]
+    fn compression_actually_compresses_smooth_data() {
+        let g = smooth(&[32, 64, 64]);
+        let bytes = compress(&g, None, ErrorBound::Rel(1e-3), &PipelineConfig::default_for(3))
+            .unwrap();
+        let ratio = (g.len() * 4) as f64 / bytes.len() as f64;
+        assert!(ratio > 8.0, "ratio only {ratio:.2}");
+    }
+}

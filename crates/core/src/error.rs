@@ -1,0 +1,45 @@
+//! Error taxonomy for the CliZ container.
+
+/// Everything that can go wrong compressing or decompressing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClizError {
+    /// Stream does not begin with the CLIZ magic.
+    BadMagic,
+    /// Stream ended mid-structure.
+    Truncated,
+    /// Structurally invalid stream.
+    Corrupt(&'static str),
+    /// Version newer than this library understands.
+    UnsupportedVersion(u8),
+    /// The stream was compressed with a mask but none was supplied (or the
+    /// supplied mask has the wrong shape).
+    MaskRequired,
+    /// Invalid configuration (bad permutation/fusion for the data's rank…).
+    BadConfig(&'static str),
+    /// Lossless backend failure.
+    Backend(String),
+}
+
+impl std::fmt::Display for ClizError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClizError::BadMagic => write!(f, "cliz: bad magic"),
+            ClizError::Truncated => write!(f, "cliz: truncated stream"),
+            ClizError::Corrupt(what) => write!(f, "cliz: corrupt stream ({what})"),
+            ClizError::UnsupportedVersion(v) => write!(f, "cliz: unsupported version {v}"),
+            ClizError::MaskRequired => {
+                write!(f, "cliz: stream uses a mask map; pass the dataset's mask")
+            }
+            ClizError::BadConfig(what) => write!(f, "cliz: bad configuration ({what})"),
+            ClizError::Backend(what) => write!(f, "cliz: lossless backend error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClizError {}
+
+impl From<cliz_lossless::Error> for ClizError {
+    fn from(e: cliz_lossless::Error) -> Self {
+        ClizError::Backend(e.to_string())
+    }
+}

@@ -1,0 +1,227 @@
+//! Periodic component extraction (Sec. VI-D).
+//!
+//! Given a detected period `p` along the time axis, the data is split into a
+//! *template* — the per-phase mean, with the time extent shrunk to `p` — and
+//! a *residual*. Crucially the residual is taken against the **reconstructed**
+//! template (the one the decoder will see), so the user-facing error bound
+//! is carried entirely by the residual stage regardless of how lossily the
+//! template was stored.
+
+use cliz_grid::{Grid, MaskMap, Shape};
+
+/// Template shape: `dims` with the time axis shrunk to `period`.
+pub fn template_shape(shape: &Shape, time_axis: usize, period: usize) -> Shape {
+    let mut dims = shape.dims().to_vec();
+    dims[time_axis] = period;
+    Shape::new(&dims)
+}
+
+/// Builds the per-phase mean template. Masked points contribute nothing; a
+/// phase-position with no valid contributions gets 0 (and is invalid in the
+/// template mask).
+pub fn build_template(
+    data: &Grid<f32>,
+    mask: Option<&MaskMap>,
+    time_axis: usize,
+    period: usize,
+) -> Grid<f32> {
+    let shape = data.shape();
+    let t_shape = template_shape(shape, time_axis, period);
+    let mut sums = vec![0.0f64; t_shape.len()];
+    let mut counts = vec![0u32; t_shape.len()];
+    let ndim = shape.ndim();
+    let mut coords = vec![0usize; ndim];
+    for (i, &v) in data.as_slice().iter().enumerate() {
+        if mask.is_some_and(|m| !m.is_valid(i)) {
+            continue;
+        }
+        shape.coords_of(i, &mut coords);
+        coords[time_axis] %= period;
+        let t_idx = t_shape.index_of(&coords);
+        sums[t_idx] += v as f64;
+        counts[t_idx] += 1;
+    }
+    let values: Vec<f32> = sums
+        .iter()
+        .zip(&counts)
+        .map(|(&s, &c)| if c > 0 { (s / f64::from(c)) as f32 } else { 0.0 })
+        .collect();
+    Grid::from_vec(t_shape, values)
+}
+
+/// Derives the template's validity mask from the data mask: a template
+/// position is valid when at least one of its phase occurrences is. Both
+/// encoder and decoder call this, so it is never serialized.
+pub fn template_mask(
+    mask: &MaskMap,
+    time_axis: usize,
+    period: usize,
+) -> MaskMap {
+    let shape = mask.shape();
+    let t_shape = template_shape(shape, time_axis, period);
+    let mut valid = vec![false; t_shape.len()];
+    let ndim = shape.ndim();
+    let mut coords = vec![0usize; ndim];
+    for i in 0..shape.len() {
+        if !mask.is_valid(i) {
+            continue;
+        }
+        shape.coords_of(i, &mut coords);
+        coords[time_axis] %= period;
+        valid[t_shape.index_of(&coords)] = true;
+    }
+    MaskMap::from_flags(t_shape, valid)
+}
+
+/// `residual = data − template[phase]`, with masked points zeroed.
+pub fn subtract_template(
+    data: &Grid<f32>,
+    template: &Grid<f32>,
+    mask: Option<&MaskMap>,
+    time_axis: usize,
+) -> Grid<f32> {
+    apply_template(data, template, mask, time_axis, f32::NAN, |d, t| d - t)
+}
+
+/// `data = residual + template[phase]` (decoder side). Masked points get
+/// `fill_value`.
+pub fn add_template(
+    residual: &Grid<f32>,
+    template: &Grid<f32>,
+    mask: Option<&MaskMap>,
+    time_axis: usize,
+    fill_value: f32,
+) -> Grid<f32> {
+    apply_template(residual, template, mask, time_axis, fill_value, |r, t| r + t)
+}
+
+fn apply_template(
+    input: &Grid<f32>,
+    template: &Grid<f32>,
+    mask: Option<&MaskMap>,
+    time_axis: usize,
+    fill_value: f32,
+    op: impl Fn(f32, f32) -> f32,
+) -> Grid<f32> {
+    let shape = input.shape();
+    let t_shape = template.shape();
+    let period = t_shape.dim(time_axis);
+    let ndim = shape.ndim();
+    let mut coords = vec![0usize; ndim];
+    let mut out = Vec::with_capacity(input.len());
+    let t_buf = template.as_slice();
+    for (i, &v) in input.as_slice().iter().enumerate() {
+        if mask.is_some_and(|m| !m.is_valid(i)) {
+            out.push(if fill_value.is_nan() { 0.0 } else { fill_value });
+            continue;
+        }
+        shape.coords_of(i, &mut coords);
+        coords[time_axis] %= period;
+        out.push(op(v, t_buf[t_shape.index_of(&coords)]));
+    }
+    Grid::from_vec(shape.clone(), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// value = phase pattern + station offset: residual should be tiny.
+    fn periodic_data(stations: usize, time: usize, period: usize) -> Grid<f32> {
+        Grid::from_fn(Shape::new(&[stations, time]), |c| {
+            let phase = (c[1] % period) as f32;
+            10.0 * c[0] as f32 + phase * phase
+        })
+    }
+
+    #[test]
+    fn template_is_phase_mean() {
+        let g = periodic_data(3, 24, 12);
+        let t = build_template(&g, None, 1, 12);
+        assert_eq!(t.shape().dims(), &[3, 12]);
+        // Perfectly periodic data: template equals any one period.
+        for s in 0..3 {
+            for r in 0..12 {
+                assert_eq!(t.get(&[s, r]), g.get(&[s, r]));
+            }
+        }
+    }
+
+    #[test]
+    fn residual_of_perfectly_periodic_data_is_zero() {
+        let g = periodic_data(4, 36, 12);
+        let t = build_template(&g, None, 1, 12);
+        let r = subtract_template(&g, &t, None, 1);
+        assert!(r.as_slice().iter().all(|&v| v.abs() < 1e-4));
+    }
+
+    #[test]
+    fn add_inverts_subtract() {
+        let g = Grid::from_fn(Shape::new(&[5, 30]), |c| {
+            ((c[0] * 30 + c[1]) as f32 * 0.37).sin() * 9.0
+        });
+        let t = build_template(&g, None, 1, 6);
+        let r = subtract_template(&g, &t, None, 1);
+        let back = add_template(&r, &t, None, 1, 0.0);
+        for (a, b) in g.as_slice().iter().zip(back.as_slice()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn uneven_final_period_handled() {
+        // 26 timesteps, period 12: phases 0..=1 have 3 samples, rest 2.
+        let g = periodic_data(2, 26, 12);
+        let t = build_template(&g, None, 1, 12);
+        let r = subtract_template(&g, &t, None, 1);
+        let back = add_template(&r, &t, None, 1, 0.0);
+        for (a, b) in g.as_slice().iter().zip(back.as_slice()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn masked_points_dont_pollute_template() {
+        let g = periodic_data(2, 24, 12);
+        // Corrupt station 0's first period and mask it out.
+        let mut data = g.clone();
+        let mut valid = vec![true; g.len()];
+        for tt in 0..12 {
+            data.set(&[0, tt], 1.0e30);
+            valid[tt] = false;
+        }
+        let mask = MaskMap::from_flags(g.shape().clone(), valid);
+        let t = build_template(&data, Some(&mask), 1, 12);
+        // Template for station 0 should come from the clean second period.
+        for r in 0..12 {
+            assert!(
+                (t.get(&[0, r]) - g.get(&[0, r + 12])).abs() < 1e-4,
+                "phase {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn template_mask_or_over_phases() {
+        let shape = Shape::new(&[1, 6]);
+        // Valid only at t = 4 -> phase 1 (period 3).
+        let mask = MaskMap::from_flags(
+            shape,
+            vec![false, false, false, false, true, false],
+        );
+        let tm = template_mask(&mask, 1, 3);
+        assert_eq!(tm.shape().dims(), &[1, 3]);
+        assert_eq!(tm.as_slice(), &[false, true, false]);
+    }
+
+    #[test]
+    fn masked_residual_positions_are_zero() {
+        let g = periodic_data(2, 12, 6);
+        let mut valid = vec![true; g.len()];
+        valid[5] = false;
+        let mask = MaskMap::from_flags(g.shape().clone(), valid);
+        let t = build_template(&g, Some(&mask), 1, 6);
+        let r = subtract_template(&g, &t, Some(&mask), 1);
+        assert_eq!(r.as_slice()[5], 0.0);
+    }
+}

@@ -1,0 +1,424 @@
+//! The plain (non-periodic) compression pipeline: permute → fuse → predict →
+//! quantize → classify → (multi-)Huffman → lossless backend.
+//!
+//! Periodic extraction wraps this pipeline twice (template + residual); see
+//! [`crate::compressor`].
+
+use crate::bytesio::{ByteReader, ByteWriter};
+use crate::config::PipelineConfig;
+use crate::error::ClizError;
+use cliz_entropy::{huffman, multi_decode, multi_encode};
+use cliz_grid::{fuse_shape, Grid, MaskMap};
+use cliz_predict::{predict_quantize, reconstruct, Fitting, InterpParams};
+use cliz_quant::{
+    classify::{apply_shifts, classify, unapply_shifts, Classification, ClassifySpec},
+    LinearQuantizer, ESCAPE,
+};
+
+/// Per-run accounting surfaced by [`crate::compress_with_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PlainStats {
+    /// Unpredictable points stored literally.
+    pub escapes: usize,
+    /// Whether classification actually engaged (it auto-disables on layouts
+    /// with no slice aggregation or when the map comes out trivial).
+    pub classification_used: bool,
+    /// Size of the lossless-compressed payload in bytes.
+    pub payload_bytes: usize,
+}
+
+fn fitting_to_u8(f: Fitting) -> u8 {
+    match f {
+        Fitting::Linear => 0,
+        Fitting::Cubic => 1,
+    }
+}
+
+fn fitting_from_u8(v: u8) -> Result<Fitting, ClizError> {
+    match v {
+        0 => Ok(Fitting::Linear),
+        1 => Ok(Fitting::Cubic),
+        _ => Err(ClizError::Corrupt("unknown fitting id")),
+    }
+}
+
+/// Classification needs a horizontal plane plus at least two slices to
+/// aggregate over; returns the plane size when the layout qualifies.
+fn classification_plane(dims: &[usize]) -> Option<usize> {
+    if dims.len() < 2 {
+        return None;
+    }
+    let h_len = dims[dims.len() - 2] * dims[dims.len() - 1];
+    let slices: usize = dims[..dims.len() - 2].iter().product();
+    (slices >= 2).then_some(h_len)
+}
+
+/// Compresses one grid with the plain pipeline, appending to `out`.
+pub fn compress_plain(
+    data: &Grid<f32>,
+    mask: Option<&MaskMap>,
+    eb_abs: f64,
+    config: &PipelineConfig,
+    out: &mut ByteWriter,
+) -> Result<PlainStats, ClizError> {
+    let shape = data.shape();
+    let ndim = shape.ndim();
+
+    // 1. Physical permutation (data and mask travel together).
+    let identity = config.permutation.iter().enumerate().all(|(i, &p)| i == p);
+    let working = if identity {
+        data.clone()
+    } else {
+        data.permuted(&config.permutation)
+    };
+    let wmask: Option<MaskMap> = match mask {
+        Some(m) if config.use_mask && !m.is_all_valid() => Some(if identity {
+            m.clone()
+        } else {
+            m.permuted(&config.permutation)
+        }),
+        _ => None,
+    };
+    let mask_slice = wmask.as_ref().map(|m| m.as_slice());
+
+    // 2. Fusion: pure reshape of the working layout.
+    let fused = fuse_shape(working.shape(), config.fusion);
+    let dims = fused.dims().to_vec();
+
+    // 3. Predict + quantize into a raster-order symbol grid.
+    let quantizer = LinearQuantizer::new(eb_abs);
+    let params = match mask_slice {
+        Some(m) => InterpParams::with_mask(config.fitting, m),
+        None => InterpParams::new(config.fitting),
+    };
+    let mut buf = working.as_slice().to_vec();
+    let mut symbols = vec![0u32; buf.len()];
+    let escapes = predict_quantize(&mut buf, &dims, &params, &quantizer, &mut symbols);
+
+    // 4. Optional classification (may auto-disable).
+    let mut class: Option<Classification> = None;
+    if config.classification {
+        if let Some(h_len) = classification_plane(&dims) {
+            let spec = ClassifySpec {
+                lambda: config.lambda,
+                ..ClassifySpec::default()
+            };
+            let c = classify(&symbols, h_len, mask_slice, spec);
+            if !c.is_trivial() {
+                apply_shifts(&mut symbols, &c, mask_slice);
+                class = Some(c);
+            }
+        }
+    }
+
+    // 5. Drop masked positions and entropy-code the rest.
+    let valid_symbols: Vec<u32> = match mask_slice {
+        Some(m) => symbols
+            .iter()
+            .zip(m)
+            .filter(|&(_, &v)| v)
+            .map(|(&s, _)| s)
+            .collect(),
+        None => symbols.clone(),
+    };
+    let stream = match &class {
+        Some(c) => {
+            let groups = c.group_sequence(symbols.len(), mask_slice);
+            multi_encode(&valid_symbols, &groups, 2)
+        }
+        None => huffman::encode_stream(&valid_symbols),
+    };
+
+    // 6. Literals for escapes, in raster order over valid positions.
+    let mut literals = Vec::with_capacity(escapes * 4);
+    for (i, &s) in symbols.iter().enumerate() {
+        if s == ESCAPE && mask_slice.is_none_or(|m| m[i]) {
+            literals.extend_from_slice(&buf[i].to_le_bytes());
+        }
+    }
+    debug_assert_eq!(literals.len(), escapes * 4);
+
+    // 7. Assemble payload and squeeze with the lossless backend.
+    let mut payload = ByteWriter::new();
+    match &class {
+        Some(c) => payload.block(&c.marker_bytes()),
+        None => payload.block(&[]),
+    }
+    payload.block(&stream);
+    payload.raw(&literals);
+    let packed = cliz_lossless::compress(&payload.finish());
+
+    // 8. Section header + payload.
+    for &p in &config.permutation {
+        out.u8(p as u8);
+    }
+    out.u8(config.fusion.start as u8);
+    out.u8(config.fusion.len as u8);
+    out.u8(fitting_to_u8(config.fitting));
+    out.u8(class.is_some() as u8);
+    out.u64(escapes as u64);
+    out.block(&packed);
+    let _ = ndim;
+
+    Ok(PlainStats {
+        escapes,
+        classification_used: class.is_some(),
+        payload_bytes: packed.len(),
+    })
+}
+
+/// Decompresses one plain-pipeline section. `dims` and `eb_abs` come from the
+/// container header; `mask` is the dataset mask in the *original* layout.
+pub fn decompress_plain(
+    r: &mut ByteReader,
+    dims: &[usize],
+    eb_abs: f64,
+    mask: Option<&MaskMap>,
+    fill_value: f32,
+) -> Result<Grid<f32>, ClizError> {
+    let ndim = dims.len();
+    let mut perm = Vec::with_capacity(ndim);
+    for _ in 0..ndim {
+        perm.push(r.u8()? as usize);
+    }
+    let fusion = cliz_grid::FusionSpec {
+        start: r.u8()? as usize,
+        len: r.u8()? as usize,
+    };
+    let fitting = fitting_from_u8(r.u8()?)?;
+    let classification = r.u8()? != 0;
+    let escapes = r.u64()? as usize;
+    let packed = r.block()?;
+    let payload = cliz_lossless::decompress(packed)?;
+    let mut pr = ByteReader::new(&payload);
+    let marker_bytes = pr.block()?.to_vec();
+    let stream = pr.block()?.to_vec();
+
+    // Reconstruct the working-layout mask.
+    let mut seen = vec![false; ndim];
+    for &p in &perm {
+        if p >= ndim || seen[p] {
+            return Err(ClizError::Corrupt("invalid permutation in stream"));
+        }
+        seen[p] = true;
+    }
+    let identity = perm.iter().enumerate().all(|(i, &p)| i == p);
+    let permuted_shape = cliz_grid::Shape::new(dims).permuted(&perm);
+    let wmask: Option<MaskMap> = match mask {
+        Some(m) if !m.is_all_valid() => Some(if identity {
+            m.clone()
+        } else {
+            m.permuted(&perm)
+        }),
+        _ => None,
+    };
+    let mask_slice = wmask.as_ref().map(|m| m.as_slice());
+
+    let fused = fuse_shape(&permuted_shape, fusion);
+    let fdims = fused.dims().to_vec();
+    let total = fused.len();
+    let n_valid = mask_slice.map_or(total, |m| m.iter().filter(|&&v| v).count());
+    if escapes > n_valid {
+        return Err(ClizError::Corrupt("escape count exceeds data size"));
+    }
+
+    // Decode the symbol stream.
+    let class = if classification {
+        let c = Classification::from_marker_bytes(&marker_bytes)
+            .ok_or(ClizError::Corrupt("bad classification markers"))?;
+        Some(c)
+    } else {
+        None
+    };
+    let valid_symbols: Vec<u32> = match &class {
+        Some(c) => {
+            let groups = c.group_sequence(total, mask_slice);
+            multi_decode(&stream, &groups).ok_or(ClizError::Corrupt("multi-huffman decode"))?
+        }
+        None => {
+            let syms =
+                huffman::decode_stream(&stream).ok_or(ClizError::Corrupt("huffman decode"))?;
+            if syms.len() != n_valid {
+                return Err(ClizError::Corrupt("symbol count mismatch"));
+            }
+            syms
+        }
+    };
+
+    // Scatter to the full grid (placeholder bins at masked positions).
+    let zero_sym = cliz_quant::bin_to_symbol(0);
+    let mut symbols = vec![zero_sym; total];
+    {
+        let mut it = valid_symbols.into_iter();
+        for (i, s) in symbols.iter_mut().enumerate() {
+            if mask_slice.is_none_or(|m| m[i]) {
+                *s = it.next().ok_or(ClizError::Corrupt("short symbol stream"))?;
+            }
+        }
+    }
+    if let Some(c) = &class {
+        unapply_shifts(&mut symbols, c, mask_slice);
+    }
+
+    // Literals.
+    if pr.remaining() < escapes.saturating_mul(4) {
+        return Err(ClizError::Truncated);
+    }
+    let mut literals = Vec::with_capacity(escapes);
+    for _ in 0..escapes {
+        literals.push(pr.f32()?);
+    }
+
+    // Replay the interpolation.
+    let quantizer = LinearQuantizer::new(eb_abs);
+    let params = match mask_slice {
+        Some(m) => InterpParams::with_mask(fitting, m),
+        None => InterpParams::new(fitting),
+    };
+    let mut buf = vec![0.0f32; total];
+    let observed_escapes = symbols
+        .iter()
+        .enumerate()
+        .filter(|&(i, &s)| s == ESCAPE && mask_slice.is_none_or(|m| m[i]))
+        .count();
+    if observed_escapes != escapes {
+        return Err(ClizError::Corrupt("escape count mismatch"));
+    }
+    reconstruct(
+        &mut buf, &fdims, &params, &quantizer, &symbols, &literals, fill_value,
+    );
+
+    // Un-fuse (reshape) and un-permute back to the original layout.
+    let working = Grid::from_vec(permuted_shape, buf);
+    let original = if identity {
+        working
+    } else {
+        working.unpermuted(&perm)
+    };
+    Ok(original)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cliz_grid::{FusionSpec, Shape};
+
+    fn smooth(dims: &[usize]) -> Grid<f32> {
+        Grid::from_fn(Shape::new(dims), |c| {
+            let mut v = 0.0f64;
+            for (k, &x) in c.iter().enumerate() {
+                v += ((x as f64) * 0.11 * (k + 1) as f64).sin() * 3.0;
+            }
+            v as f32
+        })
+    }
+
+    fn roundtrip(
+        data: &Grid<f32>,
+        mask: Option<&MaskMap>,
+        eb: f64,
+        config: &PipelineConfig,
+    ) -> (Grid<f32>, PlainStats) {
+        let mut w = ByteWriter::new();
+        let stats = compress_plain(data, mask, eb, config, &mut w).unwrap();
+        let bytes = w.finish();
+        let mut r = ByteReader::new(&bytes);
+        let out = decompress_plain(&mut r, data.shape().dims(), eb, mask, -7.0).unwrap();
+        assert_eq!(r.remaining(), 0);
+        for (i, (&a, &b)) in data.as_slice().iter().zip(out.as_slice()).enumerate() {
+            if mask.is_none_or(|m| m.is_valid(i)) {
+                assert!(
+                    (a as f64 - b as f64).abs() <= eb,
+                    "bound violated at {i}: {a} vs {b}"
+                );
+            } else {
+                assert_eq!(b, -7.0);
+            }
+        }
+        (out, stats)
+    }
+
+    #[test]
+    fn identity_pipeline_roundtrip() {
+        let g = smooth(&[10, 20, 30]);
+        roundtrip(&g, None, 1e-3, &PipelineConfig::default_for(3));
+    }
+
+    #[test]
+    fn all_permutations_roundtrip() {
+        let g = smooth(&[6, 8, 10]);
+        for perm in Shape::all_permutations(3) {
+            let mut c = PipelineConfig::default_for(3);
+            c.permutation = perm;
+            roundtrip(&g, None, 1e-3, &c);
+        }
+    }
+
+    #[test]
+    fn all_fusions_roundtrip() {
+        let g = smooth(&[6, 8, 10]);
+        for fusion in FusionSpec::candidates(3) {
+            let mut c = PipelineConfig::default_for(3);
+            c.fusion = fusion;
+            roundtrip(&g, None, 1e-3, &c);
+        }
+    }
+
+    #[test]
+    fn classification_roundtrip() {
+        // 8 slices over a 12x12 plane with position-dependent bias so the
+        // classifier finds real structure.
+        let g = Grid::from_fn(Shape::new(&[8, 12, 12]), |c| {
+            let bias = ((c[1] * 12 + c[2]) % 3) as f32 * 0.002;
+            (c[0] as f32 * 0.1) + bias
+        });
+        let mut c = PipelineConfig::default_for(3);
+        c.classification = true;
+        let (_, stats) = roundtrip(&g, None, 1e-4, &c);
+        // Trivial maps may disable it; either way the roundtrip held. Check
+        // the flag is plumbed.
+        let _ = stats.classification_used;
+    }
+
+    #[test]
+    fn masked_pipeline_roundtrip() {
+        let mut g = smooth(&[12, 16]);
+        let mut valid = vec![true; g.len()];
+        for i in 0..g.len() {
+            if i % 7 == 0 {
+                g.as_mut_slice()[i] = 1.0e31;
+                valid[i] = false;
+            }
+        }
+        let mask = MaskMap::from_flags(g.shape().clone(), valid);
+        let c = PipelineConfig::default_for(2);
+        let (_, stats) = roundtrip(&g, Some(&mask), 1e-3, &c);
+        assert!(stats.escapes <= 2, "mask leaked: {} escapes", stats.escapes);
+    }
+
+    #[test]
+    fn linear_fitting_roundtrip() {
+        let g = smooth(&[40, 40]);
+        let mut c = PipelineConfig::default_for(2);
+        c.fitting = Fitting::Linear;
+        roundtrip(&g, None, 1e-3, &c);
+    }
+
+    #[test]
+    fn one_dimensional_roundtrip() {
+        let g = smooth(&[500]);
+        roundtrip(&g, None, 1e-4, &PipelineConfig::default_for(1));
+    }
+
+    #[test]
+    fn corrupt_stream_is_an_error_not_a_panic() {
+        let g = smooth(&[8, 8]);
+        let mut w = ByteWriter::new();
+        compress_plain(&g, None, 1e-3, &PipelineConfig::default_for(2), &mut w).unwrap();
+        let mut bytes = w.finish();
+        let n = bytes.len();
+        bytes.truncate(n / 2);
+        let mut r = ByteReader::new(&bytes);
+        assert!(decompress_plain(&mut r, &[8, 8], 1e-3, None, 0.0).is_err());
+    }
+}

@@ -1,0 +1,365 @@
+//! Streaming chunked compression: constant-memory writing to any `io::Write`
+//! sink, with a trailer-based index for later random access.
+//!
+//! [`crate::chunked`] needs the whole grid in memory and patches an offset
+//! table at the front. Simulation pipelines instead *stream*: each timestep
+//! slab is produced, compressed, and appended, and the file is finalized
+//! once. This module provides that writer plus a reader that parses the
+//! trailing index.
+//!
+//! Format (`CLZS`):
+//! `magic u32 | ndim u8 | dims[1..] (slab shape) ndim−1 × u64 | eb f64 |
+//! chunks… (each: len u64 + CLIZ container) |
+//! trailer: offsets n×u64 | slab_lens n×u64 | n u32 | trailer_magic u32`.
+
+use crate::bytesio::{ByteReader, ByteWriter};
+use crate::compressor::{compress, decompress};
+use crate::config::{Periodicity, PipelineConfig};
+use crate::error::ClizError;
+use cliz_grid::{Grid, MaskMap, Shape};
+use cliz_quant::ErrorBound;
+use std::io::Write;
+
+const MAGIC: u32 = 0x434C_5A53; // "CLZS"
+const TRAILER_MAGIC: u32 = 0x535A_4C43; // reversed, marks a complete file
+
+/// Incremental writer: feed slabs (leading-axis chunks) one at a time.
+pub struct ChunkedWriter<W: Write> {
+    sink: W,
+    /// Shape of one slab *record* (the non-leading dims); every slab must
+    /// match in these and may vary in its leading extent.
+    record_dims: Vec<usize>,
+    eb_abs: f64,
+    config: PipelineConfig,
+    offsets: Vec<u64>,
+    slab_lens: Vec<u64>,
+    written: u64,
+    finished: bool,
+}
+
+impl<W: Write> ChunkedWriter<W> {
+    /// Starts a stream. `record_dims` is the shape of one leading-axis
+    /// record (e.g. `[lat, lon]` for `[time, lat, lon]` data); `eb_abs` is
+    /// the absolute bound every slab honours.
+    pub fn new(
+        mut sink: W,
+        record_dims: &[usize],
+        eb_abs: f64,
+        config: PipelineConfig,
+    ) -> Result<Self, ClizError> {
+        if record_dims.is_empty() || record_dims.iter().any(|&d| d == 0) {
+            return Err(ClizError::BadConfig("bad record shape"));
+        }
+        if !(eb_abs > 0.0) {
+            return Err(ClizError::BadConfig("bad error bound"));
+        }
+        let mut header = ByteWriter::new();
+        header.u32(MAGIC);
+        header.u8((record_dims.len() + 1) as u8);
+        for &d in record_dims {
+            header.u64(d as u64);
+        }
+        header.f64(eb_abs);
+        let header = header.finish();
+        sink.write_all(&header)
+            .map_err(|e| ClizError::Backend(e.to_string()))?;
+        Ok(Self {
+            sink,
+            record_dims: record_dims.to_vec(),
+            eb_abs,
+            config,
+            offsets: Vec::new(),
+            slab_lens: Vec::new(),
+            written: header.len() as u64,
+            finished: false,
+        })
+    }
+
+    /// Compresses and appends one slab of shape `[k, record_dims...]`.
+    pub fn write_slab(
+        &mut self,
+        slab: &Grid<f32>,
+        mask: Option<&MaskMap>,
+    ) -> Result<(), ClizError> {
+        assert!(!self.finished, "writer already finished");
+        let dims = slab.shape().dims();
+        if dims.len() != self.record_dims.len() + 1
+            || dims[1..] != self.record_dims[..]
+        {
+            return Err(ClizError::BadConfig("slab shape mismatch"));
+        }
+        // Per-slab config validation, degrading periodicity like chunked().
+        let mut config = self.config.clone();
+        if config.validate(slab.shape()).is_err() {
+            config.periodicity = Periodicity::None;
+            config.validate(slab.shape())?;
+        }
+        let blob = compress(slab, mask, ErrorBound::Abs(self.eb_abs), &config)?;
+        self.offsets.push(self.written);
+        self.slab_lens.push(dims[0] as u64);
+        let mut framed = ByteWriter::new();
+        framed.u64(blob.len() as u64);
+        framed.raw(&blob);
+        let framed = framed.finish();
+        self.sink
+            .write_all(&framed)
+            .map_err(|e| ClizError::Backend(e.to_string()))?;
+        self.written += framed.len() as u64;
+        Ok(())
+    }
+
+    /// Writes the trailer index and returns the sink.
+    pub fn finish(mut self) -> Result<W, ClizError> {
+        self.finished = true;
+        let mut trailer = ByteWriter::new();
+        for &o in &self.offsets {
+            trailer.u64(o);
+        }
+        for &l in &self.slab_lens {
+            trailer.u64(l);
+        }
+        trailer.u32(self.offsets.len() as u32);
+        trailer.u32(TRAILER_MAGIC);
+        self.sink
+            .write_all(&trailer.finish())
+            .map_err(|e| ClizError::Backend(e.to_string()))?;
+        self.sink
+            .flush()
+            .map_err(|e| ClizError::Backend(e.to_string()))?;
+        Ok(self.sink)
+    }
+
+    /// Slabs written so far.
+    pub fn slabs(&self) -> usize {
+        self.offsets.len()
+    }
+}
+
+/// Reader over a complete stream (any byte slice, e.g. an mmap).
+pub struct ChunkedReader<'a> {
+    bytes: &'a [u8],
+    record_dims: Vec<usize>,
+    eb_abs: f64,
+    offsets: Vec<u64>,
+    slab_lens: Vec<u64>,
+}
+
+impl<'a> ChunkedReader<'a> {
+    pub fn open(bytes: &'a [u8]) -> Result<Self, ClizError> {
+        // Header.
+        let mut r = ByteReader::new(bytes);
+        if r.u32()? != MAGIC {
+            return Err(ClizError::BadMagic);
+        }
+        let ndim = r.u8()? as usize;
+        if ndim < 2 || ndim > cliz_grid::shape::MAX_DIMS {
+            return Err(ClizError::Corrupt("bad rank"));
+        }
+        let mut record_dims = Vec::with_capacity(ndim - 1);
+        for _ in 0..ndim - 1 {
+            record_dims.push(r.u64()? as usize);
+        }
+        let eb_abs = r.f64()?;
+
+        // Trailer.
+        if bytes.len() < 8 {
+            return Err(ClizError::Truncated);
+        }
+        let tail = &bytes[bytes.len() - 8..];
+        let n = u32::from_le_bytes(tail[0..4].try_into().unwrap()) as usize;
+        let tm = u32::from_le_bytes(tail[4..8].try_into().unwrap());
+        if tm != TRAILER_MAGIC {
+            return Err(ClizError::Corrupt("missing trailer (incomplete stream?)"));
+        }
+        let trailer_len = n * 16 + 8;
+        if bytes.len() < trailer_len {
+            return Err(ClizError::Truncated);
+        }
+        let mut tr = ByteReader::new(&bytes[bytes.len() - trailer_len..]);
+        let mut offsets = Vec::with_capacity(n);
+        for _ in 0..n {
+            offsets.push(tr.u64()?);
+        }
+        let mut slab_lens = Vec::with_capacity(n);
+        for _ in 0..n {
+            slab_lens.push(tr.u64()?);
+        }
+        Ok(Self {
+            bytes,
+            record_dims,
+            eb_abs,
+            offsets,
+            slab_lens,
+        })
+    }
+
+    pub fn slabs(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Leading-axis extent of each slab.
+    pub fn slab_lens(&self) -> &[u64] {
+        &self.slab_lens
+    }
+
+    /// Total leading-axis extent across all slabs.
+    pub fn total_records(&self) -> usize {
+        self.slab_lens.iter().sum::<u64>() as usize
+    }
+
+    pub fn record_dims(&self) -> &[usize] {
+        &self.record_dims
+    }
+
+    pub fn eb_abs(&self) -> f64 {
+        self.eb_abs
+    }
+
+    /// Decompresses slab `i`. `mask` is the slab's own mask (callers derive
+    /// it the same way they derived the write-side mask).
+    pub fn read_slab(
+        &self,
+        i: usize,
+        mask: Option<&MaskMap>,
+    ) -> Result<Grid<f32>, ClizError> {
+        if i >= self.offsets.len() {
+            return Err(ClizError::BadConfig("slab index out of range"));
+        }
+        let start = self.offsets[i] as usize;
+        if start + 8 > self.bytes.len() {
+            return Err(ClizError::Truncated);
+        }
+        let len =
+            u64::from_le_bytes(self.bytes[start..start + 8].try_into().unwrap()) as usize;
+        let body = self
+            .bytes
+            .get(start + 8..start + 8 + len)
+            .ok_or(ClizError::Truncated)?;
+        decompress(body, mask)
+    }
+
+    /// Decompresses and concatenates every slab.
+    pub fn read_all(&self, mask_for: impl Fn(usize) -> Option<MaskMap>) -> Result<Grid<f32>, ClizError> {
+        let record: usize = self.record_dims.iter().product();
+        let total = self.total_records();
+        let mut out = Vec::with_capacity(total * record);
+        for i in 0..self.slabs() {
+            let m = mask_for(i);
+            let slab = self.read_slab(i, m.as_ref())?;
+            out.extend_from_slice(slab.as_slice());
+        }
+        let mut dims = vec![total];
+        dims.extend_from_slice(&self.record_dims);
+        Ok(Grid::from_vec(Shape::new(&dims), out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slab(t0: usize, k: usize, h: usize, w: usize) -> Grid<f32> {
+        Grid::from_fn(Shape::new(&[k, h, w]), |c| {
+            (((t0 + c[0]) as f64 * 0.3).sin() + (c[1] as f64 * 0.2).cos() + c[2] as f64 * 0.01)
+                as f32
+        })
+    }
+
+    #[test]
+    fn stream_roundtrip_uniform_slabs() {
+        let eb = 1e-3;
+        let cfg = PipelineConfig::default_for(3);
+        let mut w = ChunkedWriter::new(Vec::new(), &[12, 10], eb, cfg).unwrap();
+        let mut expected = Vec::new();
+        for t in 0..5 {
+            let s = slab(t * 4, 4, 12, 10);
+            expected.extend_from_slice(s.as_slice());
+            w.write_slab(&s, None).unwrap();
+        }
+        assert_eq!(w.slabs(), 5);
+        let bytes = w.finish().unwrap();
+
+        let r = ChunkedReader::open(&bytes).unwrap();
+        assert_eq!(r.slabs(), 5);
+        assert_eq!(r.total_records(), 20);
+        assert_eq!(r.record_dims(), &[12, 10]);
+        let all = r.read_all(|_| None).unwrap();
+        assert_eq!(all.shape().dims(), &[20, 12, 10]);
+        for (a, b) in expected.iter().zip(all.as_slice()) {
+            assert!((a - b).abs() as f64 <= eb * (1.0 + 1e-12));
+        }
+    }
+
+    #[test]
+    fn variable_slab_lengths() {
+        let cfg = PipelineConfig::default_for(2);
+        let mut w = ChunkedWriter::new(Vec::new(), &[8], 1e-3, cfg).unwrap();
+        for (t0, k) in [(0usize, 3usize), (3, 7), (10, 1)] {
+            let s = Grid::from_fn(Shape::new(&[k, 8]), |c| ((t0 + c[0] + c[1]) as f32).sin());
+            w.write_slab(&s, None).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        let r = ChunkedReader::open(&bytes).unwrap();
+        assert_eq!(r.slab_lens(), &[3, 7, 1]);
+        assert_eq!(r.total_records(), 11);
+        let s1 = r.read_slab(1, None).unwrap();
+        assert_eq!(s1.shape().dims(), &[7, 8]);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let cfg = PipelineConfig::default_for(3);
+        let mut w = ChunkedWriter::new(Vec::new(), &[6, 6], 1e-3, cfg).unwrap();
+        let bad = Grid::filled(Shape::new(&[2, 6, 7]), 0.0f32);
+        assert!(w.write_slab(&bad, None).is_err());
+        let flat = Grid::filled(Shape::new(&[6, 6]), 0.0f32);
+        assert!(w.write_slab(&flat, None).is_err());
+    }
+
+    #[test]
+    fn incomplete_stream_detected() {
+        let cfg = PipelineConfig::default_for(2);
+        let mut w = ChunkedWriter::new(Vec::new(), &[8], 1e-3, cfg).unwrap();
+        w.write_slab(&Grid::filled(Shape::new(&[2, 8]), 1.0f32), None)
+            .unwrap();
+        let bytes = w.finish().unwrap();
+        // Drop the trailer: reader must refuse.
+        assert!(matches!(
+            ChunkedReader::open(&bytes[..bytes.len() - 9]),
+            Err(ClizError::Corrupt(_)) | Err(ClizError::Truncated)
+        ));
+        assert!(ChunkedReader::open(b"short").is_err());
+    }
+
+    #[test]
+    fn masked_slabs_roundtrip() {
+        let cfg = PipelineConfig::default_for(2);
+        let mut w = ChunkedWriter::new(Vec::new(), &[16], 1e-3, cfg).unwrap();
+        let make = |k: usize| {
+            let mut g = Grid::from_fn(Shape::new(&[k, 16]), |c| (c[0] * 16 + c[1]) as f32 * 0.1);
+            let mut valid = vec![true; g.len()];
+            for i in 0..g.len() {
+                if i % 4 == 0 {
+                    g.as_mut_slice()[i] = 1e33;
+                    valid[i] = false;
+                }
+            }
+            let m = MaskMap::from_flags(g.shape().clone(), valid);
+            (g, m)
+        };
+        let (g0, m0) = make(3);
+        let (g1, m1) = make(3);
+        w.write_slab(&g0, Some(&m0)).unwrap();
+        w.write_slab(&g1, Some(&m1)).unwrap();
+        let bytes = w.finish().unwrap();
+        let r = ChunkedReader::open(&bytes).unwrap();
+        let back0 = r.read_slab(0, Some(&m0)).unwrap();
+        for (i, (a, b)) in g0.as_slice().iter().zip(back0.as_slice()).enumerate() {
+            if m0.is_valid(i) {
+                assert!((a - b).abs() <= 1e-3 + 1e-9);
+            }
+        }
+        let back1 = r.read_slab(1, Some(&m1)).unwrap();
+        assert_eq!(back1.shape().dims(), g1.shape().dims());
+    }
+}

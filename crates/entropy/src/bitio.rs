@@ -1,0 +1,295 @@
+//! MSB-first bit-level writer and reader.
+//!
+//! MSB-first order lets canonical Huffman decoders compare accumulated code
+//! values numerically against per-length first-code tables.
+
+/// Accumulates bits MSB-first into a byte vector.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    out: Vec<u8>,
+    /// Bits buffered in `acc`, left-aligned count in [0, 8).
+    acc: u8,
+    nbits: u32,
+}
+
+impl BitWriter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(bytes: usize) -> Self {
+        Self {
+            out: Vec::with_capacity(bytes),
+            acc: 0,
+            nbits: 0,
+        }
+    }
+
+    /// Writes the low `len` bits of `code`, most significant first.
+    /// `len` must be ≤ 32.
+    #[inline]
+    pub fn write_bits(&mut self, code: u32, len: u32) {
+        debug_assert!(len <= 32);
+        debug_assert!(len == 32 || code < (1u64 << len) as u32);
+        let mut remaining = len;
+        while remaining > 0 {
+            let free = 8 - self.nbits;
+            let take = free.min(remaining);
+            let shift = remaining - take;
+            let chunk = ((code >> shift) & ((1u32 << take) - 1)) as u8;
+            // Widen before shifting: `take` may be 8 when the accumulator is
+            // empty, and `u8 << 8` is UB-adjacent (panics in debug builds).
+            self.acc = ((u16::from(self.acc) << take) | u16::from(chunk)) as u8;
+            self.nbits += take;
+            remaining -= take;
+            if self.nbits == 8 {
+                self.out.push(self.acc);
+                self.acc = 0;
+                self.nbits = 0;
+            }
+        }
+    }
+
+    /// Writes a single bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        self.write_bits(bit as u32, 1);
+    }
+
+    /// Writes a full little-endian u32 (byte-aligned values; still packed at
+    /// the current bit position).
+    #[inline]
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bits(v, 32);
+    }
+
+    /// Bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.out.len() * 8 + self.nbits as usize
+    }
+
+    /// Flushes (zero-padding the final byte) and returns the buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            self.acc <<= 8 - self.nbits;
+            self.out.push(self.acc);
+        }
+        self.out
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    /// Next byte to load.
+    pos: usize,
+    /// Bits of `data[pos-1]` not yet consumed, right-aligned in `acc`.
+    acc: u8,
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    pub fn new(data: &'a [u8]) -> Self {
+        Self {
+            data,
+            pos: 0,
+            acc: 0,
+            nbits: 0,
+        }
+    }
+
+    /// Reads `len` bits MSB-first. Returns `None` when the stream is
+    /// exhausted mid-read.
+    #[inline]
+    pub fn read_bits(&mut self, len: u32) -> Option<u32> {
+        debug_assert!(len <= 32);
+        let mut v: u32 = 0;
+        let mut remaining = len;
+        while remaining > 0 {
+            if self.nbits == 0 {
+                self.acc = *self.data.get(self.pos)?;
+                self.pos += 1;
+                self.nbits = 8;
+            }
+            let take = self.nbits.min(remaining);
+            let shift = self.nbits - take;
+            let chunk = (self.acc >> shift) & ((1u16 << take) - 1) as u8;
+            v = (v << take) | chunk as u32;
+            self.nbits -= take;
+            remaining -= take;
+        }
+        Some(v)
+    }
+
+    #[inline]
+    pub fn read_bit(&mut self) -> Option<bool> {
+        self.read_bits(1).map(|b| b == 1)
+    }
+
+    /// Peeks `len ≤ 16` bits without consuming, zero-padding past the end of
+    /// the stream. Used by table-driven Huffman decoding; a padded lookup
+    /// must be followed by [`BitReader::skip_bits`], which *does* fail on a
+    /// truncated stream.
+    #[inline]
+    pub fn peek_bits(&self, len: u32) -> u32 {
+        debug_assert!(len <= 16);
+        // Assemble up to 24 valid bits starting at the cursor.
+        let mut acc: u32 = u32::from(self.acc & ((1u16 << self.nbits) - 1) as u8);
+        let mut have = self.nbits;
+        let mut pos = self.pos;
+        while have < len {
+            let byte = self.data.get(pos).copied().unwrap_or(0);
+            acc = (acc << 8) | u32::from(byte);
+            have += 8;
+            pos += 1;
+        }
+        (acc >> (have - len)) & ((1u32 << len) - 1)
+    }
+
+    /// Consumes `len` bits (already inspected via [`BitReader::peek_bits`]).
+    /// Fails when the stream holds fewer than `len` bits.
+    #[inline]
+    pub fn skip_bits(&mut self, len: u32) -> Option<()> {
+        self.read_bits(len).map(|_| ())
+    }
+
+    /// Bits still available in the stream.
+    #[inline]
+    pub fn bits_remaining(&self) -> usize {
+        (self.data.len() - self.pos) * 8 + self.nbits as usize
+    }
+
+    #[inline]
+    pub fn read_u32(&mut self) -> Option<u32> {
+        self.read_bits(32)
+    }
+
+    /// Bits consumed so far.
+    pub fn bit_pos(&self) -> usize {
+        self.pos * 8 - self.nbits as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_roundtrip() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        let bytes = w.finish();
+        assert_eq!(bytes.len(), 2);
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit(), Some(b));
+        }
+    }
+
+    #[test]
+    fn msb_first_layout() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0b00001, 5);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0b1010_0001]);
+    }
+
+    #[test]
+    fn varied_widths_roundtrip() {
+        let values: Vec<(u32, u32)> = vec![
+            (0, 1),
+            (1, 1),
+            (5, 3),
+            (255, 8),
+            (256, 9),
+            (0xDEAD_BEEF, 32),
+            (0x7FFF, 15),
+            (1, 17),
+        ];
+        let mut w = BitWriter::new();
+        for &(v, l) in &values {
+            w.write_bits(v, l);
+        }
+        let total: u32 = values.iter().map(|&(_, l)| l).sum();
+        assert_eq!(w.bit_len(), total as usize);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, l) in &values {
+            assert_eq!(r.read_bits(l), Some(v), "width {l}");
+        }
+    }
+
+    #[test]
+    fn read_past_end_is_none() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1, 1);
+        let bytes = w.finish(); // one padded byte
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(8), Some(0b1000_0000));
+        assert_eq!(r.read_bits(1), None);
+    }
+
+    #[test]
+    fn u32_roundtrip_unaligned() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b11, 2);
+        w.write_u32(0x1234_5678);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(2), Some(0b11));
+        assert_eq!(r.read_u32(), Some(0x1234_5678));
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1011_0110_101, 11);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.peek_bits(11), 0b1011_0110_101);
+        assert_eq!(r.peek_bits(5), 0b10110);
+        assert_eq!(r.bit_pos(), 0);
+        assert_eq!(r.read_bits(11), Some(0b1011_0110_101));
+    }
+
+    #[test]
+    fn peek_zero_pads_past_end() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b11, 2);
+        let bytes = w.finish(); // one byte: 1100_0000
+        let mut r = BitReader::new(&bytes);
+        r.read_bits(8).unwrap();
+        // Stream exhausted: peek returns zeros, skip fails.
+        assert_eq!(r.peek_bits(11), 0);
+        assert!(r.skip_bits(1).is_none());
+    }
+
+    #[test]
+    fn peek_mid_byte() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xABCD, 16);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        r.read_bits(3).unwrap(); // consume "101"
+        assert_eq!(r.peek_bits(13), 0xABCD & 0x1FFF);
+        assert_eq!(r.bits_remaining(), 13);
+    }
+
+    #[test]
+    fn bit_pos_tracks_consumption() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xAB, 8);
+        w.write_bits(0x3, 2);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        r.read_bits(5);
+        assert_eq!(r.bit_pos(), 5);
+        r.read_bits(5);
+        assert_eq!(r.bit_pos(), 10);
+    }
+}

@@ -1,0 +1,454 @@
+//! Canonical Huffman coding over a dense `u32` alphabet.
+//!
+//! Symbols are quantization-bin codes (zigzag-mapped, so small magnitudes get
+//! small symbol ids). Codes are canonical: only the code *lengths* are
+//! serialized, and both sides derive identical codebooks, which keeps the
+//! table small and the format platform-independent.
+
+use crate::bitio::{BitReader, BitWriter};
+
+/// Longest admissible code. 32 bits fits the `BitWriter` word and is far
+/// beyond what any realistic bin histogram produces.
+const MAX_CODE_LEN: u32 = 32;
+
+/// Builds optimal code lengths from symbol frequencies (heap-based Huffman).
+/// If the depth exceeds `MAX_CODE_LEN` (pathological, near-Fibonacci
+/// histograms), frequencies are halved and the tree rebuilt — the classic
+/// zlib-style fallback, costing a negligible fraction of optimality.
+fn build_lengths(freqs: &[u64]) -> Vec<u8> {
+    let used: Vec<usize> = (0..freqs.len()).filter(|&s| freqs[s] > 0).collect();
+    let mut lens = vec![0u8; freqs.len()];
+    match used.len() {
+        0 => return lens,
+        1 => {
+            // A degenerate alphabet still needs 1 bit so the decoder can
+            // count symbols.
+            lens[used[0]] = 1;
+            return lens;
+        }
+        _ => {}
+    }
+
+    let mut scaled: Vec<u64> = freqs.to_vec();
+    loop {
+        let depths = huffman_depths(&scaled, &used);
+        let max = depths.iter().copied().max().unwrap_or(0);
+        if u32::from(max) <= MAX_CODE_LEN {
+            for (&s, &d) in used.iter().zip(&depths) {
+                lens[s] = d;
+            }
+            return lens;
+        }
+        for f in scaled.iter_mut() {
+            if *f > 0 {
+                *f = (*f + 1) / 2;
+            }
+        }
+    }
+}
+
+/// Depth of each used symbol in a Huffman tree built over `used`'s
+/// frequencies. Flat arrays instead of pointer nodes: parents are encoded as
+/// indices into a growing array, then depths are propagated root-to-leaf.
+fn huffman_depths(freqs: &[u64], used: &[usize]) -> Vec<u8> {
+    let n = used.len();
+    debug_assert!(n >= 2);
+    // Node arrays: 0..n are leaves, n.. are internal.
+    let mut weight: Vec<u64> = used.iter().map(|&s| freqs[s]).collect();
+    let mut parent: Vec<usize> = vec![usize::MAX; n];
+    // Min-heap of (weight, node). BinaryHeap is a max-heap, so invert with Reverse.
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..n)
+        .map(|i| Reverse((weight[i], i)))
+        .collect();
+    while heap.len() > 1 {
+        let Reverse((wa, a)) = heap.pop().unwrap();
+        let Reverse((wb, b)) = heap.pop().unwrap();
+        let node = weight.len();
+        weight.push(wa + wb);
+        parent.push(usize::MAX);
+        parent[a] = node;
+        parent[b] = node;
+        heap.push(Reverse((wa + wb, node)));
+    }
+    // Depth of each leaf = #parent hops to the root.
+    (0..n)
+        .map(|leaf| {
+            let mut d = 0u32;
+            let mut node = leaf;
+            while parent[node] != usize::MAX {
+                node = parent[node];
+                d += 1;
+            }
+            d as u8
+        })
+        .collect()
+}
+
+/// Assigns canonical codes given code lengths. Returns codes indexed by
+/// symbol; unused symbols keep code 0 with length 0.
+fn canonical_codes(lens: &[u8]) -> Vec<u32> {
+    let max_len = lens.iter().copied().max().unwrap_or(0) as u32;
+    let mut bl_count = vec![0u32; max_len as usize + 1];
+    for &l in lens {
+        if l > 0 {
+            bl_count[l as usize] += 1;
+        }
+    }
+    let mut next_code = vec![0u32; max_len as usize + 2];
+    let mut code = 0u32;
+    for bits in 1..=max_len as usize {
+        code = (code + bl_count[bits - 1]) << 1;
+        next_code[bits] = code;
+    }
+    let mut codes = vec![0u32; lens.len()];
+    for (s, &l) in lens.iter().enumerate() {
+        if l > 0 {
+            codes[s] = next_code[l as usize];
+            next_code[l as usize] += 1;
+        }
+    }
+    codes
+}
+
+/// Canonical Huffman encoder.
+#[derive(Clone, Debug)]
+pub struct HuffmanEncoder {
+    lens: Vec<u8>,
+    codes: Vec<u32>,
+}
+
+impl HuffmanEncoder {
+    /// Builds an encoder from per-symbol frequencies (index = symbol).
+    pub fn from_frequencies(freqs: &[u64]) -> Self {
+        let lens = build_lengths(freqs);
+        let codes = canonical_codes(&lens);
+        Self { lens, codes }
+    }
+
+    /// Convenience: histogram `symbols` (alphabet = max symbol + 1) and build.
+    pub fn from_symbols(symbols: &[u32]) -> Self {
+        let alphabet = symbols.iter().copied().max().map_or(0, |m| m as usize + 1);
+        let mut freqs = vec![0u64; alphabet];
+        for &s in symbols {
+            freqs[s as usize] += 1;
+        }
+        Self::from_frequencies(&freqs)
+    }
+
+    /// Code length (bits) for `symbol`, 0 when the symbol is unused.
+    #[inline]
+    pub fn code_len(&self, symbol: u32) -> u32 {
+        self.lens.get(symbol as usize).map_or(0, |&l| l as u32)
+    }
+
+    /// Total encoded size in bits for a frequency histogram — used by the
+    /// auto-tuner to estimate pipeline output without materializing streams.
+    pub fn encoded_bits(&self, freqs: &[u64]) -> u64 {
+        freqs
+            .iter()
+            .enumerate()
+            .map(|(s, &f)| f * u64::from(self.code_len(s as u32)))
+            .sum()
+    }
+
+    /// Serializes the code-length table.
+    ///
+    /// Layout: `alphabet:u32, used:u32, then used × (symbol:u32, len:6 bits)`.
+    /// Sparse pair form beats a dense length array because bin histograms are
+    /// sharply peaked (few used symbols out of a 2^16 alphabet).
+    pub fn write_table(&self, w: &mut BitWriter) {
+        let used: Vec<u32> = (0..self.lens.len() as u32)
+            .filter(|&s| self.lens[s as usize] > 0)
+            .collect();
+        w.write_u32(self.lens.len() as u32);
+        w.write_u32(used.len() as u32);
+        for &s in &used {
+            w.write_u32(s);
+            w.write_bits(u32::from(self.lens[s as usize]), 6);
+        }
+    }
+
+    /// Encodes one symbol.
+    ///
+    /// # Panics
+    /// Panics if the symbol had zero frequency at build time — that is a
+    /// caller bug, not a data condition.
+    #[inline]
+    pub fn encode_symbol(&self, symbol: u32, w: &mut BitWriter) {
+        let len = self.lens[symbol as usize];
+        assert!(len > 0, "encoding symbol {symbol} absent from the codebook");
+        w.write_bits(self.codes[symbol as usize], u32::from(len));
+    }
+
+    /// Encodes a whole stream.
+    pub fn encode_all(&self, symbols: &[u32], w: &mut BitWriter) {
+        for &s in symbols {
+            self.encode_symbol(s, w);
+        }
+    }
+}
+
+/// Primary decode-table width: codes up to this many bits resolve with one
+/// table lookup; longer codes fall back to the canonical bit-by-bit walk.
+/// Quantization-bin streams are dominated by 1-6-bit codes, so 11 bits
+/// covers essentially every symbol.
+const LUT_BITS: u32 = 11;
+
+/// Canonical Huffman decoder, reconstructed from a serialized table.
+#[derive(Clone, Debug)]
+pub struct HuffmanDecoder {
+    /// Symbols sorted by (length, symbol) — canonical order.
+    sorted_symbols: Vec<u32>,
+    /// `first_code[l]` = canonical code of the first length-`l` symbol.
+    first_code: Vec<u32>,
+    /// `first_index[l]` = index into `sorted_symbols` of that symbol.
+    first_index: Vec<u32>,
+    /// `count[l]` = number of length-`l` symbols.
+    count: Vec<u32>,
+    max_len: u32,
+    /// Primary lookup: prefix → (symbol, code length); length 0 = fall back.
+    lut: Vec<(u32, u8)>,
+}
+
+impl HuffmanDecoder {
+    /// Reads a table serialized by [`HuffmanEncoder::write_table`].
+    pub fn read_table(r: &mut BitReader) -> Option<Self> {
+        let alphabet = r.read_u32()? as usize;
+        let used = r.read_u32()? as usize;
+        if used > alphabet {
+            return None;
+        }
+        let mut pairs: Vec<(u32, u8)> = Vec::with_capacity(used);
+        for _ in 0..used {
+            let s = r.read_u32()?;
+            let l = r.read_bits(6)? as u8;
+            if s as usize >= alphabet || l == 0 {
+                return None;
+            }
+            pairs.push((s, l));
+        }
+        let mut lens = vec![0u8; alphabet];
+        for &(s, l) in &pairs {
+            lens[s as usize] = l;
+        }
+        Some(Self::from_lengths(&lens))
+    }
+
+    /// Builds decode tables from code lengths.
+    pub fn from_lengths(lens: &[u8]) -> Self {
+        let max_len = lens.iter().copied().max().unwrap_or(0) as u32;
+        let mut order: Vec<u32> = (0..lens.len() as u32)
+            .filter(|&s| lens[s as usize] > 0)
+            .collect();
+        order.sort_by_key(|&s| (lens[s as usize], s));
+
+        let mut count = vec![0u32; max_len as usize + 1];
+        for &s in &order {
+            count[lens[s as usize] as usize] += 1;
+        }
+        let mut first_code = vec![0u32; max_len as usize + 2];
+        let mut first_index = vec![0u32; max_len as usize + 2];
+        let mut code = 0u32;
+        let mut index = 0u32;
+        for l in 1..=max_len as usize {
+            code = (code + count[l - 1]) << 1;
+            first_code[l] = code;
+            first_index[l] = index;
+            index += count[l];
+        }
+        // Primary LUT: every code of length ≤ LUT_BITS owns the block of
+        // prefixes that start with it.
+        let mut lut = vec![(0u32, 0u8); 1 << LUT_BITS];
+        {
+            let mut code = 0u32;
+            let mut prev_len = 0u32;
+            for &s in &order {
+                let len = u32::from(lens[s as usize]);
+                code <<= len - prev_len;
+                prev_len = len;
+                if len <= LUT_BITS {
+                    let base = (code << (LUT_BITS - len)) as usize;
+                    for slot in &mut lut[base..base + (1usize << (LUT_BITS - len))] {
+                        *slot = (s, len as u8);
+                    }
+                }
+                code += 1;
+            }
+        }
+        Self {
+            sorted_symbols: order,
+            first_code,
+            first_index,
+            count,
+            max_len,
+            lut,
+        }
+    }
+
+    /// Decodes one symbol; `None` on truncated or corrupt input.
+    #[inline]
+    pub fn decode_symbol(&self, r: &mut BitReader) -> Option<u32> {
+        // Fast path: one table lookup resolves codes ≤ LUT_BITS. The peek
+        // zero-pads past end-of-stream; skip_bits rejects over-reads, so a
+        // fabricated match on padding still errors out correctly.
+        let (symbol, len) = self.lut[r.peek_bits(LUT_BITS) as usize];
+        if len != 0 {
+            r.skip_bits(u32::from(len))?;
+            return Some(symbol);
+        }
+        // Slow path: canonical walk for long codes.
+        let mut code = 0u32;
+        for l in 1..=self.max_len as usize {
+            code = (code << 1) | r.read_bits(1)?;
+            let delta = code.wrapping_sub(self.first_code[l]);
+            if delta < self.count[l] {
+                return Some(self.sorted_symbols[(self.first_index[l] + delta) as usize]);
+            }
+        }
+        None
+    }
+
+    /// Decodes exactly `n` symbols.
+    pub fn decode_all(&self, r: &mut BitReader, n: usize) -> Option<Vec<u32>> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.decode_symbol(r)?);
+        }
+        Some(out)
+    }
+}
+
+/// One-call convenience: Huffman-encode `symbols` (table + payload).
+pub fn encode_stream(symbols: &[u32]) -> Vec<u8> {
+    let enc = HuffmanEncoder::from_symbols(symbols);
+    let mut w = BitWriter::new();
+    w.write_u32(symbols.len() as u32);
+    enc.write_table(&mut w);
+    enc.encode_all(symbols, &mut w);
+    w.finish()
+}
+
+/// Inverse of [`encode_stream`].
+pub fn decode_stream(bytes: &[u8]) -> Option<Vec<u32>> {
+    let mut r = BitReader::new(bytes);
+    let n = r.read_u32()? as usize;
+    let dec = HuffmanDecoder::read_table(&mut r)?;
+    dec.decode_all(&mut r, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(symbols: &[u32]) {
+        let bytes = encode_stream(symbols);
+        let back = decode_stream(&bytes).expect("decode");
+        assert_eq!(back, symbols);
+    }
+
+    #[test]
+    fn roundtrip_small() {
+        roundtrip(&[0, 1, 2, 1, 0, 0, 0, 3]);
+    }
+
+    #[test]
+    fn roundtrip_single_symbol() {
+        roundtrip(&[7; 100]);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        roundtrip(&[]);
+    }
+
+    #[test]
+    fn roundtrip_two_symbols() {
+        roundtrip(&[5, 9, 5, 5, 9]);
+    }
+
+    #[test]
+    fn roundtrip_large_alphabet() {
+        let symbols: Vec<u32> = (0..5000u32).map(|i| (i * i) % 700).collect();
+        roundtrip(&symbols);
+    }
+
+    #[test]
+    fn skewed_distribution_compresses() {
+        // 95% zeros: a fixed-width coding of the 0..=8 alphabet needs 4 bits
+        // per symbol; Huffman should be close to the ~0.5-bit entropy.
+        let mut symbols = vec![0u32; 9500];
+        symbols.extend((0..500u32).map(|i| 1 + i % 8));
+        let bytes = encode_stream(&symbols);
+        let bits_per_symbol = (bytes.len() * 8) as f64 / symbols.len() as f64;
+        assert!(
+            bits_per_symbol < 2.0,
+            "expected < 2 bits/symbol, got {bits_per_symbol}"
+        );
+        assert_eq!(decode_stream(&bytes).unwrap(), symbols);
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        let freqs = [5u64, 9, 12, 13, 16, 45];
+        let enc = HuffmanEncoder::from_frequencies(&freqs);
+        // Kraft inequality must hold with equality for a complete code.
+        let kraft: f64 = (0..freqs.len())
+            .map(|s| 2f64.powi(-(enc.code_len(s as u32) as i32)))
+            .sum();
+        assert!((kraft - 1.0).abs() < 1e-12, "kraft sum {kraft}");
+        // No code is a prefix of another.
+        for a in 0..freqs.len() {
+            for b in 0..freqs.len() {
+                if a == b {
+                    continue;
+                }
+                let (la, lb) = (enc.code_len(a as u32), enc.code_len(b as u32));
+                if la <= lb {
+                    let prefix = enc.codes[b] >> (lb - la);
+                    assert_ne!(prefix, enc.codes[a], "code {a} prefixes {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn optimality_on_classic_example() {
+        // Frequencies 45,16,13,12,9,5 — the textbook example; expected total
+        // cost = 45*1 + 16*3 + 13*3 + 12*3 + 9*4 + 5*4 = 224 bits.
+        let freqs = [45u64, 16, 13, 12, 9, 5];
+        let enc = HuffmanEncoder::from_frequencies(&freqs);
+        assert_eq!(enc.encoded_bits(&freqs), 224);
+    }
+
+    #[test]
+    fn encoded_bits_matches_actual_stream() {
+        let symbols: Vec<u32> = (0..2000u32).map(|i| i % 17).collect();
+        let mut freqs = vec![0u64; 17];
+        for &s in &symbols {
+            freqs[s as usize] += 1;
+        }
+        let enc = HuffmanEncoder::from_frequencies(&freqs);
+        let mut w = BitWriter::new();
+        enc.encode_all(&symbols, &mut w);
+        assert_eq!(w.bit_len() as u64, enc.encoded_bits(&freqs));
+    }
+
+    #[test]
+    #[should_panic(expected = "absent from the codebook")]
+    fn encoding_unknown_symbol_panics() {
+        let enc = HuffmanEncoder::from_frequencies(&[10, 0, 10]);
+        let mut w = BitWriter::new();
+        enc.encode_symbol(1, &mut w);
+    }
+
+    #[test]
+    fn corrupt_table_rejected() {
+        let symbols = vec![1u32, 2, 3];
+        let mut bytes = encode_stream(&symbols);
+        // Truncate mid-table.
+        bytes.truncate(4);
+        assert_eq!(decode_stream(&bytes), None);
+    }
+}

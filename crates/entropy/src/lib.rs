@@ -1,0 +1,23 @@
+//! Entropy coding for CliZ: bit-level I/O, canonical Huffman, and the
+//! paper's multi-Huffman group coder (Sec. VI-E).
+//!
+//! SZ3-family compressors Huffman-encode the quantization-bin stream before
+//! handing it to a byte-level lossless backend. CliZ extends this with
+//! *quantization-bin classification*: bins are partitioned into groups by
+//! horizontal position (shifting/dispersion patterns), and each group gets
+//! its own Huffman tree — clustering similar bin distributions sharpens each
+//! tree's histogram and shortens the expected code length.
+//!
+//! Everything here is self-contained (no std `HashMap` in hot paths, MSB-first
+//! bit order, canonical codes) so encode and decode are bit-exact across
+//! platforms.
+
+pub mod bitio;
+pub mod huffman;
+pub mod multi;
+pub mod range;
+
+pub use bitio::{BitReader, BitWriter};
+pub use huffman::{HuffmanDecoder, HuffmanEncoder};
+pub use multi::{multi_decode, multi_encode};
+pub use range::{range_decode_stream, range_encode_stream};

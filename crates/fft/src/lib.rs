@@ -1,0 +1,20 @@
+//! FFT and periodicity estimation for CliZ.
+//!
+//! The paper uses FFTW to estimate the dominant period of climate variables
+//! along the time dimension (Sec. VI-D): sample a handful of time rows,
+//! transform them, and pick the smallest frequency whose amplitude peaks —
+//! e.g. the SSH dataset (1032 monthly snapshots) peaks at frequency 86,
+//! giving a period of 1032/86 = 12 months.
+//!
+//! This crate is a from-scratch substitute: a [`Complex`] type, an iterative
+//! radix-2 FFT for power-of-two lengths, Bluestein's chirp-z algorithm for
+//! arbitrary lengths, and the row-sampling [`period`] estimator used by the
+//! CliZ auto-tuner.
+
+pub mod complex;
+pub mod period;
+pub mod transform;
+
+pub use complex::Complex;
+pub use period::{estimate_period, PeriodEstimate, PeriodSpec};
+pub use transform::{fft, ifft, real_fft_magnitudes};

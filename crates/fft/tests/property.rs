@@ -1,0 +1,66 @@
+//! Property tests: transform invariants for arbitrary signals and lengths.
+
+use cliz_fft::{fft, ifft, Complex};
+use proptest::prelude::*;
+
+fn signal_strategy() -> impl Strategy<Value = Vec<Complex>> {
+    prop::collection::vec((-1e6f64..1e6, -1e6f64..1e6), 1..300)
+        .prop_map(|v| v.into_iter().map(|(re, im)| Complex::new(re, im)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// ifft(fft(x)) == x for every length, including non-powers-of-two
+    /// (Bluestein path).
+    #[test]
+    fn inverse_roundtrip(x in signal_strategy()) {
+        let mut buf = x.clone();
+        fft(&mut buf);
+        ifft(&mut buf);
+        let scale = x.iter().map(|z| z.abs()).fold(1.0f64, f64::max);
+        for (a, b) in x.iter().zip(&buf) {
+            prop_assert!((*a - *b).abs() < 1e-9 * scale * x.len() as f64);
+        }
+    }
+
+    /// Linearity: fft(a + b) == fft(a) + fft(b).
+    #[test]
+    fn linearity(pairs in prop::collection::vec(
+        ((-100f64..100.0, -100f64..100.0), (-100f64..100.0, -100f64..100.0)), 2..128)
+    ) {
+        let a: Vec<Complex> = pairs.iter().map(|((re, im), _)| Complex::new(*re, *im)).collect();
+        let b: Vec<Complex> = pairs.iter().map(|(_, (re, im))| Complex::new(*re, *im)).collect();
+        let sum: Vec<Complex> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        let mut fa = a.clone();
+        fft(&mut fa);
+        let mut fb = b.clone();
+        fft(&mut fb);
+        let mut fsum = sum;
+        fft(&mut fsum);
+        for ((x, y), z) in fa.iter().zip(&fb).zip(&fsum) {
+            prop_assert!((*x + *y - *z).abs() < 1e-6 * (1.0 + z.abs()));
+        }
+    }
+
+    /// Parseval: energy is preserved (up to the 1/n convention).
+    #[test]
+    fn parseval(x in signal_strategy()) {
+        let n = x.len() as f64;
+        let time: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let mut f = x.clone();
+        fft(&mut f);
+        let freq: f64 = f.iter().map(|z| z.norm_sqr()).sum::<f64>() / n;
+        prop_assert!((time - freq).abs() <= 1e-9 * (1.0 + time) * n);
+    }
+
+    /// DC bin equals the plain sum of the signal.
+    #[test]
+    fn dc_bin_is_sum(x in signal_strategy()) {
+        let sum = x.iter().fold(Complex::ZERO, |a, &b| a + b);
+        let mut f = x.clone();
+        fft(&mut f);
+        let scale = 1.0 + sum.abs() + x.iter().map(|z| z.abs()).sum::<f64>();
+        prop_assert!((f[0] - sum).abs() < 1e-8 * scale);
+    }
+}

@@ -1,0 +1,288 @@
+//! Owned dense N-dimensional array.
+
+use crate::shape::Shape;
+
+/// An owned, dense, row-major N-dimensional array.
+///
+/// This is the canonical in-memory form of a climate variable in CliZ.
+/// It is deliberately minimal: the compressor kernels work on the raw slice
+/// (`as_slice`) plus the [`Shape`] stride table, so `Grid` never needs views
+/// or broadcasting.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Grid<T> {
+    shape: Shape,
+    data: Vec<T>,
+}
+
+impl<T: Copy> Grid<T> {
+    /// Wraps existing data. `data.len()` must equal `shape.len()`.
+    pub fn from_vec(shape: Shape, data: Vec<T>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "Grid: data length {} does not match shape {shape:?}",
+            data.len()
+        );
+        Self { shape, data }
+    }
+
+    /// A grid filled with `fill`.
+    pub fn filled(shape: Shape, fill: T) -> Self {
+        let n = shape.len();
+        Self {
+            shape,
+            data: vec![fill; n],
+        }
+    }
+
+    /// Builds a grid by evaluating `f` at every coordinate tuple.
+    pub fn from_fn(shape: Shape, mut f: impl FnMut(&[usize]) -> T) -> Self {
+        let n = shape.len();
+        let ndim = shape.ndim();
+        let mut data = Vec::with_capacity(n);
+        let mut coords = vec![0usize; ndim];
+        for i in 0..n {
+            shape.coords_of(i, &mut coords);
+            data.push(f(&coords));
+        }
+        Self { shape, data }
+    }
+
+    #[inline]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the grid, returning its backing storage.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Element at a coordinate tuple.
+    #[inline]
+    pub fn get(&self, coords: &[usize]) -> T {
+        self.data[self.shape.index_of(coords)]
+    }
+
+    /// Sets the element at a coordinate tuple.
+    #[inline]
+    pub fn set(&mut self, coords: &[usize], v: T) {
+        let i = self.shape.index_of(coords);
+        self.data[i] = v;
+    }
+
+    /// Physically transposes the grid: axis `i` of the result is source axis
+    /// `perm[i]`. This materializes a new grid; CliZ permutes once per
+    /// compression, so a view abstraction would buy nothing.
+    pub fn permuted(&self, perm: &[usize]) -> Grid<T> {
+        let out_shape = self.shape.permuted(perm);
+        let ndim = self.shape.ndim();
+        // Walk the *output* in linear order and gather from the source, so the
+        // write stream is sequential (the larger of the two working sets).
+        let in_strides = self.shape.strides();
+        let gather_strides: Vec<usize> = perm.iter().map(|&p| in_strides[p]).collect();
+        let mut out = Vec::with_capacity(out_shape.len());
+        let mut coords = vec![0usize; ndim];
+        // Manual odometer loop: faster than coords_of per element.
+        let dims = out_shape.dims().to_vec();
+        let mut src = 0usize;
+        loop {
+            out.push(self.data[src]);
+            // increment odometer from the last axis
+            let mut axis = ndim;
+            loop {
+                if axis == 0 {
+                    debug_assert_eq!(out.len(), out_shape.len());
+                    return Grid::from_vec(out_shape, out);
+                }
+                axis -= 1;
+                coords[axis] += 1;
+                src += gather_strides[axis];
+                if coords[axis] < dims[axis] {
+                    break;
+                }
+                src -= gather_strides[axis] * dims[axis];
+                coords[axis] = 0;
+            }
+        }
+    }
+
+    /// Inverse of [`Grid::permuted`]: undoes the permutation `perm`.
+    pub fn unpermuted(&self, perm: &[usize]) -> Grid<T> {
+        let mut inverse = vec![0usize; perm.len()];
+        for (i, &p) in perm.iter().enumerate() {
+            inverse[p] = i;
+        }
+        self.permuted(&inverse)
+    }
+
+    /// Reinterprets the grid under a new shape with the same element count
+    /// (used by dimension fusion, which never moves data).
+    pub fn reshaped(self, shape: Shape) -> Grid<T> {
+        assert_eq!(
+            shape.len(),
+            self.data.len(),
+            "reshape: element count mismatch"
+        );
+        Grid {
+            shape,
+            data: self.data,
+        }
+    }
+
+    /// Copies a rectangular block `[start, start+size)` into a new grid.
+    pub fn block(&self, start: &[usize], size: &[usize]) -> Grid<T> {
+        let ndim = self.shape.ndim();
+        assert_eq!(start.len(), ndim);
+        assert_eq!(size.len(), ndim);
+        for d in 0..ndim {
+            assert!(
+                start[d] + size[d] <= self.shape.dim(d),
+                "block out of bounds in dim {d}"
+            );
+        }
+        let out_shape = Shape::new(size);
+        let mut out = Vec::with_capacity(out_shape.len());
+        let mut coords = vec![0usize; ndim];
+        let n = out_shape.len();
+        let mut abs = vec![0usize; ndim];
+        for i in 0..n {
+            out_shape.coords_of(i, &mut coords);
+            for d in 0..ndim {
+                abs[d] = start[d] + coords[d];
+            }
+            out.push(self.data[self.shape.index_of(&abs)]);
+        }
+        Grid::from_vec(out_shape, out)
+    }
+
+    /// Extracts the 2-D slice obtained by fixing every axis except `keep_a`
+    /// and `keep_b` (with `keep_a` becoming the slower axis of the result).
+    pub fn slice2d(&self, keep_a: usize, keep_b: usize, fixed: &[usize]) -> Grid<T> {
+        let ndim = self.shape.ndim();
+        assert!(keep_a != keep_b && keep_a < ndim && keep_b < ndim);
+        assert_eq!(fixed.len(), ndim);
+        let (na, nb) = (self.shape.dim(keep_a), self.shape.dim(keep_b));
+        let out_shape = Shape::new(&[na, nb]);
+        let mut out = Vec::with_capacity(na * nb);
+        let mut coords = fixed.to_vec();
+        for a in 0..na {
+            coords[keep_a] = a;
+            for b in 0..nb {
+                coords[keep_b] = b;
+                out.push(self.data[self.shape.index_of(&coords)]);
+            }
+        }
+        Grid::from_vec(out_shape, out)
+    }
+}
+
+impl Grid<f32> {
+    /// Minimum and maximum over the grid, ignoring non-finite values.
+    /// Returns `None` when every value is non-finite.
+    pub fn finite_min_max(&self) -> Option<(f32, f32)> {
+        let mut mn = f32::INFINITY;
+        let mut mx = f32::NEG_INFINITY;
+        let mut any = false;
+        for &v in &self.data {
+            if v.is_finite() {
+                any = true;
+                mn = mn.min(v);
+                mx = mx.max(v);
+            }
+        }
+        any.then_some((mn, mx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iota(dims: &[usize]) -> Grid<f32> {
+        let shape = Shape::new(dims);
+        let n = shape.len();
+        Grid::from_vec(shape, (0..n).map(|i| i as f32).collect())
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut g = Grid::filled(Shape::new(&[3, 4]), 0.0f32);
+        g.set(&[2, 1], 7.5);
+        assert_eq!(g.get(&[2, 1]), 7.5);
+        assert_eq!(g.as_slice()[2 * 4 + 1], 7.5);
+    }
+
+    #[test]
+    fn permute_2d_is_transpose() {
+        let g = iota(&[2, 3]);
+        let t = g.permuted(&[1, 0]);
+        assert_eq!(t.shape().dims(), &[3, 2]);
+        for i in 0..2 {
+            for j in 0..3 {
+                assert_eq!(g.get(&[i, j]), t.get(&[j, i]));
+            }
+        }
+    }
+
+    #[test]
+    fn permute_then_unpermute_identity() {
+        let g = iota(&[3, 4, 5]);
+        for perm in Shape::all_permutations(3) {
+            let back = g.permuted(&perm).unpermuted(&perm);
+            assert_eq!(back, g, "perm {perm:?}");
+        }
+    }
+
+    #[test]
+    fn block_extracts_expected() {
+        let g = iota(&[4, 5]);
+        let b = g.block(&[1, 2], &[2, 3]);
+        assert_eq!(b.shape().dims(), &[2, 3]);
+        assert_eq!(b.get(&[0, 0]), g.get(&[1, 2]));
+        assert_eq!(b.get(&[1, 2]), g.get(&[2, 4]));
+    }
+
+    #[test]
+    fn slice2d_center() {
+        let g = iota(&[3, 4, 5]);
+        let s = g.slice2d(0, 2, &[0, 2, 0]);
+        assert_eq!(s.shape().dims(), &[3, 5]);
+        assert_eq!(s.get(&[1, 3]), g.get(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn finite_min_max_skips_nan() {
+        let g = Grid::from_vec(
+            Shape::new(&[4]),
+            vec![1.0f32, f32::NAN, -2.0, f32::INFINITY],
+        );
+        assert_eq!(g.finite_min_max(), Some((-2.0, 1.0)));
+    }
+
+    #[test]
+    fn from_fn_matches_coords() {
+        let g = Grid::from_fn(Shape::new(&[2, 3]), |c| (c[0] * 10 + c[1]) as f32);
+        assert_eq!(g.get(&[1, 2]), 12.0);
+    }
+}

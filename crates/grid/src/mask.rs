@@ -1,0 +1,192 @@
+//! Validity mask maps (Sec. V-A).
+//!
+//! CESM ocean/land variables mark uninteresting grid points with huge fill
+//! values (on the order of 2^122). The dataset ships a *mask map* — an integer
+//! field whose zero entries are invalid positions (e.g. land for an ocean
+//! variable). [`MaskMap`] is CliZ's boolean distillation of that map: one
+//! validity flag per grid point, with bit-packed (de)serialization so the
+//! classification/ablation harnesses can account for its storage cost.
+
+use crate::grid::Grid;
+use crate::shape::Shape;
+
+/// Per-point validity: `true` = real data, `false` = fill/missing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MaskMap {
+    shape: Shape,
+    valid: Vec<bool>,
+}
+
+impl MaskMap {
+    /// All points valid.
+    pub fn all_valid(shape: Shape) -> Self {
+        let n = shape.len();
+        Self {
+            shape,
+            valid: vec![true; n],
+        }
+    }
+
+    pub fn from_flags(shape: Shape, valid: Vec<bool>) -> Self {
+        assert_eq!(valid.len(), shape.len(), "mask length mismatch");
+        Self { shape, valid }
+    }
+
+    /// Derives a mask from the data itself: points whose magnitude reaches
+    /// `fill_threshold`, or that are non-finite, are invalid. CESM fill values
+    /// (~2^122) dwarf any physical quantity, so a generous threshold such as
+    /// `1e30` is safe for every variable in Table III.
+    pub fn from_fill_value(data: &Grid<f32>, fill_threshold: f32) -> Self {
+        let valid = data
+            .as_slice()
+            .iter()
+            .map(|&v| v.is_finite() && v.abs() < fill_threshold)
+            .collect();
+        Self {
+            shape: data.shape().clone(),
+            valid,
+        }
+    }
+
+    /// Derives a mask from a CESM-style integer region map: zero entries are
+    /// invalid, non-zero (positive ocean basins, negative inland seas) valid.
+    pub fn from_region_map(regions: &Grid<i32>) -> Self {
+        let valid = regions.as_slice().iter().map(|&r| r != 0).collect();
+        Self {
+            shape: regions.shape().clone(),
+            valid,
+        }
+    }
+
+    #[inline]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.valid.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.valid.is_empty()
+    }
+
+    /// Validity of the point at linear index `i`.
+    #[inline]
+    pub fn is_valid(&self, i: usize) -> bool {
+        self.valid[i]
+    }
+
+    #[inline]
+    pub fn as_slice(&self) -> &[bool] {
+        &self.valid
+    }
+
+    /// Number of valid points.
+    pub fn valid_count(&self) -> usize {
+        self.valid.iter().filter(|&&v| v).count()
+    }
+
+    /// Fraction of invalid points (0.0 when fully valid).
+    pub fn invalid_fraction(&self) -> f64 {
+        1.0 - self.valid_count() as f64 / self.len() as f64
+    }
+
+    /// True when every point is valid — lets callers skip mask-aware paths.
+    pub fn is_all_valid(&self) -> bool {
+        self.valid.iter().all(|&v| v)
+    }
+
+    /// Reinterprets the mask under a permuted axis order (matching
+    /// [`Grid::permuted`]).
+    pub fn permuted(&self, perm: &[usize]) -> MaskMap {
+        let g = Grid::from_vec(self.shape.clone(), self.valid.clone());
+        let p = g.permuted(perm);
+        MaskMap {
+            shape: p.shape().clone(),
+            valid: p.into_vec(),
+        }
+    }
+
+    /// Bit-packs the mask (8 flags per byte, little-endian within the byte).
+    pub fn pack_bits(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.valid.len().div_ceil(8)];
+        for (i, &v) in self.valid.iter().enumerate() {
+            if v {
+                out[i / 8] |= 1 << (i % 8);
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`MaskMap::pack_bits`].
+    pub fn unpack_bits(shape: Shape, bytes: &[u8]) -> Self {
+        let n = shape.len();
+        assert!(bytes.len() * 8 >= n, "packed mask too short");
+        let valid = (0..n).map(|i| bytes[i / 8] >> (i % 8) & 1 == 1).collect();
+        Self { shape, valid }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_value_detection() {
+        let g = Grid::from_vec(
+            Shape::new(&[5]),
+            vec![1.0f32, 1.0e31, -3.0, f32::NAN, 2.0f32.powi(122)],
+        );
+        let m = MaskMap::from_fill_value(&g, 1e30);
+        assert_eq!(m.as_slice(), &[true, false, true, false, false]);
+        assert_eq!(m.valid_count(), 2);
+        assert!((m.invalid_fraction() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn region_map_signs() {
+        let r = Grid::from_vec(Shape::new(&[4]), vec![0, 3, -2, 0]);
+        let m = MaskMap::from_region_map(&r);
+        assert_eq!(m.as_slice(), &[false, true, true, false]);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let shape = Shape::new(&[3, 7]);
+        let valid: Vec<bool> = (0..21).map(|i| i % 3 != 0).collect();
+        let m = MaskMap::from_flags(shape.clone(), valid);
+        let packed = m.pack_bits();
+        assert_eq!(packed.len(), 3); // ceil(21/8)
+        let back = MaskMap::unpack_bits(shape, &packed);
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn all_valid_shortcut() {
+        let m = MaskMap::all_valid(Shape::new(&[2, 2]));
+        assert!(m.is_all_valid());
+        assert_eq!(m.invalid_fraction(), 0.0);
+    }
+
+    #[test]
+    fn permuted_mask_follows_data() {
+        let shape = Shape::new(&[2, 3]);
+        let valid = vec![true, false, true, false, true, false];
+        let m = MaskMap::from_flags(shape, valid);
+        let p = m.permuted(&[1, 0]);
+        assert_eq!(p.shape().dims(), &[3, 2]);
+        // (i,j) valid in m <=> (j,i) valid in p
+        for i in 0..2 {
+            for j in 0..3 {
+                assert_eq!(
+                    m.is_valid(i * 3 + j),
+                    p.is_valid(j * 2 + i),
+                    "({i},{j})"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Dimension sizes and row-major stride math.
+
+use std::fmt;
+
+/// Maximum number of dimensions CliZ supports. CESM variables are at most 4-D
+/// (time × height × lat × lon); we allow a little headroom.
+pub const MAX_DIMS: usize = 6;
+
+/// The extent of an N-dimensional rectangular grid.
+///
+/// Row-major: `dims[ndim-1]` is the contiguous (fastest-varying) axis.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+    /// Row-major strides, in elements. `strides[i]` is the linear-index step
+    /// produced by incrementing coordinate `i` by one.
+    strides: Vec<usize>,
+}
+
+impl Shape {
+    /// Builds a shape from dimension sizes.
+    ///
+    /// # Panics
+    /// Panics if `dims` is empty, longer than [`MAX_DIMS`], or contains a zero
+    /// extent — climate grids are never degenerate, and the prediction code
+    /// relies on every axis having at least one point.
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(!dims.is_empty(), "Shape: need at least one dimension");
+        assert!(
+            dims.len() <= MAX_DIMS,
+            "Shape: at most {MAX_DIMS} dimensions supported, got {}",
+            dims.len()
+        );
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "Shape: zero-sized dimension in {dims:?}"
+        );
+        let mut strides = vec![1usize; dims.len()];
+        for i in (0..dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1]
+                .checked_mul(dims[i + 1])
+                .expect("Shape: element count overflows usize");
+        }
+        Self {
+            dims: dims.to_vec(),
+            strides,
+        }
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn ndim(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Dimension sizes.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Size of dimension `d`.
+    #[inline]
+    pub fn dim(&self, d: usize) -> usize {
+        self.dims[d]
+    }
+
+    /// Row-major strides in elements.
+    #[inline]
+    pub fn strides(&self) -> &[usize] {
+        &self.strides
+    }
+
+    /// Stride of dimension `d` in elements.
+    #[inline]
+    pub fn stride(&self, d: usize) -> usize {
+        self.strides[d]
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// True when the grid holds no elements. Always false for a valid shape
+    /// (zero extents are rejected in [`Shape::new`]), kept for API symmetry.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Linearizes a coordinate tuple.
+    ///
+    /// # Panics
+    /// Panics (debug) if `coords` has the wrong arity or is out of bounds.
+    #[inline]
+    pub fn index_of(&self, coords: &[usize]) -> usize {
+        debug_assert_eq!(coords.len(), self.ndim());
+        let mut idx = 0usize;
+        for (i, &c) in coords.iter().enumerate() {
+            debug_assert!(c < self.dims[i], "coordinate {c} out of bounds in dim {i}");
+            idx += c * self.strides[i];
+        }
+        idx
+    }
+
+    /// Inverse of [`Shape::index_of`]: recovers coordinates from a linear index.
+    #[inline]
+    pub fn coords_of(&self, mut index: usize, out: &mut [usize]) {
+        debug_assert_eq!(out.len(), self.ndim());
+        for i in 0..self.ndim() {
+            out[i] = index / self.strides[i];
+            index %= self.strides[i];
+        }
+    }
+
+    /// Applies a permutation: `perm[i]` is the *source* axis that becomes
+    /// axis `i` of the result. E.g. `perm = [2,0,1]` moves the old last axis
+    /// to the front.
+    pub fn permuted(&self, perm: &[usize]) -> Shape {
+        assert_eq!(perm.len(), self.ndim(), "permutation arity mismatch");
+        let mut seen = [false; MAX_DIMS];
+        for &p in perm {
+            assert!(p < self.ndim() && !seen[p], "invalid permutation {perm:?}");
+            seen[p] = true;
+        }
+        let dims: Vec<usize> = perm.iter().map(|&p| self.dims[p]).collect();
+        Shape::new(&dims)
+    }
+
+    /// All `ndim!` axis permutations in lexicographic order. Used by the
+    /// auto-tuner's pipeline enumeration (6 cases for 3-D data).
+    pub fn all_permutations(ndim: usize) -> Vec<Vec<usize>> {
+        fn rec(prefix: &mut Vec<usize>, remaining: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+            if remaining.is_empty() {
+                out.push(prefix.clone());
+                return;
+            }
+            for i in 0..remaining.len() {
+                let v = remaining.remove(i);
+                prefix.push(v);
+                rec(prefix, remaining, out);
+                prefix.pop();
+                remaining.insert(i, v);
+            }
+        }
+        let mut out = Vec::new();
+        rec(&mut Vec::new(), &mut (0..ndim).collect(), &mut out);
+        out
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let strs: Vec<String> = self.dims.iter().map(|d| d.to_string()).collect();
+        write!(f, "{}", strs.join("x"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(&[4, 5, 6]);
+        assert_eq!(s.strides(), &[30, 6, 1]);
+        assert_eq!(s.len(), 120);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let s = Shape::new(&[3, 4, 5]);
+        let mut coords = [0usize; 3];
+        for i in 0..s.len() {
+            s.coords_of(i, &mut coords);
+            assert_eq!(s.index_of(&coords), i);
+        }
+    }
+
+    #[test]
+    fn one_dim() {
+        let s = Shape::new(&[7]);
+        assert_eq!(s.strides(), &[1]);
+        assert_eq!(s.index_of(&[3]), 3);
+    }
+
+    #[test]
+    fn permuted_shape() {
+        let s = Shape::new(&[2, 3, 4]);
+        let p = s.permuted(&[2, 0, 1]);
+        assert_eq!(p.dims(), &[4, 2, 3]);
+    }
+
+    #[test]
+    fn all_permutations_count() {
+        assert_eq!(Shape::all_permutations(1).len(), 1);
+        assert_eq!(Shape::all_permutations(2).len(), 2);
+        assert_eq!(Shape::all_permutations(3).len(), 6);
+        assert_eq!(Shape::all_permutations(4).len(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-sized")]
+    fn rejects_zero_extent() {
+        Shape::new(&[3, 0, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn rejects_empty() {
+        Shape::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid permutation")]
+    fn rejects_bad_perm() {
+        Shape::new(&[2, 3]).permuted(&[0, 0]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Per-dimension smoothness statistics (Sec. V-B).
+//!
+//! The paper's CESM-T example: variation along height averages 4.425 while
+//! lat/lon average 0.053 and 0.017 — the predictor should therefore run most
+//! of its predictions along lat/lon. These statistics feed the dimension
+//! permutation/fusion search and the harness that reproduces that analysis.
+
+use crate::grid::Grid;
+use crate::line::LineIter;
+use crate::mask::MaskMap;
+
+/// Smoothness summary for one axis.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Smoothness {
+    /// Mean `|x[i+1] - x[i]|` over valid adjacent pairs.
+    pub mean_abs_diff: f64,
+    /// Max `|x[i+1] - x[i]|` over valid adjacent pairs.
+    pub max_abs_diff: f64,
+    /// Number of valid adjacent pairs measured.
+    pub pairs: usize,
+}
+
+/// Measures first-difference smoothness along every axis, skipping pairs with
+/// an invalid endpoint. Returns one [`Smoothness`] per axis.
+pub fn dimension_smoothness(data: &Grid<f32>, mask: &MaskMap) -> Vec<Smoothness> {
+    assert_eq!(data.shape(), mask.shape());
+    let ndim = data.shape().ndim();
+    let buf = data.as_slice();
+    let flags = mask.as_slice();
+    let mut out = Vec::with_capacity(ndim);
+    for axis in 0..ndim {
+        let mut sum = 0.0f64;
+        let mut max = 0.0f64;
+        let mut pairs = 0usize;
+        for line in LineIter::new(data.shape(), axis) {
+            for k in 1..line.len {
+                let a = line.base + (k - 1) * line.stride;
+                let b = line.base + k * line.stride;
+                if flags[a] && flags[b] {
+                    let d = (buf[b] as f64 - buf[a] as f64).abs();
+                    sum += d;
+                    if d > max {
+                        max = d;
+                    }
+                    pairs += 1;
+                }
+            }
+        }
+        out.push(Smoothness {
+            mean_abs_diff: if pairs > 0 { sum / pairs as f64 } else { 0.0 },
+            max_abs_diff: max,
+            pairs,
+        });
+    }
+    out
+}
+
+/// Axis order from smoothest (smallest mean first difference) to roughest.
+/// This is the heuristic seed for the permutation search: predict most often
+/// along the smoothest axes.
+pub fn smoothness_order(stats: &[Smoothness]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..stats.len()).collect();
+    order.sort_by(|&a, &b| {
+        stats[a]
+            .mean_abs_diff
+            .partial_cmp(&stats[b].mean_abs_diff)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Shape;
+
+    #[test]
+    fn anisotropic_field_detected() {
+        // value = 10*i + 0.1*j : rough along axis 0, smooth along axis 1.
+        let g = Grid::from_fn(Shape::new(&[8, 8]), |c| {
+            10.0 * c[0] as f32 + 0.1 * c[1] as f32
+        });
+        let m = MaskMap::all_valid(g.shape().clone());
+        let s = dimension_smoothness(&g, &m);
+        assert!((s[0].mean_abs_diff - 10.0).abs() < 1e-4);
+        assert!((s[1].mean_abs_diff - 0.1).abs() < 1e-4);
+        assert_eq!(smoothness_order(&s), vec![1, 0]);
+    }
+
+    #[test]
+    fn masked_pairs_excluded() {
+        let g = Grid::from_vec(Shape::new(&[4]), vec![0.0, 100.0, 1.0, 2.0]);
+        // position 1 invalid: pairs (0,1) and (1,2) dropped.
+        let m = MaskMap::from_flags(g.shape().clone(), vec![true, false, true, true]);
+        let s = dimension_smoothness(&g, &m);
+        assert_eq!(s[0].pairs, 1);
+        assert!((s[0].mean_abs_diff - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_field_zero_diff() {
+        let g = Grid::filled(Shape::new(&[5, 5]), 3.5f32);
+        let m = MaskMap::all_valid(g.shape().clone());
+        let s = dimension_smoothness(&g, &m);
+        assert!(s.iter().all(|x| x.mean_abs_diff == 0.0 && x.max_abs_diff == 0.0));
+    }
+
+    #[test]
+    fn fully_masked_has_no_pairs() {
+        let g = Grid::filled(Shape::new(&[3, 3]), 1.0f32);
+        let m = MaskMap::from_flags(g.shape().clone(), vec![false; 9]);
+        let s = dimension_smoothness(&g, &m);
+        assert!(s.iter().all(|x| x.pairs == 0 && x.mean_abs_diff == 0.0));
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for grid algebra: permutation/fusion invariants and
+//! sampler volume accounting under arbitrary shapes.
+
+use cliz_grid::{fuse_shape, sample_blocks, FusionSpec, Grid, MaskMap, SampleSpec, Shape};
+use proptest::prelude::*;
+
+fn dims_strategy() -> impl Strategy<Value = Vec<usize>> {
+    prop_oneof![
+        prop::collection::vec(1usize..30, 1),
+        prop::collection::vec(1usize..15, 2),
+        prop::collection::vec(1usize..9, 3),
+        prop::collection::vec(1usize..6, 4),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// permute ∘ unpermute = identity for random shapes and permutations.
+    #[test]
+    fn permute_unpermute_identity(dims in dims_strategy(), seed in any::<u64>()) {
+        let shape = Shape::new(&dims);
+        let n = shape.len();
+        let data: Vec<f32> = (0..n).map(|i| ((i as u64).wrapping_mul(seed | 1) >> 33) as f32).collect();
+        let g = Grid::from_vec(shape, data);
+        let ndim = dims.len();
+        let perms = Shape::all_permutations(ndim);
+        let perm = &perms[(seed as usize) % perms.len()];
+        let back = g.permuted(perm).unpermuted(perm);
+        prop_assert_eq!(back, g);
+    }
+
+    /// Permutation preserves the multiset of values and maps coordinates
+    /// correctly at a random probe point.
+    #[test]
+    fn permute_moves_coordinates(dims in dims_strategy(), seed in any::<u64>()) {
+        let shape = Shape::new(&dims);
+        let n = shape.len();
+        let g = Grid::from_vec(shape.clone(), (0..n).map(|i| i as f32).collect());
+        let ndim = dims.len();
+        let perms = Shape::all_permutations(ndim);
+        let perm = &perms[(seed as usize) % perms.len()];
+        let p = g.permuted(perm);
+        // probe: linear index -> coords -> permuted coords must agree.
+        let probe = (seed as usize) % n;
+        let mut coords = vec![0usize; ndim];
+        shape.coords_of(probe, &mut coords);
+        let pcoords: Vec<usize> = perm.iter().map(|&a| coords[a]).collect();
+        prop_assert_eq!(p.get(&pcoords), g.get(&coords));
+    }
+
+    /// Fusion never moves data: any linear index holds the same value under
+    /// the fused shape.
+    #[test]
+    fn fusion_is_a_reshape(dims in prop::collection::vec(1usize..8, 2..=4)) {
+        let shape = Shape::new(&dims);
+        let n = shape.len();
+        let g = Grid::from_vec(shape.clone(), (0..n).map(|i| i as f32 * 0.5).collect());
+        for spec in FusionSpec::candidates(dims.len()) {
+            let fused = fuse_shape(&shape, spec);
+            prop_assert_eq!(fused.len(), n, "{:?}", spec);
+            let r = g.clone().reshaped(fused);
+            prop_assert_eq!(r.as_slice(), g.as_slice());
+        }
+    }
+
+    /// The sampler stays in bounds and roughly honours the requested volume.
+    #[test]
+    fn sampler_volume_and_bounds(
+        dims in prop::collection::vec(8usize..40, 2..=3),
+        rate_exp in 1u32..4,
+    ) {
+        let rate = 10f64.powi(-(rate_exp as i32));
+        let shape = Shape::new(&dims);
+        let n = shape.len();
+        let g = Grid::from_vec(shape.clone(), (0..n).map(|i| i as f32).collect());
+        let mask = MaskMap::all_valid(shape.clone());
+        let spec = SampleSpec::new(rate);
+        let sampled = sample_blocks(&g, &mask, spec);
+        prop_assert_eq!(sampled.block_starts.len(), 1 << dims.len());
+        let sides = spec.block_sides(&shape);
+        for start in &sampled.block_starts {
+            for (d, (&s, &side)) in start.iter().zip(&sides).enumerate() {
+                prop_assert!(s + side <= dims[d], "block oob in dim {}", d);
+            }
+        }
+        // Every sampled value exists in the source (values are unique ids).
+        for &v in sampled.data.as_slice() {
+            prop_assert!((v as usize) < n);
+        }
+    }
+
+    /// Mask bit-packing round-trips for arbitrary flag patterns.
+    #[test]
+    fn mask_pack_roundtrip(flags in prop::collection::vec(any::<bool>(), 1..500)) {
+        let shape = Shape::new(&[flags.len()]);
+        let m = MaskMap::from_flags(shape.clone(), flags);
+        let packed = m.pack_bits();
+        prop_assert_eq!(MaskMap::unpack_bits(shape, &packed), m);
+    }
+}

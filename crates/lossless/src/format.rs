@@ -1,0 +1,249 @@
+//! `zlite` container: header, entropy stage, and the public API.
+
+use crate::codes::{
+    dist_code, dist_decode, length_code, length_decode, DIST_ALPHABET, EOB, LEN_SYM_BASE,
+    LITLEN_ALPHABET,
+};
+use crate::lz::{detokenize, tokenize, Effort, Token};
+use cliz_entropy::{BitReader, BitWriter, HuffmanDecoder, HuffmanEncoder};
+
+const MAGIC: u32 = 0x5A4C_5431; // "ZLT1"
+const MODE_STORED: u8 = 0;
+const MODE_LZ: u8 = 1;
+
+/// Decode failure taxonomy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    BadMagic,
+    Truncated,
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::BadMagic => write!(f, "zlite: bad magic"),
+            Error::Truncated => write!(f, "zlite: truncated stream"),
+            Error::Corrupt(what) => write!(f, "zlite: corrupt stream ({what})"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Compresses `data`. Falls back to stored mode when LZ+Huffman does not
+/// shrink the input, so output is never much larger than input
+/// (13-byte header worst case).
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    compress_with(data, Effort::default())
+}
+
+/// [`compress`] with an explicit match-finder effort.
+pub fn compress_with(data: &[u8], effort: Effort) -> Vec<u8> {
+    let tokens = tokenize(data, effort);
+
+    // Histogram both alphabets (EOB terminates the stream for the decoder).
+    let mut litlen_freq = vec![0u64; LITLEN_ALPHABET];
+    let mut dist_freq = vec![0u64; DIST_ALPHABET];
+    for &t in &tokens {
+        match t {
+            Token::Literal(b) => litlen_freq[b as usize] += 1,
+            Token::Match { len, dist } => {
+                let (lsym, _, _) = length_code(len as usize);
+                litlen_freq[(LEN_SYM_BASE + lsym) as usize] += 1;
+                let (dsym, _, _) = dist_code(dist as usize);
+                dist_freq[dsym as usize] += 1;
+            }
+        }
+    }
+    litlen_freq[EOB as usize] += 1;
+
+    let lit_enc = HuffmanEncoder::from_frequencies(&litlen_freq);
+    let dist_enc = HuffmanEncoder::from_frequencies(&dist_freq);
+
+    let mut w = BitWriter::with_capacity(data.len() / 2 + 64);
+    lit_enc.write_table(&mut w);
+    dist_enc.write_table(&mut w);
+    for &t in &tokens {
+        match t {
+            Token::Literal(b) => lit_enc.encode_symbol(u32::from(b), &mut w),
+            Token::Match { len, dist } => {
+                let (lsym, lextra, lval) = length_code(len as usize);
+                lit_enc.encode_symbol(LEN_SYM_BASE + lsym, &mut w);
+                if lextra > 0 {
+                    w.write_bits(lval, u32::from(lextra));
+                }
+                let (dsym, dextra, dval) = dist_code(dist as usize);
+                dist_enc.encode_symbol(dsym, &mut w);
+                if dextra > 0 {
+                    w.write_bits(dval, u32::from(dextra));
+                }
+            }
+        }
+    }
+    lit_enc.encode_symbol(EOB, &mut w);
+    let payload = w.finish();
+
+    let mut out = Vec::with_capacity(payload.len().min(data.len()) + 13);
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+    if payload.len() < data.len() {
+        out.push(MODE_LZ);
+        out.extend_from_slice(&payload);
+    } else {
+        out.push(MODE_STORED);
+        out.extend_from_slice(data);
+    }
+    out
+}
+
+/// Decompresses a [`compress`] stream.
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>, Error> {
+    if data.len() < 13 {
+        return Err(Error::Truncated);
+    }
+    let magic = u32::from_le_bytes(data[0..4].try_into().unwrap());
+    if magic != MAGIC {
+        return Err(Error::BadMagic);
+    }
+    let raw_len = u64::from_le_bytes(data[4..12].try_into().unwrap()) as usize;
+    let mode = data[12];
+    let body = &data[13..];
+    match mode {
+        MODE_STORED => {
+            if body.len() < raw_len {
+                return Err(Error::Truncated);
+            }
+            Ok(body[..raw_len].to_vec())
+        }
+        MODE_LZ => {
+            let mut r = BitReader::new(body);
+            let lit_dec = HuffmanDecoder::read_table(&mut r).ok_or(Error::Truncated)?;
+            let dist_dec = HuffmanDecoder::read_table(&mut r).ok_or(Error::Truncated)?;
+            let mut tokens: Vec<Token> = Vec::with_capacity(raw_len / 4);
+            loop {
+                let sym = lit_dec.decode_symbol(&mut r).ok_or(Error::Truncated)?;
+                if sym == EOB {
+                    break;
+                }
+                if sym < EOB {
+                    tokens.push(Token::Literal(sym as u8));
+                    continue;
+                }
+                let lsym = sym - LEN_SYM_BASE;
+                if lsym as usize >= crate::codes::LENGTH_TABLE.len() {
+                    return Err(Error::Corrupt("length symbol out of range"));
+                }
+                let (lbase, lextra) = length_decode(lsym);
+                let lval = if lextra > 0 {
+                    r.read_bits(u32::from(lextra)).ok_or(Error::Truncated)?
+                } else {
+                    0
+                };
+                let dsym = dist_dec.decode_symbol(&mut r).ok_or(Error::Truncated)?;
+                if dsym as usize >= DIST_ALPHABET {
+                    return Err(Error::Corrupt("distance symbol out of range"));
+                }
+                let (dbase, dextra) = dist_decode(dsym);
+                let dval = if dextra > 0 {
+                    r.read_bits(u32::from(dextra)).ok_or(Error::Truncated)?
+                } else {
+                    0
+                };
+                tokens.push(Token::Match {
+                    len: (lbase + lval as usize) as u32,
+                    dist: (dbase + dval as usize) as u32,
+                });
+            }
+            let out = detokenize(&tokens, raw_len).ok_or(Error::Corrupt("bad back-reference"))?;
+            if out.len() != raw_len {
+                return Err(Error::Corrupt("length mismatch"));
+            }
+            Ok(out)
+        }
+        _ => Err(Error::Corrupt("unknown mode")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> usize {
+        let c = compress(data);
+        assert_eq!(decompress(&c).expect("decompress"), data);
+        c.len()
+    }
+
+    #[test]
+    fn empty() {
+        roundtrip(b"");
+    }
+
+    #[test]
+    fn short_strings() {
+        roundtrip(b"a");
+        roundtrip(b"hello");
+        roundtrip(b"hello hello hello hello");
+    }
+
+    #[test]
+    fn compresses_redundant_data() {
+        let data: Vec<u8> = b"climate data climate data climate data "
+            .iter()
+            .cycle()
+            .take(40_000)
+            .copied()
+            .collect();
+        let n = roundtrip(&data);
+        assert!(n < data.len() / 10, "only shrank to {n} of {}", data.len());
+    }
+
+    #[test]
+    fn stored_mode_for_noise() {
+        let mut state = 99u64;
+        let data: Vec<u8> = (0..10_000)
+            .map(|_| {
+                state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                (state >> 56) as u8
+            })
+            .collect();
+        let n = roundtrip(&data);
+        // Either stored (len + 13) or marginally compressed; never blown up.
+        assert!(n <= data.len() + 13);
+    }
+
+    #[test]
+    fn zeros_compress_extremely() {
+        let data = vec![0u8; 100_000];
+        let n = roundtrip(&data);
+        assert!(n < 400, "zero run compressed to {n}");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut c = compress(b"payload");
+        c[0] ^= 0xFF;
+        assert_eq!(decompress(&c), Err(Error::BadMagic));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let c = compress(b"some reasonably long payload with repetition repetition");
+        for cut in [5, 12, 14, c.len() - 1] {
+            assert!(decompress(&c[..cut]).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn structured_floats_shrink() {
+        // Byte stream resembling a Huffman-coded bin sequence: long runs with
+        // sparse punctuation.
+        let mut data = Vec::new();
+        for i in 0..5_000u32 {
+            data.extend_from_slice(&[0, 0, 0, (i % 17) as u8]);
+        }
+        let n = roundtrip(&data);
+        assert!(n < data.len() / 3);
+    }
+}

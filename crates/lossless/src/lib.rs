@@ -1,0 +1,19 @@
+//! `zlite` — a from-scratch LZ77 + canonical-Huffman lossless codec.
+//!
+//! SZ3 (and therefore CliZ) finishes its pipeline with a byte-level lossless
+//! pass over the Huffman-coded quantization stream; the reference
+//! implementation uses Zstd. This crate is the offline substitute: a
+//! deflate-class coder with a 32 KiB sliding window, hash-chain match
+//! finding, and separate literal/length and distance Huffman alphabets.
+//! It is not Zstd — but it removes the same residual byte-level redundancy,
+//! which is all the compression-ratio comparisons in the paper need.
+//!
+//! Format (`ZLT1`): `magic u32 | raw_len u64 | mode u8 | payload`.
+//! `mode 0` stores bytes verbatim (used when compression does not pay);
+//! `mode 1` is the LZ+Huffman bitstream.
+
+pub mod codes;
+pub mod format;
+pub mod lz;
+
+pub use format::{compress, decompress, Error};

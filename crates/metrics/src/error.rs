@@ -1,0 +1,147 @@
+//! Pointwise error statistics: RMSE, PSNR (paper Eq. 3), max error, and the
+//! error-bound compliance check every compressor in this repo must pass.
+
+use cliz_grid::MaskMap;
+
+/// Summary of reconstruction error over the valid points.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ErrorStats {
+    pub rmse: f64,
+    pub max_abs: f64,
+    /// `d_max − d_min` of the *original* data (PSNR denominator).
+    pub value_range: f64,
+    pub points: usize,
+}
+
+impl ErrorStats {
+    /// PSNR per Eq. 3: `20·log10((d_max − d_min) / RMSE)`. Infinite for a
+    /// lossless reconstruction; 0 for degenerate (constant) originals.
+    pub fn psnr(&self) -> f64 {
+        if self.rmse == 0.0 {
+            return f64::INFINITY;
+        }
+        if self.value_range <= 0.0 {
+            return 0.0;
+        }
+        20.0 * (self.value_range / self.rmse).log10()
+    }
+}
+
+/// Computes error statistics over valid points only.
+pub fn error_stats(original: &[f32], recon: &[f32], mask: Option<&MaskMap>) -> ErrorStats {
+    assert_eq!(original.len(), recon.len());
+    let mut sq_sum = 0.0f64;
+    let mut max_abs = 0.0f64;
+    let mut mn = f64::INFINITY;
+    let mut mx = f64::NEG_INFINITY;
+    let mut points = 0usize;
+    for i in 0..original.len() {
+        if mask.is_some_and(|m| !m.is_valid(i)) {
+            continue;
+        }
+        let o = original[i] as f64;
+        let r = recon[i] as f64;
+        let d = (o - r).abs();
+        sq_sum += d * d;
+        if d > max_abs {
+            max_abs = d;
+        }
+        mn = mn.min(o);
+        mx = mx.max(o);
+        points += 1;
+    }
+    ErrorStats {
+        rmse: if points > 0 {
+            (sq_sum / points as f64).sqrt()
+        } else {
+            0.0
+        },
+        max_abs,
+        value_range: if points > 0 { mx - mn } else { 0.0 },
+        points,
+    }
+}
+
+/// Root-mean-square error over valid points.
+pub fn rmse(original: &[f32], recon: &[f32], mask: Option<&MaskMap>) -> f64 {
+    error_stats(original, recon, mask).rmse
+}
+
+/// PSNR per the paper's Eq. 3.
+pub fn psnr(original: &[f32], recon: &[f32], mask: Option<&MaskMap>) -> f64 {
+    error_stats(original, recon, mask).psnr()
+}
+
+/// Largest pointwise absolute error over valid points.
+pub fn max_abs_error(original: &[f32], recon: &[f32], mask: Option<&MaskMap>) -> f64 {
+    error_stats(original, recon, mask).max_abs
+}
+
+/// Asserts the error-bound contract: `max |x − x̂| ≤ eb` on valid points.
+/// Returns the observed max error for reporting.
+pub fn verify_bound(original: &[f32], recon: &[f32], mask: Option<&MaskMap>, eb: f64) -> f64 {
+    let max = max_abs_error(original, recon, mask);
+    assert!(
+        max <= eb * (1.0 + 1e-12),
+        "error bound violated: max {max} > eb {eb}"
+    );
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cliz_grid::Shape;
+
+    #[test]
+    fn identical_data_is_lossless() {
+        let d = vec![1.0f32, 2.0, 3.0];
+        let s = error_stats(&d, &d, None);
+        assert_eq!(s.rmse, 0.0);
+        assert_eq!(s.max_abs, 0.0);
+        assert_eq!(s.psnr(), f64::INFINITY);
+    }
+
+    #[test]
+    fn known_rmse_and_psnr() {
+        let orig = vec![0.0f32, 1.0, 2.0, 3.0]; // range 3
+        let recon = vec![0.1f32, 1.1, 1.9, 3.1];
+        let s = error_stats(&orig, &recon, None);
+        assert!((s.rmse - 0.1).abs() < 1e-6);
+        // PSNR = 20 log10(3 / 0.1) ≈ 29.54
+        assert!((s.psnr() - 20.0 * 30.0f64.log10()).abs() < 1e-3);
+        assert!((s.max_abs - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mask_excludes_fill_errors() {
+        let orig = vec![1.0f32, 1.0e32, 2.0];
+        let recon = vec![1.0f32, 0.0, 2.0];
+        let mask = MaskMap::from_flags(Shape::new(&[3]), vec![true, false, true]);
+        let s = error_stats(&orig, &recon, Some(&mask));
+        assert_eq!(s.max_abs, 0.0);
+        assert_eq!(s.points, 2);
+    }
+
+    #[test]
+    fn verify_bound_passes_within() {
+        // 0.05f32 rounds slightly above 0.05, so give the bound headroom.
+        let orig = vec![0.0f32, 1.0];
+        let recon = vec![0.05f32, 0.95];
+        let max = verify_bound(&orig, &recon, None, 0.0501);
+        assert!((max - 0.05).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "error bound violated")]
+    fn verify_bound_panics_beyond() {
+        verify_bound(&[0.0f32], &[1.0f32], None, 0.5);
+    }
+
+    #[test]
+    fn constant_original_has_zero_psnr_when_lossy() {
+        let orig = vec![5.0f32; 4];
+        let recon = vec![5.1f32; 4];
+        assert_eq!(psnr(&orig, &recon, None), 0.0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Rate bookkeeping: compression ratio and bit-rate.
+
+/// Size accounting for one compression run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RateStats {
+    pub original_bytes: usize,
+    pub compressed_bytes: usize,
+    /// Number of data values (for bit-rate).
+    pub values: usize,
+}
+
+impl RateStats {
+    /// `R = S / S'` from Sec. III.
+    pub fn compression_ratio(&self) -> f64 {
+        self.original_bytes as f64 / self.compressed_bytes.max(1) as f64
+    }
+
+    /// Average compressed bits per value — the x-axis of every
+    /// rate-distortion plot in the paper (32 / ratio for f32 data).
+    pub fn bit_rate(&self) -> f64 {
+        self.compressed_bytes as f64 * 8.0 / self.values.max(1) as f64
+    }
+}
+
+/// `original / compressed`.
+pub fn compression_ratio(original_bytes: usize, compressed_bytes: usize) -> f64 {
+    RateStats {
+        original_bytes,
+        compressed_bytes,
+        values: 1,
+    }
+    .compression_ratio()
+}
+
+/// Bits per value.
+pub fn bit_rate(compressed_bytes: usize, values: usize) -> f64 {
+    RateStats {
+        original_bytes: 0,
+        compressed_bytes,
+        values,
+    }
+    .bit_rate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_and_bitrate_consistency() {
+        // f32 data: bit_rate == 32 / ratio.
+        let s = RateStats {
+            original_bytes: 4000,
+            compressed_bytes: 125,
+            values: 1000,
+        };
+        assert_eq!(s.compression_ratio(), 32.0);
+        assert_eq!(s.bit_rate(), 1.0);
+        assert!((32.0 / s.compression_ratio() - s.bit_rate()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_compressed_guarded() {
+        assert!(compression_ratio(100, 0).is_finite());
+    }
+
+    #[test]
+    fn helpers_match_struct() {
+        assert_eq!(compression_ratio(800, 100), 8.0);
+        assert_eq!(bit_rate(100, 200), 4.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Structural Similarity (paper Eq. 4–5).
+//!
+//! SSIM is computed per sliding window over the horizontal plane (last two
+//! dimensions) of a grid, then averaged across windows and planes — the same
+//! convention climate evaluations (dSSIM, Baker et al.) follow. Windows with
+//! no valid point are skipped.
+
+use cliz_grid::{Grid, MaskMap};
+
+/// Window geometry and stabilization constants.
+#[derive(Clone, Copy, Debug)]
+pub struct SsimSpec {
+    /// Window side (paper-style 8×8 default).
+    pub window: usize,
+    /// Window step; `window` (non-overlapping) by default — dense sliding
+    /// (step 1) changes the constant factor, not the comparisons.
+    pub step: usize,
+    /// `c1 = (k1·L)²`, `c2 = (k2·L)²` with `L` = data range.
+    pub k1: f64,
+    pub k2: f64,
+}
+
+impl Default for SsimSpec {
+    fn default() -> Self {
+        Self {
+            window: 8,
+            step: 8,
+            k1: 0.01,
+            k2: 0.03,
+        }
+    }
+}
+
+/// Mean SSIM between `x` (original) and `y` (reconstruction).
+///
+/// For N-D grids every horizontal slice (all leading coordinates fixed) is
+/// scanned with `spec.window`² windows; the result is the average of all
+/// per-window SSIM values (Eq. 4).
+pub fn ssim(x: &Grid<f32>, y: &Grid<f32>, mask: Option<&MaskMap>, spec: SsimSpec) -> f64 {
+    assert_eq!(x.shape(), y.shape(), "shape mismatch");
+    let ndim = x.shape().ndim();
+    assert!(ndim >= 2, "SSIM needs at least 2 dimensions");
+    let dims = x.shape().dims();
+    let (h, w) = (dims[ndim - 2], dims[ndim - 1]);
+    let plane = h * w;
+    let n_planes = x.len() / plane;
+
+    // Global range L for the stabilizers — over *valid* points only, or the
+    // huge fill values would inflate c1/c2 until every window scores 1.
+    let (mut mn, mut mx) = (f32::INFINITY, f32::NEG_INFINITY);
+    for (i, &v) in x.as_slice().iter().enumerate() {
+        if v.is_finite() && !mask.is_some_and(|m| !m.is_valid(i)) {
+            mn = mn.min(v);
+            mx = mx.max(v);
+        }
+    }
+    let range = if mn <= mx { (mx - mn) as f64 } else { 0.0 };
+    let l = if range > 0.0 { range } else { 1.0 };
+    let c1 = (spec.k1 * l) * (spec.k1 * l);
+    let c2 = (spec.k2 * l) * (spec.k2 * l);
+
+    let xb = x.as_slice();
+    let yb = y.as_slice();
+    let mut total = 0.0f64;
+    let mut windows = 0usize;
+    for p in 0..n_planes {
+        let base = p * plane;
+        let mut r0 = 0;
+        while r0 + spec.window <= h.max(spec.window) && r0 < h {
+            let mut c0 = 0;
+            while c0 + spec.window <= w.max(spec.window) && c0 < w {
+                // Window statistics over valid points.
+                let mut sx = 0.0f64;
+                let mut sy = 0.0f64;
+                let mut sxx = 0.0f64;
+                let mut syy = 0.0f64;
+                let mut sxy = 0.0f64;
+                let mut n = 0usize;
+                for r in r0..(r0 + spec.window).min(h) {
+                    for c in c0..(c0 + spec.window).min(w) {
+                        let i = base + r * w + c;
+                        if mask.is_some_and(|m| !m.is_valid(i)) {
+                            continue;
+                        }
+                        let a = xb[i] as f64;
+                        let b = yb[i] as f64;
+                        sx += a;
+                        sy += b;
+                        sxx += a * a;
+                        syy += b * b;
+                        sxy += a * b;
+                        n += 1;
+                    }
+                }
+                if n >= 2 {
+                    let nf = n as f64;
+                    let mx_ = sx / nf;
+                    let my_ = sy / nf;
+                    let vx = (sxx / nf - mx_ * mx_).max(0.0);
+                    let vy = (syy / nf - my_ * my_).max(0.0);
+                    let cov = sxy / nf - mx_ * my_;
+                    let s = ((2.0 * mx_ * my_ + c1) * (2.0 * cov + c2))
+                        / ((mx_ * mx_ + my_ * my_ + c1) * (vx + vy + c2));
+                    total += s;
+                    windows += 1;
+                }
+                c0 += spec.step;
+            }
+            r0 += spec.step;
+        }
+    }
+    if windows == 0 {
+        return 1.0; // nothing valid to compare: vacuously similar
+    }
+    total / windows as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cliz_grid::Shape;
+
+    fn field(h: usize, w: usize, f: impl Fn(usize, usize) -> f32) -> Grid<f32> {
+        Grid::from_fn(Shape::new(&[h, w]), |c| f(c[0], c[1]))
+    }
+
+    #[test]
+    fn identical_images_score_one() {
+        let g = field(32, 32, |r, c| (r as f32 * 0.2).sin() + c as f32 * 0.1);
+        let s = ssim(&g, &g, None, SsimSpec::default());
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_lowers_ssim() {
+        let g = field(64, 64, |r, c| ((r * 64 + c) as f32 * 0.01).sin() * 10.0);
+        let mut state = 3u64;
+        let noisy = Grid::from_vec(
+            g.shape().clone(),
+            g.as_slice()
+                .iter()
+                .map(|&v| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    v + ((state >> 40) as f32 / 2.0f32.powi(24) - 0.5) * 8.0
+                })
+                .collect(),
+        );
+        let s = ssim(&g, &noisy, None, SsimSpec::default());
+        assert!(s < 0.95, "noise barely moved SSIM: {s}");
+        assert!(s > -1.0);
+    }
+
+    #[test]
+    fn small_noise_beats_large_noise() {
+        let g = field(64, 64, |r, c| ((r * 64 + c) as f32 * 0.01).sin() * 10.0);
+        let perturb = |amp: f32| {
+            let mut state = 11u64;
+            Grid::from_vec(
+                g.shape().clone(),
+                g.as_slice()
+                    .iter()
+                    .map(|&v| {
+                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        v + ((state >> 40) as f32 / 2.0f32.powi(24) - 0.5) * amp
+                    })
+                    .collect(),
+            )
+        };
+        let s_small = ssim(&g, &perturb(0.1), None, SsimSpec::default());
+        let s_large = ssim(&g, &perturb(5.0), None, SsimSpec::default());
+        assert!(s_small > s_large);
+        assert!(s_small > 0.99);
+    }
+
+    #[test]
+    fn masked_regions_ignored() {
+        let g = field(16, 16, |r, c| (r + c) as f32);
+        // Reconstruction destroys the masked half only.
+        let mut bad = g.clone();
+        let mut flags = vec![true; 256];
+        for i in 0..128 {
+            bad.as_mut_slice()[i] = 1.0e9;
+            flags[i] = false;
+        }
+        let mask = MaskMap::from_flags(g.shape().clone(), flags);
+        let s = ssim(&g, &bad, Some(&mask), SsimSpec::default());
+        assert!((s - 1.0).abs() < 1e-9, "masked damage leaked: {s}");
+    }
+
+    #[test]
+    fn works_on_3d_grids() {
+        let g = Grid::from_fn(Shape::new(&[3, 16, 16]), |c| {
+            (c[0] * 100 + c[1] + c[2]) as f32 * 0.1
+        });
+        let s = ssim(&g, &g, None, SsimSpec::default());
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_smaller_than_plane_edge_handled() {
+        let g = field(5, 5, |r, c| (r * c) as f32);
+        let s = ssim(&g, &g, None, SsimSpec::default());
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+}

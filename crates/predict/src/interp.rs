@@ -1,0 +1,586 @@
+//! Level-by-level interpolation traversal shared by compression and
+//! decompression.
+//!
+//! Both sides walk the identical point sequence; compression quantizes
+//! `value − prediction` into a symbol grid, decompression replays the symbols
+//! into reconstructions. Keeping the walk in one function (generic over a
+//! small visitor closure) makes encode/decode divergence structurally
+//! impossible.
+
+use crate::fitting::{cubic_coeffs, linear_coeffs, Fitting};
+use cliz_quant::{LinearQuantizer, Quantized, ESCAPE};
+
+/// Per-call parameters for the interpolation pass.
+#[derive(Clone, Copy, Debug)]
+pub struct InterpParams<'a> {
+    pub fitting: Fitting,
+    /// Validity per point (raster order); `None` = everything valid.
+    pub mask: Option<&'a [bool]>,
+}
+
+impl<'a> InterpParams<'a> {
+    pub fn new(fitting: Fitting) -> Self {
+        Self {
+            fitting,
+            mask: None,
+        }
+    }
+
+    pub fn with_mask(fitting: Fitting, mask: &'a [bool]) -> Self {
+        Self {
+            fitting,
+            mask: Some(mask),
+        }
+    }
+
+    #[inline]
+    fn is_valid(&self, idx: usize) -> bool {
+        self.mask.is_none_or(|m| m[idx])
+    }
+}
+
+/// Row-major strides for `dims`.
+fn strides_of(dims: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; dims.len()];
+    for i in (0..dims.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * dims[i + 1];
+    }
+    strides
+}
+
+/// Compression pass: predicts every point, writing one quantization symbol
+/// per point into `symbols` (raster order) and overwriting `buf` with the
+/// decoder-identical reconstruction. Masked points are skipped (their symbol
+/// is a zero-bin placeholder the encoder drops; `buf` keeps the fill value).
+///
+/// Returns the escape (literal) count. Escaped points keep their original
+/// value in `buf`; collect literals by scanning `symbols` for [`ESCAPE`].
+pub fn predict_quantize(
+    buf: &mut [f32],
+    dims: &[usize],
+    params: &InterpParams,
+    quantizer: &LinearQuantizer,
+    symbols: &mut [u32],
+) -> usize {
+    predict_quantize_leveled(buf, dims, params, &|_| *quantizer, symbols)
+}
+
+/// [`predict_quantize`] with a per-level quantizer: `quantizer_for(stride)`
+/// supplies the quantizer used at interpolation stride `stride` (the anchor
+/// point is stride 0). QoZ-style compressors tighten coarse levels this way;
+/// any returned bound ≤ the advertised user bound keeps the global contract.
+/// The decoder must be driven with the identical policy
+/// ([`reconstruct_leveled`]).
+pub fn predict_quantize_leveled(
+    buf: &mut [f32],
+    dims: &[usize],
+    params: &InterpParams,
+    quantizer_for: &dyn Fn(usize) -> LinearQuantizer,
+    symbols: &mut [u32],
+) -> usize {
+    let expected: usize = dims.iter().product();
+    assert_eq!(buf.len(), expected, "buffer/shape mismatch");
+    assert_eq!(symbols.len(), expected, "symbol grid/shape mismatch");
+    if let Some(m) = params.mask {
+        assert_eq!(m.len(), expected);
+    }
+
+    // Zero-bin placeholder for masked points so the grid is fully populated.
+    let zero_sym = cliz_quant::bin_to_symbol(0);
+    let mut escapes = 0usize;
+    walk(dims, params, buf, |buf, idx, stride, pred| {
+        if !params.is_valid(idx) {
+            symbols[idx] = zero_sym;
+            return;
+        }
+        match quantizer_for(stride).quantize(buf[idx], pred) {
+            Quantized::Bin { symbol, recon } => {
+                symbols[idx] = symbol;
+                buf[idx] = recon;
+            }
+            Quantized::Escape => {
+                symbols[idx] = ESCAPE;
+                escapes += 1;
+                // buf keeps the exact original value = the stored literal.
+            }
+        }
+    });
+    escapes
+}
+
+/// Decompression pass: replays `symbols` (raster order) into `buf`.
+/// `literals` supplies escape values in raster order. Masked points receive
+/// `fill_value`.
+pub fn reconstruct(
+    buf: &mut [f32],
+    dims: &[usize],
+    params: &InterpParams,
+    quantizer: &LinearQuantizer,
+    symbols: &[u32],
+    literals: &[f32],
+    fill_value: f32,
+) {
+    reconstruct_leveled(
+        buf,
+        dims,
+        params,
+        &|_| *quantizer,
+        symbols,
+        literals,
+        fill_value,
+    )
+}
+
+/// [`reconstruct`] with a per-level quantizer mirroring
+/// [`predict_quantize_leveled`].
+pub fn reconstruct_leveled(
+    buf: &mut [f32],
+    dims: &[usize],
+    params: &InterpParams,
+    quantizer_for: &dyn Fn(usize) -> LinearQuantizer,
+    symbols: &[u32],
+    literals: &[f32],
+    fill_value: f32,
+) {
+    let expected: usize = dims.iter().product();
+    assert_eq!(buf.len(), expected);
+    assert_eq!(symbols.len(), expected);
+
+    // Pre-scatter literals to their raster positions.
+    let mut lit_grid: Option<Vec<f32>> = None;
+    {
+        let mut it = literals.iter();
+        let mut grid = vec![0.0f32; expected];
+        let mut any = false;
+        for (i, &s) in symbols.iter().enumerate() {
+            if s == ESCAPE && params.is_valid(i) {
+                let v = *it
+                    .next()
+                    .expect("literal stream shorter than escape count");
+                grid[i] = v;
+                any = true;
+            }
+        }
+        assert!(it.next().is_none(), "literal stream longer than escape count");
+        if any {
+            lit_grid = Some(grid);
+        }
+    }
+
+    for (i, v) in buf.iter_mut().enumerate() {
+        if !params.is_valid(i) {
+            *v = fill_value;
+        }
+    }
+
+    walk(dims, params, buf, |buf, idx, stride, pred| {
+        if !params.is_valid(idx) {
+            return;
+        }
+        let s = symbols[idx];
+        buf[idx] = if s == ESCAPE {
+            lit_grid.as_ref().expect("escape without literals")[idx]
+        } else {
+            quantizer_for(stride).recover(s, pred)
+        };
+    });
+}
+
+/// The traversal skeleton. Calls `visit(buf, idx, stride, pred)` exactly
+/// once per point in a deterministic order, where `pred` is the fit
+/// prediction computed from already-visited (reconstructed) neighbours and
+/// `stride` is the interpolation level (0 for the anchor). The visitor may
+/// rewrite `buf[idx]`; predictions for later points see the rewrite.
+///
+/// Order: the all-zero anchor first (predicted as 0.0), then levels with
+/// strides `s = 2^L … 1`; within a level, dimensions in ascending index
+/// order (the caller controls effective order by physically permuting data).
+fn walk<F>(dims: &[usize], params: &InterpParams, buf: &mut [f32], mut visit: F)
+where
+    F: FnMut(&mut [f32], usize, usize, f64),
+{
+    let ndim = dims.len();
+    let strides = strides_of(dims);
+    let max_dim = dims.iter().copied().max().unwrap_or(1);
+
+    // Anchor point: nothing is known yet, predict zero.
+    visit(buf, 0, 0, 0.0);
+    if max_dim <= 1 {
+        return;
+    }
+
+    // Top stride: largest power of two strictly below max_dim, so the first
+    // level predicts at least one point along the longest dimension.
+    let mut s = 1usize;
+    while s * 2 < max_dim {
+        s *= 2;
+    }
+
+    let fitting = params.fitting;
+    let mask = params.mask;
+
+    while s >= 1 {
+        for d in 0..ndim {
+            if dims[d] <= s {
+                continue; // no odd multiples of s inside this dimension
+            }
+            // Odometer over all dims except `d`: step s for dims < d (already
+            // refined this level), 2s for dims > d (still coarse).
+            let mut coords = vec![0usize; ndim];
+            let dim_stride = strides[d];
+            let dim_len = dims[d];
+            'outer: loop {
+                // Base linear index of the current line (coord d = 0).
+                let mut base = 0usize;
+                for e in 0..ndim {
+                    if e != d {
+                        base += coords[e] * strides[e];
+                    }
+                }
+                // Predict points at odd multiples of s along dim d. The
+                // prediction is computed eagerly (the visitor only rewrites
+                // buf[idx], which the fit never references).
+                let mut i = s;
+                while i < dim_len {
+                    let idx = base + i * dim_stride;
+                    let pred =
+                        predict_at(buf, mask, idx, i, dim_len, dim_stride, s, fitting);
+                    visit(buf, idx, s, pred);
+                    i += 2 * s;
+                }
+                // Advance the odometer.
+                let mut e = ndim;
+                loop {
+                    if e == 0 {
+                        break 'outer;
+                    }
+                    e -= 1;
+                    if e == d {
+                        continue;
+                    }
+                    let step = if e < d { s } else { 2 * s };
+                    coords[e] += step;
+                    if coords[e] < dims[e] {
+                        break;
+                    }
+                    coords[e] = 0;
+                }
+            }
+        }
+        if s == 1 {
+            break;
+        }
+        s /= 2;
+    }
+}
+
+/// Computes the fit prediction for the point at linear index `idx`, which
+/// sits at coordinate `i` along the active dimension (stride `dim_stride`,
+/// length `dim_len`), using neighbours at `i ± s` and `i ± 3s`.
+#[inline]
+fn predict_at(
+    buf: &[f32],
+    mask: Option<&[bool]>,
+    idx: usize,
+    i: usize,
+    dim_len: usize,
+    dim_stride: usize,
+    s: usize,
+    fitting: Fitting,
+) -> f64 {
+    // Interior fast path: no mask and every reference in bounds — by far the
+    // common case on climate-sized grids, and free of per-reference branches.
+    if mask.is_none() {
+        let step = s * dim_stride;
+        match fitting {
+            Fitting::Linear if i >= s && i + s < dim_len => {
+                return 0.5 * (buf[idx - step] as f64 + buf[idx + step] as f64);
+            }
+            Fitting::Cubic if i >= 3 * s && i + 3 * s < dim_len => {
+                let d0 = buf[idx - 3 * step] as f64;
+                let d1 = buf[idx - step] as f64;
+                let d2 = buf[idx + step] as f64;
+                let d3 = buf[idx + 3 * step] as f64;
+                return (9.0 / 16.0) * (d1 + d2) - (1.0 / 16.0) * (d0 + d3);
+            }
+            _ => {}
+        }
+    }
+
+    let avail = |offset_steps: isize| -> Option<usize> {
+        let pos = i as isize + offset_steps * s as isize;
+        if pos < 0 || pos as usize >= dim_len {
+            return None;
+        }
+        let j = (idx as isize + offset_steps * (s * dim_stride) as isize) as usize;
+        if mask.is_some_and(|m| !m[j]) {
+            return None;
+        }
+        Some(j)
+    };
+    match fitting {
+        Fitting::Linear => {
+            let refs = [avail(-1), avail(1)];
+            let c = linear_coeffs([refs[0].is_some(), refs[1].is_some()]);
+            let mut p = 0.0f64;
+            for (r, &coef) in refs.iter().zip(&c) {
+                if let Some(j) = r {
+                    p += coef * buf[*j] as f64;
+                }
+            }
+            p
+        }
+        Fitting::Cubic => {
+            let refs = [avail(-3), avail(-1), avail(1), avail(3)];
+            let c = cubic_coeffs([
+                refs[0].is_some(),
+                refs[1].is_some(),
+                refs[2].is_some(),
+                refs[3].is_some(),
+            ]);
+            let mut p = 0.0f64;
+            for (r, &coef) in refs.iter().zip(&c) {
+                if let Some(j) = r {
+                    p += coef * buf[*j] as f64;
+                }
+            }
+            p
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cliz_quant::bin_to_symbol;
+
+    /// Full round-trip helper: compress then decompress, assert error bound.
+    fn roundtrip(
+        data: &[f32],
+        dims: &[usize],
+        fitting: Fitting,
+        mask: Option<&[bool]>,
+        eb: f64,
+    ) -> (Vec<f32>, usize) {
+        let q = LinearQuantizer::new(eb);
+        let params = match mask {
+            Some(m) => InterpParams::with_mask(fitting, m),
+            None => InterpParams::new(fitting),
+        };
+        let mut buf = data.to_vec();
+        let mut symbols = vec![0u32; data.len()];
+        let escapes = predict_quantize(&mut buf, dims, &params, &q, &mut symbols);
+
+        // Literals in raster order = original values at escape positions.
+        let literals: Vec<f32> = symbols
+            .iter()
+            .enumerate()
+            .filter(|&(i, &s)| s == ESCAPE && mask.is_none_or(|m| m[i]))
+            .map(|(i, _)| data[i])
+            .collect();
+        assert_eq!(literals.len(), escapes);
+
+        let mut out = vec![0.0f32; data.len()];
+        reconstruct(&mut out, dims, &params, &q, &symbols, &literals, -999.0);
+
+        for (i, (&orig, &rec)) in data.iter().zip(&out).enumerate() {
+            if mask.is_none_or(|m| m[i]) {
+                assert!(
+                    (orig as f64 - rec as f64).abs() <= eb,
+                    "bound violated at {i}: {orig} vs {rec}"
+                );
+                // Encoder's in-place reconstruction must equal decoder output.
+                assert_eq!(buf[i], rec, "enc/dec divergence at {i}");
+            } else {
+                assert_eq!(rec, -999.0, "masked point not filled at {i}");
+            }
+        }
+        (out, escapes)
+    }
+
+    fn smooth_3d(dims: &[usize]) -> Vec<f32> {
+        let (a, b, c) = (dims[0], dims[1], dims[2]);
+        let mut v = Vec::with_capacity(a * b * c);
+        for i in 0..a {
+            for j in 0..b {
+                for k in 0..c {
+                    let x = i as f64 / a as f64;
+                    let y = j as f64 / b as f64;
+                    let z = k as f64 / c as f64;
+                    v.push((10.0 * (x * 3.1).sin() + 5.0 * (y * 2.0).cos() + z * z) as f32);
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn roundtrip_1d_linear() {
+        let data: Vec<f32> = (0..100).map(|i| (i as f32 * 0.3).sin() * 4.0).collect();
+        roundtrip(&data, &[100], Fitting::Linear, None, 1e-3);
+    }
+
+    #[test]
+    fn roundtrip_1d_cubic() {
+        let data: Vec<f32> = (0..257).map(|i| (i as f32 * 0.1).cos() * 7.0).collect();
+        roundtrip(&data, &[257], Fitting::Cubic, None, 1e-4);
+    }
+
+    #[test]
+    fn roundtrip_2d_both_fittings() {
+        let dims = [33, 47];
+        let data: Vec<f32> = (0..33 * 47)
+            .map(|i| {
+                let (r, c) = (i / 47, i % 47);
+                ((r as f32 * 0.2).sin() + (c as f32 * 0.15).cos()) * 3.0
+            })
+            .collect();
+        roundtrip(&data, &dims, Fitting::Linear, None, 1e-3);
+        roundtrip(&data, &dims, Fitting::Cubic, None, 1e-3);
+    }
+
+    #[test]
+    fn roundtrip_3d() {
+        let dims = [6, 20, 24];
+        let data = smooth_3d(&dims);
+        roundtrip(&data, &dims, Fitting::Cubic, None, 1e-3);
+    }
+
+    #[test]
+    fn roundtrip_4d() {
+        let dims = [3, 5, 8, 13];
+        let n: usize = dims.iter().product();
+        let data: Vec<f32> = (0..n).map(|i| ((i % 97) as f32 * 0.21).sin()).collect();
+        roundtrip(&data, &dims, Fitting::Linear, None, 1e-3);
+    }
+
+    #[test]
+    fn smooth_data_mostly_zero_bins() {
+        let dims = [16, 64, 64];
+        let data = smooth_3d(&dims);
+        let q = LinearQuantizer::new(1e-2);
+        let params = InterpParams::new(Fitting::Cubic);
+        let mut buf = data.clone();
+        let mut symbols = vec![0u32; data.len()];
+        let escapes = predict_quantize(&mut buf, &dims, &params, &q, &mut symbols);
+        // The anchor escapes (value >> eb against prediction 0); smoothness
+        // keeps everything else in tiny bins.
+        assert!(escapes <= 4, "{escapes} escapes");
+        let zero = bin_to_symbol(0);
+        let near: usize = symbols
+            .iter()
+            .filter(|&&s| s != ESCAPE && s <= zero + 4)
+            .count();
+        assert!(
+            near as f64 / data.len() as f64 > 0.9,
+            "only {near}/{} small bins",
+            data.len()
+        );
+    }
+
+    #[test]
+    fn single_point_grid() {
+        roundtrip(&[42.0], &[1], Fitting::Cubic, None, 1e-6);
+    }
+
+    #[test]
+    fn tiny_grids() {
+        for dims in [&[2usize][..], &[3], &[2, 2], &[1, 5], &[2, 1, 3]] {
+            let n: usize = dims.iter().product();
+            let data: Vec<f32> = (0..n).map(|i| i as f32 * 1.7 - 3.0).collect();
+            roundtrip(&data, dims, Fitting::Linear, None, 1e-3);
+            roundtrip(&data, dims, Fitting::Cubic, None, 1e-3);
+        }
+    }
+
+    #[test]
+    fn masked_roundtrip_ignores_fill_values() {
+        // A smooth field with a block of huge fill values (like CESM land).
+        let dims = [24, 24];
+        let mut data: Vec<f32> = (0..576)
+            .map(|i| {
+                let (r, c) = (i / 24, i % 24);
+                ((r as f32 * 0.3).sin() + (c as f32 * 0.25).cos()) * 2.0
+            })
+            .collect();
+        let mut mask = vec![true; 576];
+        for r in 8..16 {
+            for c in 8..16 {
+                data[r * 24 + c] = 1.0e32; // fill value
+                mask[r * 24 + c] = false;
+            }
+        }
+        let (_, escapes) = roundtrip(&data, &dims, Fitting::Cubic, Some(&mask), 1e-3);
+        // Fill values must not leak into predictions: with the mask active the
+        // valid region is smooth, so escapes stay at the anchor only.
+        assert!(escapes <= 2, "mask leak caused {escapes} escapes");
+    }
+
+    #[test]
+    fn unmasked_fill_values_wreck_prediction() {
+        // Control experiment for the test above: WITHOUT the mask the huge
+        // values must cause many escapes/large bins — this asymmetry is the
+        // paper's motivation for mask-aware prediction.
+        let dims = [24, 24];
+        let mut data: Vec<f32> = (0..576)
+            .map(|i| {
+                let (r, c) = (i / 24, i % 24);
+                ((r as f32 * 0.3).sin() + (c as f32 * 0.25).cos()) * 2.0
+            })
+            .collect();
+        for r in 8..16 {
+            for c in 8..16 {
+                data[r * 24 + c] = 1.0e32;
+            }
+        }
+        let q = LinearQuantizer::new(1e-3);
+        let params = InterpParams::new(Fitting::Cubic);
+        let mut buf = data.clone();
+        let mut symbols = vec![0u32; data.len()];
+        let escapes = predict_quantize(&mut buf, &dims, &params, &q, &mut symbols);
+        assert!(escapes > 30, "expected fill-value damage, got {escapes}");
+    }
+
+    #[test]
+    fn fully_masked_grid() {
+        let dims = [4, 4];
+        let data = vec![1.0e32f32; 16];
+        let mask = vec![false; 16];
+        roundtrip(&data, &dims, Fitting::Linear, Some(&mask), 1e-3);
+    }
+
+    #[test]
+    fn rough_data_roundtrips_via_escapes() {
+        // Pseudo-random rough data: predictions fail, escapes must save it.
+        let mut state = 7u64;
+        let data: Vec<f32> = (0..500)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 40) as f32 / 1e4) * if state & 1 == 0 { 1.0 } else { -1.0 }
+            })
+            .collect();
+        roundtrip(&data, &[500], Fitting::Cubic, None, 1e-9);
+    }
+
+    #[test]
+    fn cubic_beats_linear_on_smooth_curves() {
+        let data: Vec<f32> = (0..1024)
+            .map(|i| ((i as f64) * 0.01).sin() as f32 * 100.0)
+            .collect();
+        let q = LinearQuantizer::new(1e-4);
+        let sum_mag = |fitting| {
+            let params = InterpParams::new(fitting);
+            let mut buf = data.clone();
+            let mut symbols = vec![0u32; data.len()];
+            predict_quantize(&mut buf, &[1024], &params, &q, &mut symbols);
+            symbols
+                .iter()
+                .filter(|&&s| s != ESCAPE)
+                .map(|&s| cliz_quant::symbol_to_bin(s).unsigned_abs() as u64)
+                .sum::<u64>()
+        };
+        let lin = sum_mag(Fitting::Linear);
+        let cub = sum_mag(Fitting::Cubic);
+        assert!(cub < lin, "cubic bins {cub} !< linear bins {lin}");
+    }
+}

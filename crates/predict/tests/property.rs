@@ -1,0 +1,117 @@
+//! Property tests for the interpolation predictor: encode/decode symmetry
+//! and the error-bound contract under arbitrary shapes, data, masks, and
+//! fitting families.
+
+use cliz_predict::{predict_quantize, reconstruct, Fitting, InterpParams};
+use cliz_quant::{LinearQuantizer, ESCAPE};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Case {
+    dims: Vec<usize>,
+    data: Vec<f32>,
+    mask: Option<Vec<bool>>,
+    eb: f64,
+    fitting: Fitting,
+}
+
+fn case_strategy() -> impl Strategy<Value = Case> {
+    let dims = prop_oneof![
+        prop::collection::vec(1usize..50, 1),
+        prop::collection::vec(1usize..16, 2),
+        prop::collection::vec(1usize..8, 3),
+    ];
+    (dims, any::<u64>(), 1e-6f64..1e-1, any::<bool>(), 0u8..3).prop_map(
+        |(dims, seed, eb, cubic, mask_kind)| {
+            let n: usize = dims.iter().product();
+            let mut state = seed | 1;
+            let mut rnd = move || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as f64 / (1u64 << 31) as f64 - 1.0
+            };
+            let data: Vec<f32> = (0..n)
+                .map(|i| (((i as f64) * 0.21).sin() * 8.0 + rnd() * 0.5) as f32)
+                .collect();
+            let mask = match mask_kind {
+                0 => None,
+                1 => Some((0..n).map(|i| i % 4 != 0).collect()),
+                _ => Some((0..n).map(|i| i % 3 == 1).collect()),
+            };
+            Case {
+                dims,
+                data,
+                mask,
+                eb,
+                fitting: if cubic { Fitting::Cubic } else { Fitting::Linear },
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The full contract in one property: encoder reconstruction equals
+    /// decoder output bit-for-bit, the bound holds on valid points, and
+    /// masked points receive the fill value.
+    #[test]
+    fn roundtrip_contract(case in case_strategy()) {
+        let q = LinearQuantizer::new(case.eb);
+        let params = match &case.mask {
+            Some(m) => InterpParams::with_mask(case.fitting, m),
+            None => InterpParams::new(case.fitting),
+        };
+        let mut enc_buf = case.data.clone();
+        let mut symbols = vec![0u32; case.data.len()];
+        let escapes = predict_quantize(&mut enc_buf, &case.dims, &params, &q, &mut symbols);
+
+        let is_valid = |i: usize| case.mask.as_ref().is_none_or(|m| m[i]);
+        let literals: Vec<f32> = symbols
+            .iter()
+            .enumerate()
+            .filter(|&(i, &s)| s == ESCAPE && is_valid(i))
+            .map(|(i, _)| case.data[i])
+            .collect();
+        prop_assert_eq!(literals.len(), escapes);
+
+        let mut dec_buf = vec![0.0f32; case.data.len()];
+        reconstruct(&mut dec_buf, &case.dims, &params, &q, &symbols, &literals, -5.5);
+
+        for i in 0..case.data.len() {
+            if is_valid(i) {
+                prop_assert!(
+                    (case.data[i] as f64 - dec_buf[i] as f64).abs()
+                        <= case.eb * (1.0 + 1e-12),
+                    "bound violated at {} ({} vs {})", i, case.data[i], dec_buf[i]
+                );
+                prop_assert_eq!(enc_buf[i].to_bits(), dec_buf[i].to_bits(),
+                    "enc/dec divergence at {}", i);
+            } else {
+                prop_assert_eq!(dec_buf[i], -5.5);
+            }
+        }
+    }
+
+    /// Symbols at masked positions are placeholders and escapes never occur
+    /// there.
+    #[test]
+    fn masked_positions_inert(case in case_strategy()) {
+        prop_assume!(case.mask.is_some());
+        let q = LinearQuantizer::new(case.eb);
+        let mask = case.mask.as_ref().unwrap();
+        let params = InterpParams::with_mask(case.fitting, mask);
+        let mut buf = case.data.clone();
+        let mut symbols = vec![0u32; buf.len()];
+        predict_quantize(&mut buf, &case.dims, &params, &q, &mut symbols);
+        let zero = cliz_quant::bin_to_symbol(0);
+        for (i, &s) in symbols.iter().enumerate() {
+            if !mask[i] {
+                prop_assert_eq!(s, zero);
+                // Masked data is never rewritten by the encoder.
+                prop_assert_eq!(buf[i].to_bits(), case.data[i].to_bits());
+            }
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! User-facing error-bound specification.
+
+/// How the user expresses the tolerable pointwise error.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ErrorBound {
+    /// Absolute bound: `|x − x̂| ≤ eb`.
+    Abs(f64),
+    /// Value-range-relative bound: `|x − x̂| ≤ ratio × (max − min)`, the form
+    /// used throughout the paper's evaluation ("relative error boundary").
+    Rel(f64),
+}
+
+impl ErrorBound {
+    /// Resolves to an absolute bound given the data's finite value range.
+    ///
+    /// A degenerate range (constant data) resolves a relative bound to a tiny
+    /// positive epsilon so the quantizer still works and the guarantee is
+    /// trivially met.
+    pub fn resolve(self, min: f32, max: f32) -> f64 {
+        match self {
+            ErrorBound::Abs(eb) => {
+                assert!(eb > 0.0, "absolute error bound must be positive");
+                eb
+            }
+            ErrorBound::Rel(ratio) => {
+                assert!(ratio > 0.0, "relative error bound must be positive");
+                let range = (max as f64 - min as f64).abs();
+                if range > 0.0 {
+                    ratio * range
+                } else {
+                    f64::EPSILON
+                }
+            }
+        }
+    }
+
+    /// Paper-style label ("rel 1e-3", "abs 0.5") for experiment tables.
+    pub fn label(&self) -> String {
+        match self {
+            ErrorBound::Abs(eb) => format!("abs {eb:.0e}"),
+            ErrorBound::Rel(r) => format!("rel {r:.0e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abs_passthrough() {
+        assert_eq!(ErrorBound::Abs(0.5).resolve(-1.0, 1.0), 0.5);
+    }
+
+    #[test]
+    fn rel_scales_by_range() {
+        let eb = ErrorBound::Rel(1e-2).resolve(-3.0, 7.0);
+        assert!((eb - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rel_on_constant_data_is_positive() {
+        let eb = ErrorBound::Rel(1e-3).resolve(5.0, 5.0);
+        assert!(eb > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bound_rejected() {
+        ErrorBound::Abs(0.0).resolve(0.0, 1.0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ErrorBound::Rel(1e-3).label(), "rel 1e-3");
+        assert_eq!(ErrorBound::Abs(2.0).label(), "abs 2e0");
+    }
+}

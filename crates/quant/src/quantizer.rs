@@ -1,0 +1,167 @@
+//! Error-bounded linear-scale quantizer (the SZ3 quantizer CliZ inherits).
+
+use crate::symbol::{bin_to_symbol, symbol_to_bin, ESCAPE};
+
+/// Outcome of quantizing one value against its prediction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Quantized {
+    /// Value representable as `pred + 2·eb·bin`; `recon` is the decoder-side
+    /// reconstruction (bit-identical on both sides).
+    Bin { symbol: u32, recon: f32 },
+    /// Prediction too far off — the exact value is stored literally.
+    Escape,
+}
+
+/// Fixed-step linear quantizer with an escape channel.
+///
+/// `radius` bounds |bin|; SZ3's default of 32768 (capacity 2^16) is kept.
+/// Every reconstruction satisfies `|x − recon| ≤ eb` — verified post-hoc with
+/// the exact f32 arithmetic the decoder will use, so float rounding can never
+/// silently break the bound.
+#[derive(Clone, Copy, Debug)]
+pub struct LinearQuantizer {
+    eb: f64,
+    radius: i32,
+}
+
+impl LinearQuantizer {
+    pub fn new(eb: f64) -> Self {
+        assert!(eb > 0.0 && eb.is_finite(), "error bound must be positive");
+        Self { eb, radius: 1 << 15 }
+    }
+
+    pub fn with_radius(eb: f64, radius: i32) -> Self {
+        assert!(radius > 0);
+        let mut q = Self::new(eb);
+        q.radius = radius;
+        q
+    }
+
+    #[inline]
+    pub fn eb(&self) -> f64 {
+        self.eb
+    }
+
+    /// Largest symbol this quantizer can emit (for alphabet sizing).
+    /// Zigzag maps `+radius` above `-radius`, so that is the extreme.
+    pub fn max_symbol(&self) -> u32 {
+        bin_to_symbol(self.radius)
+    }
+
+    /// Quantizes `value` against `pred`.
+    #[inline]
+    pub fn quantize(&self, value: f32, pred: f64) -> Quantized {
+        let err = value as f64 - pred;
+        let step = 2.0 * self.eb;
+        let bin_f = (err / step).round();
+        // NaN/inf inputs or predictions fail this check (NaN compares false),
+        // so `bin_f.abs() > radius` alone would let them through.
+        if !(bin_f.abs() <= self.radius as f64) {
+            return Quantized::Escape;
+        }
+        let bin = bin_f as i32;
+        let recon = (pred + step * bin as f64) as f32;
+        // Exactness check in decoder arithmetic: reject on any rounding slip.
+        // Written as a negated `<=` so a NaN difference also escapes.
+        if !(((recon as f64) - (value as f64)).abs() <= self.eb) || !recon.is_finite() {
+            return Quantized::Escape;
+        }
+        Quantized::Bin {
+            symbol: bin_to_symbol(bin),
+            recon,
+        }
+    }
+
+    /// Decoder-side reconstruction for a non-escape symbol.
+    #[inline]
+    pub fn recover(&self, symbol: u32, pred: f64) -> f32 {
+        debug_assert_ne!(symbol, ESCAPE);
+        let bin = symbol_to_bin(symbol);
+        (pred + 2.0 * self.eb * bin as f64) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_gives_zero_bin() {
+        let q = LinearQuantizer::new(0.1);
+        match q.quantize(5.0, 5.0) {
+            Quantized::Bin { symbol, recon } => {
+                assert_eq!(symbol, bin_to_symbol(0));
+                assert_eq!(recon, 5.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bound_holds_across_error_magnitudes() {
+        let q = LinearQuantizer::new(0.01);
+        let pred = 1.0f64;
+        let mut escapes = 0usize;
+        for i in -5000..5000 {
+            let value = (pred + i as f64 * 0.0137) as f32;
+            match q.quantize(value, pred) {
+                Quantized::Bin { symbol, recon } => {
+                    assert!(
+                        ((recon as f64) - (value as f64)).abs() <= 0.01,
+                        "bound violated at {value}"
+                    );
+                    // Decoder path must agree bit-for-bit.
+                    assert_eq!(q.recover(symbol, pred), recon);
+                }
+                // Exact half-step boundaries may conservatively escape when
+                // f32 rounding nudges the reconstruction past the bound;
+                // that is correct behaviour but must stay rare.
+                Quantized::Escape => escapes += 1,
+            }
+        }
+        assert!(escapes < 100, "{escapes} escapes out of 10000");
+    }
+
+    #[test]
+    fn huge_error_escapes() {
+        let q = LinearQuantizer::new(1e-6);
+        assert_eq!(q.quantize(1e9, 0.0), Quantized::Escape);
+    }
+
+    #[test]
+    fn nan_input_escapes() {
+        let q = LinearQuantizer::new(0.1);
+        assert_eq!(q.quantize(f32::NAN, 0.0), Quantized::Escape);
+    }
+
+    #[test]
+    fn nonfinite_prediction_escapes() {
+        let q = LinearQuantizer::new(0.1);
+        // A wild prediction whose correction would overflow f32.
+        assert_eq!(q.quantize(1.0, f64::MAX), Quantized::Escape);
+    }
+
+    #[test]
+    fn small_radius_escapes_sooner() {
+        let q = LinearQuantizer::with_radius(0.5, 4);
+        assert!(matches!(q.quantize(3.9, 0.0), Quantized::Bin { .. }));
+        assert_eq!(q.quantize(20.0, 0.0), Quantized::Escape);
+    }
+
+    #[test]
+    fn max_symbol_covers_radius() {
+        let q = LinearQuantizer::with_radius(0.5, 4);
+        // All emittable symbols fit below max_symbol()+1.
+        for v in [-4.0f32, -2.0, 0.0, 2.0, 4.0] {
+            if let Quantized::Bin { symbol, .. } = q.quantize(v, 0.0) {
+                assert!(symbol <= q.max_symbol());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_eb() {
+        LinearQuantizer::new(-1.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Bin ↔ symbol mapping.
+//!
+//! Quantization bins are signed and sharply peaked at 0; Huffman symbols are
+//! dense unsigned ids. Zigzag maps 0,−1,1,−2,2,… to 1,2,3,4,5,… so small
+//! magnitudes get small symbols; symbol 0 is reserved as the *escape* marker
+//! for unpredictable points whose exact value travels in a literal channel.
+
+/// Reserved symbol marking an unpredictable (literal) value.
+pub const ESCAPE: u32 = 0;
+
+/// Zigzag-encodes a signed bin into a symbol ≥ 1.
+#[inline]
+pub fn bin_to_symbol(bin: i32) -> u32 {
+    let z = ((bin << 1) ^ (bin >> 31)) as u32;
+    z + 1
+}
+
+/// Inverse of [`bin_to_symbol`].
+///
+/// # Panics
+/// Debug-panics on [`ESCAPE`] — callers must handle escapes before decoding.
+#[inline]
+pub fn symbol_to_bin(symbol: u32) -> i32 {
+    debug_assert_ne!(symbol, ESCAPE, "escape symbol has no bin value");
+    let z = symbol - 1;
+    (z >> 1) as i32 ^ -((z & 1) as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_ordering() {
+        // Small magnitudes -> small symbols, with 0 the smallest.
+        assert_eq!(bin_to_symbol(0), 1);
+        assert_eq!(bin_to_symbol(-1), 2);
+        assert_eq!(bin_to_symbol(1), 3);
+        assert_eq!(bin_to_symbol(-2), 4);
+        assert_eq!(bin_to_symbol(2), 5);
+    }
+
+    #[test]
+    fn roundtrip_range() {
+        for bin in -70_000i32..70_000 {
+            assert_eq!(symbol_to_bin(bin_to_symbol(bin)), bin);
+        }
+    }
+
+    #[test]
+    fn escape_is_reserved() {
+        // No bin maps to the escape symbol.
+        for bin in -1000i32..1000 {
+            assert_ne!(bin_to_symbol(bin), ESCAPE);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Multi-core compression-farm model.
+//!
+//! In the paper's Fig. 13 setup every core compresses one file, then the
+//! batch ships over Globus. With `n_cores` ≥ `n_files` the compression wall
+//! time is the slowest single file; we measure real per-file times on the
+//! host (in parallel via rayon) and combine them with the simulated core
+//! count.
+
+use rayon::prelude::*;
+
+/// Result of running a compression workload across a simulated core count.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FarmReport {
+    /// Simulated cores.
+    pub cores: usize,
+    /// Files processed.
+    pub files: usize,
+    /// Measured per-file compression seconds (host wall time, one file).
+    pub per_file_seconds: Vec<f64>,
+    /// Simulated farm wall time: files are LPT-scheduled onto `cores`.
+    pub wall_seconds: f64,
+    /// Compressed output size per file.
+    pub compressed_sizes: Vec<u64>,
+}
+
+/// Runs `compress_one(i)` for each of `n_files` files (in parallel on the
+/// host to amortize measurement time), then schedules the measured durations
+/// onto `cores` simulated cores.
+///
+/// `compress_one` returns the compressed size in bytes.
+pub fn measure_farm(
+    n_files: usize,
+    cores: usize,
+    compress_one: impl Fn(usize) -> u64 + Sync,
+) -> FarmReport {
+    let results: Vec<(f64, u64)> = (0..n_files)
+        .into_par_iter()
+        .map(|i| {
+            let t0 = std::time::Instant::now();
+            let size = compress_one(i);
+            (t0.elapsed().as_secs_f64(), size)
+        })
+        .collect();
+    let per_file_seconds: Vec<f64> = results.iter().map(|r| r.0).collect();
+    let compressed_sizes: Vec<u64> = results.iter().map(|r| r.1).collect();
+    let wall_seconds = schedule_lpt(&per_file_seconds, cores);
+    FarmReport {
+        cores,
+        files: n_files,
+        per_file_seconds,
+        wall_seconds,
+        compressed_sizes,
+    }
+}
+
+/// Longest-processing-time-first makespan on `cores` identical machines.
+pub fn schedule_lpt(durations: &[f64], cores: usize) -> f64 {
+    if durations.is_empty() {
+        return 0.0;
+    }
+    let cores = cores.max(1);
+    let mut sorted: Vec<f64> = durations.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    let mut load = vec![0.0f64; cores.min(durations.len())];
+    for d in sorted {
+        let i = load
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .expect("non-empty load vector");
+        load[i] += d;
+    }
+    load.into_iter().fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lpt_single_core_sums() {
+        let d = [1.0, 2.0, 3.0];
+        assert!((schedule_lpt(&d, 1) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lpt_many_cores_is_max() {
+        let d = [1.0, 2.0, 3.0];
+        assert!((schedule_lpt(&d, 8) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lpt_balances() {
+        // {3,3,2,2,2} on 2 cores: LPT assigns 3|3, 2|2, 2 -> makespan 7
+        // (optimal is 6; LPT's 4/3-approximation is fine for the model).
+        let d = [3.0, 3.0, 2.0, 2.0, 2.0];
+        assert!((schedule_lpt(&d, 2) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_farm_is_free() {
+        assert_eq!(schedule_lpt(&[], 4), 0.0);
+    }
+
+    #[test]
+    fn measure_farm_collects_sizes() {
+        let report = measure_farm(6, 3, |i| (i as u64 + 1) * 100);
+        assert_eq!(report.files, 6);
+        assert_eq!(report.compressed_sizes.len(), 6);
+        assert_eq!(report.compressed_sizes.iter().sum::<u64>(), 2100);
+        assert!(report.wall_seconds >= 0.0);
+        assert_eq!(report.per_file_seconds.len(), 6);
+    }
+
+    #[test]
+    fn more_cores_never_slower() {
+        let d: Vec<f64> = (1..=20).map(|i| i as f64 * 0.1).collect();
+        let t4 = schedule_lpt(&d, 4);
+        let t16 = schedule_lpt(&d, 16);
+        assert!(t16 <= t4 + 1e-12);
+    }
+}

@@ -1,0 +1,17 @@
+//! Globus-style WAN transfer simulation (the Fig. 13 experiment substrate).
+//!
+//! The paper measures compression + transfer of climate files between two
+//! real endpoints (ANL Bebop → Purdue Anvil). We cannot reach Globus from an
+//! offline harness, so this crate provides an analytic stand-in: a shared
+//! WAN link with aggregate bandwidth, per-file startup latency, and a
+//! bounded number of concurrent streams (GridFTP-style). The experiment's
+//! conclusion — CliZ's higher compression ratio shrinks the transfer leg by
+//! ~32–38% — depends only on compressed sizes, which the harness measures
+//! for real; the link model just converts bytes to seconds consistently
+//! across compressors.
+
+pub mod farm;
+pub mod link;
+
+pub use farm::{measure_farm, schedule_lpt, FarmReport};
+pub use link::{TransferReport, WanLink};

@@ -1,0 +1,73 @@
+//! Offline auto-tuning, the paper's intended workflow (Fig. 1):
+//!
+//! 1. run the offline tuner once on a training field of a climate model;
+//! 2. reuse the tuned pipeline for online compression of *other* fields and
+//!    snapshots from the same model.
+//!
+//! ```sh
+//! cargo run --release --example climate_model_tuning
+//! ```
+
+use cliz::prelude::*;
+
+fn main() {
+    // Training field: one SSH variable from "the ocean model".
+    let train = cliz::data::ssh(&[96, 80, 240], 11);
+    println!(
+        "training field: {} {} ({:.0}% masked)",
+        train.kind.name(),
+        train.data.shape(),
+        train.invalid_fraction() * 100.0
+    );
+
+    // Offline stage: 1% block sampling, all candidate pipelines.
+    let spec = TuneSpec {
+        sampling_rate: 0.01,
+        time_axis: train.time_axis,
+        bound: ErrorBound::Rel(1e-3),
+    };
+    let t0 = std::time::Instant::now();
+    let result = cliz::autotune(&train.data, train.mask.as_ref(), spec).expect("tuning failed");
+    println!(
+        "tuned over {} candidate pipelines on {} sampled points in {:.2?}",
+        result.ranking.len(),
+        result.sample_points,
+        t0.elapsed()
+    );
+    if let Some(p) = result.period_detected {
+        println!("FFT period detector: period = {p} snapshots (annual cycle)");
+    }
+    println!("winning pipeline: {}", result.best.describe());
+    println!("\ntop five candidates (estimated ratio on the sample):");
+    for cand in result.ranking.iter().take(5) {
+        println!("  {:7.2}x  {}", cand.est_ratio, cand.config.describe());
+    }
+
+    // Online stage: apply the tuned pipeline to new snapshots of the same
+    // model (a different seed stands in for a different ensemble member).
+    println!("\nonline compression with the tuned pipeline:");
+    for seed in [21u64, 22, 23] {
+        let field = cliz::data::ssh(&[96, 80, 240], seed);
+        let bytes = cliz::compress(
+            &field.data,
+            field.mask.as_ref(),
+            ErrorBound::Rel(1e-3),
+            &result.best,
+        )
+        .expect("compress");
+        let baseline_cfg = PipelineConfig::default_for(3);
+        let baseline = cliz::compress(
+            &field.data,
+            field.mask.as_ref(),
+            ErrorBound::Rel(1e-3),
+            &baseline_cfg,
+        )
+        .expect("compress");
+        let original = field.data.len() * 4;
+        println!(
+            "  member {seed}: tuned {:.2}x vs untuned {:.2}x",
+            original as f64 / bytes.len() as f64,
+            original as f64 / baseline.len() as f64,
+        );
+    }
+}

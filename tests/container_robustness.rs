@@ -1,0 +1,157 @@
+//! Container-format robustness: corrupt, truncated, or cross-format streams
+//! must fail cleanly (errors, never panics or wrong silent output).
+
+use cliz::prelude::*;
+use cliz::grid::{Grid, Shape};
+
+fn sample_grid() -> Grid<f32> {
+    Grid::from_fn(Shape::new(&[24, 32]), |c| {
+        ((c[0] as f32 * 0.23).sin() + (c[1] as f32 * 0.31).cos()) * 7.0
+    })
+}
+
+#[test]
+fn truncation_sweep_never_panics() {
+    let g = sample_grid();
+    let bytes = cliz::compress(&g, None, ErrorBound::Abs(1e-3), &PipelineConfig::default_for(2))
+        .unwrap();
+    // Every short prefix in the header region, then a sweep over the body
+    // (step 3 keeps the test fast without losing coverage classes).
+    for cut in (0..64.min(bytes.len())).chain((64..bytes.len()).step_by(3)) {
+        assert!(
+            cliz::decompress(&bytes[..cut], None).is_err(),
+            "prefix of {cut} bytes decoded successfully"
+        );
+    }
+}
+
+#[test]
+fn single_byte_corruption_detected_or_bound_preserved() {
+    // Flipping one byte may still decode (e.g. inside literal values), but
+    // must never panic. When it decodes, dims must match.
+    let g = sample_grid();
+    let bytes = cliz::compress(&g, None, ErrorBound::Abs(1e-3), &PipelineConfig::default_for(2))
+        .unwrap();
+    let mut corrupted = 0usize;
+    for pos in (0..bytes.len()).step_by(7) {
+        let mut b = bytes.clone();
+        b[pos] ^= 0x5A;
+        match cliz::decompress(&b, None) {
+            Err(_) => corrupted += 1,
+            Ok(out) => assert_eq!(out.shape().dims(), &[24, 32]),
+        }
+    }
+    assert!(corrupted > 0, "no corruption ever detected");
+}
+
+#[test]
+fn cross_format_decoding_rejected() {
+    let g = sample_grid();
+    let cliz_bytes =
+        cliz::compress(&g, None, ErrorBound::Abs(1e-3), &PipelineConfig::default_for(2)).unwrap();
+    let sz3_bytes = SzInterp.compress(&g, None, ErrorBound::Abs(1e-3)).unwrap();
+    let zfp_bytes = Zfp.compress(&g, None, ErrorBound::Abs(1e-3)).unwrap();
+
+    assert!(cliz::decompress(&sz3_bytes, None).is_err());
+    assert!(cliz::decompress(&zfp_bytes, None).is_err());
+    assert!(SzInterp.decompress(&cliz_bytes, None).is_err());
+    assert!(Zfp.decompress(&cliz_bytes, None).is_err());
+    assert!(Sperr.decompress(&cliz_bytes, None).is_err());
+    assert!(Qoz.decompress(&sz3_bytes, None).is_err());
+}
+
+#[test]
+fn empty_and_tiny_inputs_rejected() {
+    assert!(cliz::decompress(&[], None).is_err());
+    assert!(cliz::decompress(&[0x43], None).is_err());
+    assert!(cliz::decompress(b"CLIZ", None).is_err());
+}
+
+#[test]
+fn mask_shape_mismatch_rejected() {
+    let g = sample_grid();
+    let mut flags = vec![true; g.len()];
+    flags[0] = false;
+    let mask = cliz::grid::MaskMap::from_flags(g.shape().clone(), flags);
+    let bytes =
+        cliz::compress(&g, Some(&mask), ErrorBound::Abs(1e-3), &PipelineConfig::default_for(2))
+            .unwrap();
+    // Right mask works.
+    assert!(cliz::decompress(&bytes, Some(&mask)).is_ok());
+    // Missing or wrong-shape mask is refused.
+    assert!(cliz::decompress(&bytes, None).is_err());
+    let wrong = cliz::grid::MaskMap::all_valid(Shape::new(&[32, 24]));
+    assert!(cliz::decompress(&bytes, Some(&wrong)).is_err());
+}
+
+#[test]
+fn future_version_rejected() {
+    let g = sample_grid();
+    let mut bytes =
+        cliz::compress(&g, None, ErrorBound::Abs(1e-3), &PipelineConfig::default_for(2))
+            .unwrap();
+    bytes[4] = 99; // version byte
+    match cliz::decompress(&bytes, None) {
+        Err(cliz::ClizError::UnsupportedVersion(99)) => {}
+        other => panic!("expected version error, got {other:?}"),
+    }
+}
+
+#[test]
+fn max_rank_grids_roundtrip() {
+    // 5-D and 6-D are legal (MAX_DIMS = 6): exercise the full pipeline there.
+    for dims in [vec![3usize, 4, 2, 5, 3], vec![2usize, 3, 2, 2, 3, 4]] {
+        let n: usize = dims.iter().product();
+        let g = Grid::from_vec(
+            Shape::new(&dims),
+            (0..n).map(|i| (i as f32 * 0.37).sin() * 3.0).collect(),
+        );
+        let cfg = PipelineConfig::default_for(dims.len());
+        let bytes = cliz::compress(&g, None, ErrorBound::Abs(1e-3), &cfg).unwrap();
+        let out = cliz::decompress(&bytes, None).unwrap();
+        for (a, b) in g.as_slice().iter().zip(out.as_slice()) {
+            assert!((a - b).abs() <= 1e-3 + 1e-9, "rank {}", dims.len());
+        }
+    }
+}
+
+#[test]
+fn nan_values_survive_without_breaking_neighbours() {
+    // Unmasked NaNs must escape to literals, reconstruct bit-exact, and the
+    // finite points must still honour the bound (NaN poisons its neighbours'
+    // predictions into escapes, never into bound violations).
+    let mut g = sample_grid();
+    for &i in &[5usize, 100, 371, 640] {
+        g.as_mut_slice()[i] = f32::NAN;
+    }
+    let bytes =
+        cliz::compress(&g, None, ErrorBound::Abs(1e-3), &PipelineConfig::default_for(2))
+            .unwrap();
+    let out = cliz::decompress(&bytes, None).unwrap();
+    for (i, (&a, &b)) in g.as_slice().iter().zip(out.as_slice()).enumerate() {
+        if a.is_nan() {
+            assert!(b.is_nan(), "NaN lost at {i}");
+        } else {
+            assert!((a as f64 - b as f64).abs() <= 1e-3 * (1.0 + 1e-9), "at {i}");
+        }
+    }
+}
+
+#[test]
+fn compressed_stream_is_deterministic() {
+    let g = sample_grid();
+    let cfg = PipelineConfig::default_for(2);
+    let a = cliz::compress(&g, None, ErrorBound::Abs(1e-3), &cfg).unwrap();
+    let b = cliz::compress(&g, None, ErrorBound::Abs(1e-3), &cfg).unwrap();
+    assert_eq!(a, b, "compression must be deterministic");
+}
+
+#[test]
+fn decompression_is_idempotent_across_calls() {
+    let g = sample_grid();
+    let bytes = cliz::compress(&g, None, ErrorBound::Abs(1e-3), &PipelineConfig::default_for(2))
+        .unwrap();
+    let a = cliz::decompress(&bytes, None).unwrap();
+    let b = cliz::decompress(&bytes, None).unwrap();
+    assert_eq!(a, b);
+}
