@@ -177,7 +177,7 @@ pub fn autotune_fast(
             seconds: c0.elapsed().as_secs_f64(),
         });
     }
-    ranking.sort_by(|a, b| b.est_ratio.partial_cmp(&a.est_ratio).unwrap());
+    ranking.sort_by(|a, b| b.est_ratio.total_cmp(&a.est_ratio));
 
     let mut best = ranking[0].config.clone();
     if let (Periodicity::Extract { .. }, Some(axis), Some(p)) =
@@ -252,7 +252,7 @@ pub fn autotune(
             })
         })
         .collect::<Result<_, ClizError>>()?;
-    ranking.sort_by(|a, b| b.est_ratio.partial_cmp(&a.est_ratio).unwrap());
+    ranking.sort_by(|a, b| b.est_ratio.total_cmp(&a.est_ratio));
 
     // Promote the winner's periodicity to the *full-data* period (the sample
     // gate above only affected evaluation feasibility).

@@ -69,32 +69,36 @@ impl<'a> ByteReader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], ClizError> {
-        if self.pos + n > self.buf.len() {
-            return Err(ClizError::Truncated);
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self.pos.checked_add(n).ok_or(ClizError::Truncated)?;
+        let s = self.buf.get(self.pos..end).ok_or(ClizError::Truncated)?;
+        self.pos = end;
         Ok(s)
     }
 
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], ClizError> {
+        self.take(N)?
+            .try_into()
+            .map_err(|_| ClizError::Truncated)
+    }
+
     pub fn u8(&mut self) -> Result<u8, ClizError> {
-        Ok(self.take(1)?[0])
+        Ok(self.take_array::<1>()?[0])
     }
 
     pub fn u32(&mut self) -> Result<u32, ClizError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
     pub fn u64(&mut self) -> Result<u64, ClizError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 
     pub fn f32(&mut self) -> Result<f32, ClizError> {
-        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(f32::from_le_bytes(self.take_array()?))
     }
 
     pub fn f64(&mut self) -> Result<f64, ClizError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(f64::from_le_bytes(self.take_array()?))
     }
 
     /// Length-prefixed byte block.

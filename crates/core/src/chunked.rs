@@ -150,6 +150,15 @@ pub fn read_header(bytes: &[u8]) -> Result<ChunkedHeader, ClizError> {
         }
         dims.push(d);
     }
+    // The dims are untrusted; reject products that overflow (or that no
+    // allocator could satisfy) before any caller multiplies them unchecked.
+    if dims
+        .iter()
+        .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+        .map_or(true, |t| t > isize::MAX as usize / 4)
+    {
+        return Err(ClizError::Corrupt("dimension product overflows"));
+    }
     let chunk_len = r.u64()? as usize;
     if chunk_len == 0 {
         return Err(ClizError::Corrupt("zero chunk length"));
@@ -162,7 +171,9 @@ pub fn read_header(bytes: &[u8]) -> Result<ChunkedHeader, ClizError> {
     for _ in 0..=n_chunks {
         offsets.push(r.u64()? as usize);
     }
-    if offsets.windows(2).any(|w| w[1] < w[0]) || *offsets.last().unwrap() > bytes.len() {
+    if offsets.windows(2).any(|w| w[1] < w[0])
+        || offsets.last().copied().unwrap_or(usize::MAX) > bytes.len()
+    {
         return Err(ClizError::Corrupt("bad offset table"));
     }
     Ok(ChunkedHeader {
@@ -184,7 +195,9 @@ pub fn decompress_chunk(
     if chunk_index >= header.n_chunks {
         return Err(ClizError::BadConfig("chunk index out of range"));
     }
-    let blob = &bytes[header.offsets[chunk_index]..header.offsets[chunk_index + 1]];
+    let blob = bytes
+        .get(header.offsets[chunk_index]..header.offsets[chunk_index + 1])
+        .ok_or(ClizError::Truncated)?;
     let chunk_mask = match mask {
         Some(m) => {
             if m.shape().dims() != header.dims.as_slice() {
@@ -206,12 +219,30 @@ pub fn decompress_chunked(
 ) -> Result<Grid<f32>, ClizError> {
     let header = read_header(bytes)?;
     let shape = Shape::new(&header.dims);
-    let mut out = vec![0.0f32; shape.len()];
     let slab_stride: usize = header.dims[1..].iter().product();
+    // The header dims are untrusted until the first decoded chunk
+    // corroborates them, so the full-grid allocation waits for that check —
+    // a flipped dimension byte must surface as Corrupt, not as a giant
+    // allocation.
+    let mut out: Vec<f32> = Vec::new();
     for i in 0..header.n_chunks {
         let chunk = decompress_chunk(bytes, i, mask)?;
-        let start = i * header.chunk_len * slab_stride;
-        out[start..start + chunk.len()].copy_from_slice(chunk.as_slice());
+        // A corrupt chunk container can claim any shape; verify it against
+        // the slab geometry before placing it, so a lying chunk surfaces as
+        // an error rather than scrambled output.
+        let start_row = i * header.chunk_len;
+        let mut expected = header.dims.clone();
+        expected[0] = header.chunk_len.min(header.dims[0] - start_row);
+        if chunk.shape().dims() != expected.as_slice() {
+            return Err(ClizError::Corrupt("chunk shape mismatch"));
+        }
+        if i == 0 {
+            out = vec![0.0f32; shape.len()];
+        }
+        let start = start_row * slab_stride;
+        out.get_mut(start..start + chunk.len())
+            .ok_or(ClizError::Corrupt("chunk does not fit the grid"))?
+            .copy_from_slice(chunk.as_slice());
     }
     Ok(Grid::from_vec(shape, out))
 }

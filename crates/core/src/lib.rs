@@ -36,6 +36,9 @@
 //! }
 //! ```
 
+// Decode paths must never panic on untrusted input (see docs/STATIC_ANALYSIS.md).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod autotune;
 pub mod bytesio;
 pub mod chunked;
@@ -47,6 +50,7 @@ pub mod pipeline;
 pub mod stream;
 
 pub use autotune::{autotune, autotune_fast, TuneResult, TuneSpec};
+pub use cliz_grid::cast;
 pub use chunked::{compress_chunked, decompress_chunk, decompress_chunked};
 pub use stream::{ChunkedReader, ChunkedWriter};
 pub use compressor::{compress, compress_with_stats, decompress, valid_min_max, CompressStats};

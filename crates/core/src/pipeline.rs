@@ -131,9 +131,9 @@ pub fn compress_plain(
 
     // 6. Literals for escapes, in raster order over valid positions.
     let mut literals = Vec::with_capacity(escapes * 4);
-    for (i, &s) in symbols.iter().enumerate() {
+    for (i, (&s, &v)) in symbols.iter().zip(&buf).enumerate() {
         if s == ESCAPE && mask_slice.is_none_or(|m| m[i]) {
-            literals.extend_from_slice(&buf[i].to_le_bytes());
+            literals.extend_from_slice(&v.to_le_bytes());
         }
     }
     debug_assert_eq!(literals.len(), escapes * 4);
@@ -185,6 +185,11 @@ pub fn decompress_plain(
         start: r.u8()? as usize,
         len: r.u8()? as usize,
     };
+    // The spec bytes are untrusted and `fuse_shape` asserts range validity,
+    // so reject an out-of-range fusion with a typed error first.
+    if !fusion.is_none() && fusion.start + fusion.len > ndim {
+        return Err(ClizError::Corrupt("fusion spec out of range"));
+    }
     let fitting = fitting_from_u8(r.u8()?)?;
     let classification = r.u8()? != 0;
     let escapes = r.u64()? as usize;
@@ -259,6 +264,14 @@ pub fn decompress_plain(
     if let Some(c) = &class {
         unapply_shifts(&mut symbols, c, mask_slice);
     }
+    // Validate symbols against the quantizer alphabet before reconstruction:
+    // a corrupt entropy table can decode to arbitrary u32 values, and
+    // `recover` treats in-radius bins as an invariant, not a runtime check.
+    let quantizer = LinearQuantizer::new(eb_abs);
+    let max_symbol = quantizer.max_symbol();
+    if symbols.iter().any(|&s| s > max_symbol) {
+        return Err(ClizError::Corrupt("symbol exceeds quantizer radius"));
+    }
 
     // Literals.
     if pr.remaining() < escapes.saturating_mul(4) {
@@ -270,7 +283,6 @@ pub fn decompress_plain(
     }
 
     // Replay the interpolation.
-    let quantizer = LinearQuantizer::new(eb_abs);
     let params = match mask_slice {
         Some(m) => InterpParams::with_mask(fitting, m),
         None => InterpParams::new(fitting),

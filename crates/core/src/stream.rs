@@ -81,7 +81,9 @@ impl<W: Write> ChunkedWriter<W> {
         slab: &Grid<f32>,
         mask: Option<&MaskMap>,
     ) -> Result<(), ClizError> {
-        assert!(!self.finished, "writer already finished");
+        if self.finished {
+            return Err(ClizError::BadConfig("writer already finished"));
+        }
         let dims = slab.shape().dims();
         if dims.len() != self.record_dims.len() + 1
             || dims[1..] != self.record_dims[..]
@@ -165,9 +167,10 @@ impl<'a> ChunkedReader<'a> {
         if bytes.len() < 8 {
             return Err(ClizError::Truncated);
         }
-        let tail = &bytes[bytes.len() - 8..];
-        let n = u32::from_le_bytes(tail[0..4].try_into().unwrap()) as usize;
-        let tm = u32::from_le_bytes(tail[4..8].try_into().unwrap());
+        let tail = bytes.get(bytes.len() - 8..).ok_or(ClizError::Truncated)?;
+        let mut tr = ByteReader::new(tail);
+        let n = tr.u32()? as usize;
+        let tm = tr.u32()?;
         if tm != TRAILER_MAGIC {
             return Err(ClizError::Corrupt("missing trailer (incomplete stream?)"));
         }
@@ -175,7 +178,11 @@ impl<'a> ChunkedReader<'a> {
         if bytes.len() < trailer_len {
             return Err(ClizError::Truncated);
         }
-        let mut tr = ByteReader::new(&bytes[bytes.len() - trailer_len..]);
+        let mut tr = ByteReader::new(
+            bytes
+                .get(bytes.len() - trailer_len..)
+                .ok_or(ClizError::Truncated)?,
+        );
         let mut offsets = Vec::with_capacity(n);
         for _ in 0..n {
             offsets.push(tr.u64()?);
@@ -202,9 +209,13 @@ impl<'a> ChunkedReader<'a> {
         &self.slab_lens
     }
 
-    /// Total leading-axis extent across all slabs.
+    /// Total leading-axis extent across all slabs. Saturates rather than
+    /// overflowing: the lens come from the untrusted trailer index.
     pub fn total_records(&self) -> usize {
-        self.slab_lens.iter().sum::<u64>() as usize
+        self.slab_lens
+            .iter()
+            .fold(0u64, |a, &l| a.saturating_add(l))
+            .min(usize::MAX as u64) as usize
     }
 
     pub fn record_dims(&self) -> &[usize] {
@@ -226,23 +237,41 @@ impl<'a> ChunkedReader<'a> {
             return Err(ClizError::BadConfig("slab index out of range"));
         }
         let start = self.offsets[i] as usize;
-        if start + 8 > self.bytes.len() {
-            return Err(ClizError::Truncated);
-        }
+        let frame_end = start.checked_add(8).ok_or(ClizError::Truncated)?;
+        let frame = self
+            .bytes
+            .get(start..frame_end)
+            .ok_or(ClizError::Truncated)?;
         let len =
-            u64::from_le_bytes(self.bytes[start..start + 8].try_into().unwrap()) as usize;
+            u64::from_le_bytes(frame.try_into().map_err(|_| ClizError::Truncated)?) as usize;
+        let body_end = frame_end.checked_add(len).ok_or(ClizError::Truncated)?;
         let body = self
             .bytes
-            .get(start + 8..start + 8 + len)
+            .get(frame_end..body_end)
             .ok_or(ClizError::Truncated)?;
-        decompress(body, mask)
+        let out = decompress(body, mask)?;
+        // The slab payload self-describes its shape; cross-check it against
+        // the trailer index so a lying payload cannot reach `read_all`'s
+        // concatenation (or callers sizing buffers from `slab_lens`).
+        let dims = out.shape().dims();
+        if dims.len() != self.record_dims.len() + 1
+            || dims[1..] != self.record_dims[..]
+            || dims[0] != self.slab_lens[i] as usize
+        {
+            return Err(ClizError::Corrupt("slab shape disagrees with index"));
+        }
+        Ok(out)
     }
 
     /// Decompresses and concatenates every slab.
     pub fn read_all(&self, mask_for: impl Fn(usize) -> Option<MaskMap>) -> Result<Grid<f32>, ClizError> {
         let record: usize = self.record_dims.iter().product();
         let total = self.total_records();
-        let mut out = Vec::with_capacity(total * record);
+        // `total` is trailer-derived and untrusted: cap the pre-allocation so
+        // a corrupt index cannot force an OOM abort. Per-slab shape
+        // validation in `read_slab` rejects a lying index before much data
+        // accumulates; honest streams beyond the cap just reallocate.
+        let mut out = Vec::with_capacity(total.saturating_mul(record).min(1 << 24));
         for i in 0..self.slabs() {
             let m = mask_for(i);
             let slab = self.read_slab(i, m.as_ref())?;

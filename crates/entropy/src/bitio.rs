@@ -3,6 +3,8 @@
 //! MSB-first order lets canonical Huffman decoders compare accumulated code
 //! values numerically against per-length first-code tables.
 
+use cliz_grid::cast;
+
 /// Accumulates bits MSB-first into a byte vector.
 #[derive(Debug, Default)]
 pub struct BitWriter {
@@ -30,16 +32,16 @@ impl BitWriter {
     #[inline]
     pub fn write_bits(&mut self, code: u32, len: u32) {
         debug_assert!(len <= 32);
-        debug_assert!(len == 32 || code < (1u64 << len) as u32);
+        debug_assert!(u64::from(code) < (1u64 << len) || len == 32);
         let mut remaining = len;
         while remaining > 0 {
             let free = 8 - self.nbits;
             let take = free.min(remaining);
             let shift = remaining - take;
-            let chunk = ((code >> shift) & ((1u32 << take) - 1)) as u8;
+            let chunk = cast::low_u8((code >> shift) & ((1u32 << take) - 1));
             // Widen before shifting: `take` may be 8 when the accumulator is
             // empty, and `u8 << 8` is UB-adjacent (panics in debug builds).
-            self.acc = ((u16::from(self.acc) << take) | u16::from(chunk)) as u8;
+            self.acc = cast::low_u8((u16::from(self.acc) << take) | u16::from(chunk));
             self.nbits += take;
             remaining -= take;
             if self.nbits == 8 {
@@ -53,7 +55,7 @@ impl BitWriter {
     /// Writes a single bit.
     #[inline]
     pub fn write_bit(&mut self, bit: bool) {
-        self.write_bits(bit as u32, 1);
+        self.write_bits(u32::from(bit), 1);
     }
 
     /// Writes a full little-endian u32 (byte-aligned values; still packed at
@@ -114,8 +116,8 @@ impl<'a> BitReader<'a> {
             }
             let take = self.nbits.min(remaining);
             let shift = self.nbits - take;
-            let chunk = (self.acc >> shift) & ((1u16 << take) - 1) as u8;
-            v = (v << take) | chunk as u32;
+            let chunk = (self.acc >> shift) & cast::low_u8((1u16 << take) - 1);
+            v = (v << take) | u32::from(chunk);
             self.nbits -= take;
             remaining -= take;
         }
@@ -135,7 +137,7 @@ impl<'a> BitReader<'a> {
     pub fn peek_bits(&self, len: u32) -> u32 {
         debug_assert!(len <= 16);
         // Assemble up to 24 valid bits starting at the cursor.
-        let mut acc: u32 = u32::from(self.acc & ((1u16 << self.nbits) - 1) as u8);
+        let mut acc: u32 = u32::from(self.acc & cast::low_u8((1u16 << self.nbits) - 1));
         let mut have = self.nbits;
         let mut pos = self.pos;
         while have < len {

@@ -6,6 +6,7 @@
 //! table small and the format platform-independent.
 
 use crate::bitio::{BitReader, BitWriter};
+use cliz_grid::cast;
 
 /// Longest admissible code. 32 bits fits the `BitWriter` word and is far
 /// beyond what any realistic bin histogram produces.
@@ -33,9 +34,10 @@ fn build_lengths(freqs: &[u64]) -> Vec<u8> {
     loop {
         let depths = huffman_depths(&scaled, &used);
         let max = depths.iter().copied().max().unwrap_or(0);
-        if u32::from(max) <= MAX_CODE_LEN {
+        if max <= MAX_CODE_LEN {
             for (&s, &d) in used.iter().zip(&depths) {
-                lens[s] = d;
+                // max ≤ MAX_CODE_LEN = 32 just verified, so d fits a u8.
+                lens[s] = cast::low_u8(d);
             }
             return lens;
         }
@@ -50,7 +52,7 @@ fn build_lengths(freqs: &[u64]) -> Vec<u8> {
 /// Depth of each used symbol in a Huffman tree built over `used`'s
 /// frequencies. Flat arrays instead of pointer nodes: parents are encoded as
 /// indices into a growing array, then depths are propagated root-to-leaf.
-fn huffman_depths(freqs: &[u64], used: &[usize]) -> Vec<u8> {
+fn huffman_depths(freqs: &[u64], used: &[usize]) -> Vec<u32> {
     let n = used.len();
     debug_assert!(n >= 2);
     // Node arrays: 0..n are leaves, n.. are internal.
@@ -63,8 +65,10 @@ fn huffman_depths(freqs: &[u64], used: &[usize]) -> Vec<u8> {
         .map(|i| Reverse((weight[i], i)))
         .collect();
     while heap.len() > 1 {
-        let Reverse((wa, a)) = heap.pop().unwrap();
-        let Reverse((wb, b)) = heap.pop().unwrap();
+        // The loop guard guarantees two entries, so the pops cannot fail.
+        let (Some(Reverse((wa, a))), Some(Reverse((wb, b)))) = (heap.pop(), heap.pop()) else {
+            break;
+        };
         let node = weight.len();
         weight.push(wa + wb);
         parent.push(usize::MAX);
@@ -81,7 +85,7 @@ fn huffman_depths(freqs: &[u64], used: &[usize]) -> Vec<u8> {
                 node = parent[node];
                 d += 1;
             }
-            d as u8
+            d
         })
         .collect()
 }
@@ -89,7 +93,7 @@ fn huffman_depths(freqs: &[u64], used: &[usize]) -> Vec<u8> {
 /// Assigns canonical codes given code lengths. Returns codes indexed by
 /// symbol; unused symbols keep code 0 with length 0.
 fn canonical_codes(lens: &[u8]) -> Vec<u32> {
-    let max_len = lens.iter().copied().max().unwrap_or(0) as u32;
+    let max_len = u32::from(lens.iter().copied().max().unwrap_or(0));
     let mut bl_count = vec![0u32; max_len as usize + 1];
     for &l in lens {
         if l > 0 {
@@ -140,7 +144,7 @@ impl HuffmanEncoder {
     /// Code length (bits) for `symbol`, 0 when the symbol is unused.
     #[inline]
     pub fn code_len(&self, symbol: u32) -> u32 {
-        self.lens.get(symbol as usize).map_or(0, |&l| l as u32)
+        self.lens.get(symbol as usize).map_or(0, |&l| u32::from(l))
     }
 
     /// Total encoded size in bits for a frequency histogram — used by the
@@ -149,7 +153,7 @@ impl HuffmanEncoder {
         freqs
             .iter()
             .enumerate()
-            .map(|(s, &f)| f * u64::from(self.code_len(s as u32)))
+            .map(|(s, &f)| f * u64::from(self.code_len(cast::u32_len(s))))
             .sum()
     }
 
@@ -159,11 +163,11 @@ impl HuffmanEncoder {
     /// Sparse pair form beats a dense length array because bin histograms are
     /// sharply peaked (few used symbols out of a 2^16 alphabet).
     pub fn write_table(&self, w: &mut BitWriter) {
-        let used: Vec<u32> = (0..self.lens.len() as u32)
+        let used: Vec<u32> = (0..cast::u32_len(self.lens.len()))
             .filter(|&s| self.lens[s as usize] > 0)
             .collect();
-        w.write_u32(self.lens.len() as u32);
-        w.write_u32(used.len() as u32);
+        w.write_u32(cast::u32_len(self.lens.len()));
+        w.write_u32(cast::u32_len(used.len()));
         for &s in &used {
             w.write_u32(s);
             w.write_bits(u32::from(self.lens[s as usize]), 6);
@@ -217,13 +221,16 @@ impl HuffmanDecoder {
     pub fn read_table(r: &mut BitReader) -> Option<Self> {
         let alphabet = r.read_u32()? as usize;
         let used = r.read_u32()? as usize;
-        if used > alphabet {
+        if used > alphabet || alphabet > crate::MAX_DECODE_ALPHABET {
             return None;
         }
-        let mut pairs: Vec<(u32, u8)> = Vec::with_capacity(used);
+        // `used` is untrusted: cap the pre-allocation (each entry consumes
+        // ≥ 38 payload bits, so truncation errors out long before growth
+        // becomes a problem).
+        let mut pairs: Vec<(u32, u8)> = Vec::with_capacity(used.min(1 << 16));
         for _ in 0..used {
             let s = r.read_u32()?;
-            let l = r.read_bits(6)? as u8;
+            let l = cast::low_u8(r.read_bits(6)?);
             if s as usize >= alphabet || l == 0 {
                 return None;
             }
@@ -233,14 +240,35 @@ impl HuffmanDecoder {
         for &(s, l) in &pairs {
             lens[s as usize] = l;
         }
-        Some(Self::from_lengths(&lens))
+        Self::from_lengths(&lens)
     }
 
-    /// Builds decode tables from code lengths.
-    pub fn from_lengths(lens: &[u8]) -> Self {
-        let max_len = lens.iter().copied().max().unwrap_or(0) as u32;
-        let mut order: Vec<u32> = (0..lens.len() as u32)
-            .filter(|&s| lens[s as usize] > 0)
+    /// Builds decode tables from code lengths. Returns `None` when the
+    /// lengths do not form a prefix code (too long, or over-subscribed by
+    /// the Kraft inequality) — a corrupt table, not a usable decoder.
+    pub fn from_lengths(lens: &[u8]) -> Option<Self> {
+        let max_len = u32::from(lens.iter().copied().max().unwrap_or(0));
+        if max_len > MAX_CODE_LEN {
+            return None;
+        }
+        // Kraft check: Σ 2^(MAX_CODE_LEN − len) must fit the unit budget.
+        // Over-subscribed sets would overflow the canonical construction.
+        let kraft = lens
+            .iter()
+            .filter(|&&l| l > 0)
+            .try_fold(0u64, |a, &l| {
+                a.checked_add(1u64 << (MAX_CODE_LEN - u32::from(l)))
+            })?;
+        if kraft > 1u64 << MAX_CODE_LEN {
+            return None;
+        }
+        // Symbol ids are u32 by format; larger arrays cannot round-trip
+        // through a table anyway, so out-of-range indices are dropped.
+        let mut order: Vec<u32> = lens
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l > 0)
+            .filter_map(|(s, _)| cast::to_u32_checked(s))
             .collect();
         order.sort_by_key(|&s| (lens[s as usize], s));
 
@@ -248,13 +276,16 @@ impl HuffmanDecoder {
         for &s in &order {
             count[lens[s as usize] as usize] += 1;
         }
+        // Canonical codes are computed in u64: a Kraft-valid set keeps every
+        // length-l code below 2^l ≤ 2^32, but the *first unused* code after
+        // a complete level can equal 2^l, which only fits the wider type.
         let mut first_code = vec![0u32; max_len as usize + 2];
         let mut first_index = vec![0u32; max_len as usize + 2];
-        let mut code = 0u32;
+        let mut code = 0u64;
         let mut index = 0u32;
         for l in 1..=max_len as usize {
-            code = (code + count[l - 1]) << 1;
-            first_code[l] = code;
+            code = (code + u64::from(count[l - 1])) << 1;
+            first_code[l] = cast::low_u32(code);
             first_index[l] = index;
             index += count[l];
         }
@@ -262,7 +293,7 @@ impl HuffmanDecoder {
         // prefixes that start with it.
         let mut lut = vec![(0u32, 0u8); 1 << LUT_BITS];
         {
-            let mut code = 0u32;
+            let mut code = 0u64;
             let mut prev_len = 0u32;
             for &s in &order {
                 let len = u32::from(lens[s as usize]);
@@ -271,20 +302,20 @@ impl HuffmanDecoder {
                 if len <= LUT_BITS {
                     let base = (code << (LUT_BITS - len)) as usize;
                     for slot in &mut lut[base..base + (1usize << (LUT_BITS - len))] {
-                        *slot = (s, len as u8);
+                        *slot = (s, cast::low_u8(len));
                     }
                 }
                 code += 1;
             }
         }
-        Self {
+        Some(Self {
             sorted_symbols: order,
             first_code,
             first_index,
             count,
             max_len,
             lut,
-        }
+        })
     }
 
     /// Decodes one symbol; `None` on truncated or corrupt input.
@@ -310,9 +341,11 @@ impl HuffmanDecoder {
         None
     }
 
-    /// Decodes exactly `n` symbols.
+    /// Decodes exactly `n` symbols. `n` may come from an untrusted header,
+    /// so the pre-allocation is capped; each symbol consumes ≥ 1 payload
+    /// bit, so a lying count errors out before growth matters.
     pub fn decode_all(&self, r: &mut BitReader, n: usize) -> Option<Vec<u32>> {
-        let mut out = Vec::with_capacity(n);
+        let mut out = Vec::with_capacity(n.min(1 << 20));
         for _ in 0..n {
             out.push(self.decode_symbol(r)?);
         }
@@ -324,7 +357,7 @@ impl HuffmanDecoder {
 pub fn encode_stream(symbols: &[u32]) -> Vec<u8> {
     let enc = HuffmanEncoder::from_symbols(symbols);
     let mut w = BitWriter::new();
-    w.write_u32(symbols.len() as u32);
+    w.write_u32(cast::u32_len(symbols.len()));
     enc.write_table(&mut w);
     enc.encode_all(symbols, &mut w);
     w.finish()

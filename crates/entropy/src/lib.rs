@@ -12,10 +12,19 @@
 //! bit order, canonical codes) so encode and decode are bit-exact across
 //! platforms.
 
+// Decode paths must never panic on untrusted input (see docs/STATIC_ANALYSIS.md).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod bitio;
 pub mod huffman;
 pub mod multi;
 pub mod range;
+
+/// Decode-side cap on symbol-alphabet sizes read from untrusted headers.
+/// Honest streams in this workspace stay at or below `2·radius + 2 ≈ 2^16`;
+/// the cap keeps a corrupt header from forcing a multi-GiB table allocation
+/// before any payload byte is validated.
+pub(crate) const MAX_DECODE_ALPHABET: usize = 1 << 24;
 
 pub use bitio::{BitReader, BitWriter};
 pub use huffman::{HuffmanDecoder, HuffmanEncoder};

@@ -10,6 +10,7 @@
 
 use crate::bitio::{BitReader, BitWriter};
 use crate::huffman::{HuffmanDecoder, HuffmanEncoder};
+use cliz_grid::cast;
 
 /// Encodes `symbols` where `groups[i]` selects the Huffman tree for
 /// `symbols[i]`. `n_groups` trees are built (empty groups cost ~8 bytes of
@@ -36,8 +37,8 @@ pub fn multi_encode(symbols: &[u32], groups: &[u8], n_groups: usize) -> Vec<u8> 
         .collect();
 
     let mut w = BitWriter::new();
-    w.write_u32(symbols.len() as u32);
-    w.write_u32(n_groups as u32);
+    w.write_u32(cast::u32_len(symbols.len()));
+    w.write_u32(cast::u32_len(n_groups));
     for enc in &encoders {
         enc.write_table(&mut w);
     }
@@ -56,6 +57,10 @@ pub fn multi_decode(bytes: &[u8], groups: &[u8]) -> Option<Vec<u32>> {
         return None;
     }
     let n_groups = r.read_u32()? as usize;
+    // Group ids are u8, so an honest stream never has more than 256 tables.
+    if n_groups > 256 {
+        return None;
+    }
     let mut decoders = Vec::with_capacity(n_groups);
     for _ in 0..n_groups {
         decoders.push(HuffmanDecoder::read_table(&mut r)?);

@@ -8,6 +8,8 @@
 //! relative to (slower) arithmetic coding — see the `ablation_entropy`
 //! harness.
 
+use cliz_grid::cast;
+
 /// Total frequency scale (power of two so division is exact and cheap).
 const TOTAL_BITS: u32 = 16;
 const TOTAL: u32 = 1 << TOTAL_BITS;
@@ -29,25 +31,32 @@ fn scale_frequencies(freqs: &[u64]) -> Vec<u32> {
             if f == 0 {
                 0
             } else {
-                // u128 so extreme counts (≫ 2^48) cannot overflow the scale.
-                ((u128::from(f) * u128::from(TOTAL) / u128::from(sum)).max(1)) as u32
+                // u128 so extreme counts (≫ 2^48) cannot overflow the scale;
+                // the quotient is ≤ TOTAL because f ≤ sum.
+                let v = (u128::from(f) * u128::from(TOTAL) / u128::from(sum)).max(1);
+                cast::to_u32_checked(v).unwrap_or(TOTAL)
             }
         })
         .collect();
     // Exact-sum repair: drain or add from/to the largest buckets.
     let mut total: i64 = scaled.iter().map(|&f| i64::from(f)).sum();
     while total != i64::from(TOTAL) {
-        let idx = if total > i64::from(TOTAL) {
-            // Shrink the largest shrinkable bucket.
+        let found = if total > i64::from(TOTAL) {
+            // Shrink the largest shrinkable bucket. One always exists: if
+            // every bucket were 1, total = used ≤ TOTAL and we would not be
+            // in this branch.
             (0..scaled.len())
                 .filter(|&i| scaled[i] > 1)
                 .max_by_key(|&i| scaled[i])
-                .expect("some bucket must be shrinkable")
         } else {
             (0..scaled.len())
                 .filter(|&i| scaled[i] > 0)
                 .max_by_key(|&i| scaled[i])
-                .expect("some bucket exists")
+        };
+        let Some(idx) = found else {
+            // Unreachable given the `used` bound asserted above; bail rather
+            // than spin forever if the invariant is ever broken.
+            break;
         };
         if total > i64::from(TOTAL) {
             scaled[idx] -= 1;
@@ -85,8 +94,8 @@ impl RangeEncoder {
 
     #[inline]
     fn shift_low(&mut self) {
-        if (self.low as u32) < 0xFF00_0000 || (self.low >> 32) != 0 {
-            let carry = (self.low >> 32) as u8;
+        if cast::low_u32(self.low) < 0xFF00_0000 || (self.low >> 32) != 0 {
+            let carry = cast::low_u8(self.low >> 32);
             if !self.first {
                 self.out.push(self.cache.wrapping_add(carry));
             }
@@ -94,7 +103,7 @@ impl RangeEncoder {
                 self.out.push(0xFFu8.wrapping_add(carry));
             }
             self.first = false;
-            self.cache = (self.low >> 24) as u8;
+            self.cache = cast::low_u8(self.low >> 24);
             self.cache_size = 0;
         }
         self.cache_size += 1;
@@ -183,8 +192,8 @@ impl<'a> RangeDecoder<'a> {
 pub fn range_encode_stream(symbols: &[u32]) -> Vec<u8> {
     let alphabet = symbols.iter().copied().max().map_or(0, |m| m as usize + 1);
     let mut out = Vec::new();
-    out.extend_from_slice(&(symbols.len() as u32).to_le_bytes());
-    out.extend_from_slice(&(alphabet as u32).to_le_bytes());
+    out.extend_from_slice(&cast::u32_len(symbols.len()).to_le_bytes());
+    out.extend_from_slice(&cast::u32_len(alphabet).to_le_bytes());
     if symbols.is_empty() {
         out.extend_from_slice(&0u32.to_le_bytes());
         return out;
@@ -194,14 +203,14 @@ pub fn range_encode_stream(symbols: &[u32]) -> Vec<u8> {
         freqs[s as usize] += 1;
     }
     let scaled = scale_frequencies(&freqs);
-    let used: Vec<u32> = (0..alphabet as u32)
+    let used: Vec<u32> = (0..cast::u32_len(alphabet))
         .filter(|&s| scaled[s as usize] > 0)
         .collect();
-    out.extend_from_slice(&(used.len() as u32).to_le_bytes());
+    out.extend_from_slice(&cast::u32_len(used.len()).to_le_bytes());
     for &s in &used {
         out.extend_from_slice(&s.to_le_bytes());
         // TOTAL itself (single-symbol stream) is stored as 0.
-        out.extend_from_slice(&((scaled[s as usize] % TOTAL) as u16).to_le_bytes());
+        out.extend_from_slice(&cast::low_u16(scaled[s as usize] % TOTAL).to_le_bytes());
     }
 
     // Cumulative table.
@@ -220,27 +229,30 @@ pub fn range_encode_stream(symbols: &[u32]) -> Vec<u8> {
 /// Inverse of [`range_encode_stream`].
 pub fn range_decode_stream(bytes: &[u8]) -> Option<Vec<u32>> {
     let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
-        if *pos + n > bytes.len() {
-            return None;
-        }
-        let s = &bytes[*pos..*pos + n];
-        *pos += n;
+        let end = pos.checked_add(n)?;
+        let s = bytes.get(*pos..end)?;
+        *pos = end;
         Some(s)
     };
     let mut pos = 0usize;
-    let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
-    let alphabet = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
-    let used = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+    let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+    let alphabet = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+    let used = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
     if count == 0 {
         return Some(Vec::new());
     }
-    if used == 0 || used > alphabet {
+    if used == 0 || used > alphabet || alphabet > crate::MAX_DECODE_ALPHABET {
+        return None;
+    }
+    // Each used entry occupies 6 bytes; reject a count the stream cannot
+    // possibly back before looping over it.
+    if used.checked_mul(6)? > bytes.len().saturating_sub(pos) {
         return None;
     }
     let mut scaled = vec![0u32; alphabet];
     for _ in 0..used {
-        let s = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
-        let f = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap());
+        let s = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+        let f = u16::from_le_bytes(take(&mut pos, 2)?.try_into().ok()?);
         if s >= alphabet {
             return None;
         }
@@ -254,8 +266,9 @@ pub fn range_decode_stream(bytes: &[u8]) -> Option<Vec<u32>> {
         return None;
     }
     // Symbol lookup by cumulative position: binary search over `cum`.
-    let mut dec = RangeDecoder::new(&bytes[pos..]);
-    let mut out = Vec::with_capacity(count);
+    let mut dec = RangeDecoder::new(bytes.get(pos..)?);
+    // `count` is an untrusted header field: cap the pre-allocation.
+    let mut out = Vec::with_capacity(count.min(1 << 20));
     for _ in 0..count {
         let p = dec.decode_position();
         // Largest s with cum[s] <= p.
@@ -264,7 +277,7 @@ pub fn range_decode_stream(bytes: &[u8]) -> Option<Vec<u32>> {
             return None;
         }
         dec.consume(cum[s], scaled[s]);
-        out.push(s as u32);
+        out.push(cast::to_u32_checked(s)?);
     }
     Some(out)
 }

@@ -1,0 +1,135 @@
+//! Checked numeric conversions for the compression hot paths.
+//!
+//! The xtask lint pass (rule R2) forbids bare `as` casts to narrowing-prone
+//! integer types in the quantizer/entropy/predictor crates: a silently
+//! wrapping cast on a corrupt bitstream turns a decode error into wrong
+//! output. These helpers make every conversion's intent explicit:
+//!
+//! * `to_*_checked` — fallible range-checked conversions (`None` on
+//!   overflow), for values derived from untrusted input;
+//! * `low_u8`/`low_u16`/`low_u32` — deliberate truncation to the low bits,
+//!   for bit-packing where masking is the point;
+//! * [`u32_len`] — encode-side length narrowing that must hold by
+//!   construction (containers cap payloads well below `u32::MAX`);
+//! * [`quantize_index`] — float→bin conversion that folds the quantizer's
+//!   radius check into the cast, so out-of-range bins become escapes
+//!   instead of wrapped indices.
+//!
+//! Everything is `#[inline]`: each helper reduces to the same machine code
+//! as the cast it replaces (plus the explicit check, where one exists).
+
+/// Range-checked conversion to `u32`; `None` when the value does not fit.
+#[inline]
+pub fn to_u32_checked<T: TryInto<u32>>(v: T) -> Option<u32> {
+    v.try_into().ok()
+}
+
+/// Range-checked conversion to `u16`; `None` when the value does not fit.
+#[inline]
+pub fn to_u16_checked<T: TryInto<u16>>(v: T) -> Option<u16> {
+    v.try_into().ok()
+}
+
+/// Range-checked conversion to `u8`; `None` when the value does not fit.
+#[inline]
+pub fn to_u8_checked<T: TryInto<u8>>(v: T) -> Option<u8> {
+    v.try_into().ok()
+}
+
+/// Range-checked conversion to `i32`; `None` when the value does not fit.
+#[inline]
+pub fn to_i32_checked<T: TryInto<i32>>(v: T) -> Option<i32> {
+    v.try_into().ok()
+}
+
+/// Range-checked conversion to `i8`; `None` when the value does not fit.
+#[inline]
+pub fn to_i8_checked<T: TryInto<i8>>(v: T) -> Option<i8> {
+    v.try_into().ok()
+}
+
+/// Deliberate truncation to the low 8 bits (bit-packing only).
+#[inline]
+pub fn low_u8(v: impl Into<u64>) -> u8 {
+    (v.into() & 0xFF) as u8
+}
+
+/// Deliberate truncation to the low 16 bits (bit-packing only).
+#[inline]
+pub fn low_u16(v: impl Into<u64>) -> u16 {
+    (v.into() & 0xFFFF) as u16
+}
+
+/// Deliberate truncation to the low 32 bits (bit-packing only).
+#[inline]
+pub fn low_u32(v: impl Into<u64>) -> u32 {
+    (v.into() & 0xFFFF_FFFF) as u32
+}
+
+/// Narrows an encode-side length to `u32` for container headers.
+///
+/// # Panics
+/// Panics if `len` exceeds `u32::MAX`. This is an encoder invariant (all
+/// CliZ container formats cap section payloads at 4 GiB), not an input
+/// validation path — decoders never call this.
+#[inline]
+pub fn u32_len(len: usize) -> u32 {
+    u32::try_from(len).expect("encoder section length exceeds u32 range")
+}
+
+/// Converts a quantizer bin estimate to its `i32` index, folding in the
+/// radius check: `None` means the value quantizes outside `±radius` and
+/// must be escaped (stored losslessly), never wrapped.
+#[inline]
+pub fn quantize_index(bin_f: f64, radius: i32) -> Option<i32> {
+    if !bin_f.is_finite() {
+        return None;
+    }
+    let r = f64::from(radius);
+    if bin_f < -r || bin_f > r {
+        return None;
+    }
+    // In range by the check above, so the cast is exact for integral bin_f.
+    Some(bin_f as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checked_conversions() {
+        assert_eq!(to_u32_checked(5usize), Some(5));
+        assert_eq!(to_u32_checked(u64::MAX), None);
+        assert_eq!(to_u16_checked(65_535u32), Some(65_535));
+        assert_eq!(to_u16_checked(65_536u32), None);
+        assert_eq!(to_u8_checked(255u32), Some(255));
+        assert_eq!(to_u8_checked(256u32), None);
+        assert_eq!(to_i32_checked(u32::MAX), None);
+        assert_eq!(to_i8_checked(-128i32), Some(-128));
+        assert_eq!(to_i8_checked(128i32), None);
+    }
+
+    #[test]
+    fn truncating_helpers() {
+        assert_eq!(low_u8(0x1234u32), 0x34);
+        assert_eq!(low_u16(0xABCD_EF01u32), 0xEF01);
+        assert_eq!(low_u32(0x1_0000_0002u64), 2);
+    }
+
+    #[test]
+    fn quantize_index_bounds() {
+        assert_eq!(quantize_index(5.0, 10), Some(5));
+        assert_eq!(quantize_index(-10.0, 10), Some(-10));
+        assert_eq!(quantize_index(11.0, 10), None);
+        assert_eq!(quantize_index(-11.0, 10), None);
+        assert_eq!(quantize_index(f64::NAN, 10), None);
+        assert_eq!(quantize_index(f64::INFINITY, 10), None);
+    }
+
+    #[test]
+    fn u32_len_roundtrip() {
+        assert_eq!(u32_len(0), 0);
+        assert_eq!(u32_len(1 << 20), 1 << 20);
+    }
+}

@@ -14,6 +14,7 @@
 //! Layout convention is row-major ("C order"): the **last** dimension is
 //! contiguous in memory, matching how CESM NetCDF variables are stored.
 
+pub mod cast;
 pub mod fuse;
 pub mod grid;
 pub mod line;

@@ -99,16 +99,15 @@ pub fn compress_with(data: &[u8], effort: Effort) -> Vec<u8> {
 
 /// Decompresses a [`compress`] stream.
 pub fn decompress(data: &[u8]) -> Result<Vec<u8>, Error> {
-    if data.len() < 13 {
-        return Err(Error::Truncated);
-    }
-    let magic = u32::from_le_bytes(data[0..4].try_into().unwrap());
+    let header = |range: std::ops::Range<usize>| data.get(range).ok_or(Error::Truncated);
+    let magic = u32::from_le_bytes(header(0..4)?.try_into().map_err(|_| Error::Truncated)?);
     if magic != MAGIC {
         return Err(Error::BadMagic);
     }
-    let raw_len = u64::from_le_bytes(data[4..12].try_into().unwrap()) as usize;
-    let mode = data[12];
-    let body = &data[13..];
+    let raw_len = u64::from_le_bytes(header(4..12)?.try_into().map_err(|_| Error::Truncated)?)
+        as usize;
+    let mode = *data.get(12).ok_or(Error::Truncated)?;
+    let body = data.get(13..).ok_or(Error::Truncated)?;
     match mode {
         MODE_STORED => {
             if body.len() < raw_len {

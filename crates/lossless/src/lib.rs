@@ -12,6 +12,9 @@
 //! `mode 0` stores bytes verbatim (used when compression does not pay);
 //! `mode 1` is the LZ+Huffman bitstream.
 
+// Decode paths must never panic on untrusted input (see docs/STATIC_ANALYSIS.md).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod codes;
 pub mod format;
 pub mod lz;

@@ -15,6 +15,7 @@
 //! timesteps (Sec. VII-C3).
 
 use crate::symbol::{bin_to_symbol, symbol_to_bin, ESCAPE};
+use cliz_grid::cast;
 
 /// Histogram half-width used to find per-position modes. Bins beyond ±8 are
 /// lumped together; a position whose true mode lies outside this window is
@@ -114,7 +115,9 @@ impl Classification {
         let mut word: u32 = 0;
         let mut digits = 0u32;
         for p in 0..self.h_len {
-            let digit = (self.shifts[p] + 1) as u32 * 2 + u32::from(self.groups[p]);
+            // shift ∈ [-1, 1] by construction, so shift + 1 is non-negative.
+            let digit = (i32::from(self.shifts[p]) + 1).unsigned_abs() * 2
+                + u32::from(self.groups[p]);
             debug_assert!(digit < 6);
             word = word * 6 + digit;
             digits += 1;
@@ -136,10 +139,7 @@ impl Classification {
 
     /// Inverse of [`Classification::marker_bytes`].
     pub fn from_marker_bytes(bytes: &[u8]) -> Option<Self> {
-        if bytes.len() < 8 {
-            return None;
-        }
-        let h_len = u64::from_le_bytes(bytes[..8].try_into().unwrap()) as usize;
+        let h_len = u64::from_le_bytes(bytes.get(..8)?.try_into().ok()?) as usize;
         let n_words = h_len.div_ceil(11);
         if bytes.len() < 8 + n_words * 4 {
             return None;
@@ -148,7 +148,7 @@ impl Classification {
         let mut groups = Vec::with_capacity(h_len);
         for w in 0..n_words {
             let off = 8 + w * 4;
-            let mut word = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+            let mut word = u32::from_le_bytes(bytes.get(off..off + 4)?.try_into().ok()?);
             let mut digits = [0u32; 11];
             for d in (0..11).rev() {
                 digits[d] = word % 6;
@@ -159,8 +159,9 @@ impl Classification {
                 if p >= h_len {
                     break;
                 }
-                shifts.push((digit / 2) as i8 - 1);
-                groups.push((digit % 2) as u8);
+                // digit < 6, so digit/2 ∈ {0, 1, 2} and the conversions hold.
+                shifts.push(cast::to_i8_checked(digit / 2)? - 1);
+                groups.push(cast::low_u8(digit % 2));
             }
         }
         Some(Self {
@@ -209,16 +210,15 @@ pub fn classify(
             continue;
         }
         let row = &hist[p * HIST_W..(p + 1) * HIST_W];
-        let (mode_off, &mode_cnt) = row
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, &c)| c)
-            .expect("non-empty histogram");
-        let mode_bin = mode_off as i32 - HIST_HALF;
+        let Some((mode_off, &mode_cnt)) = row.iter().enumerate().max_by_key(|&(_, &c)| c) else {
+            continue; // unreachable: HIST_W > 0
+        };
+        // mode_off < HIST_W = 17, so the i32 conversion cannot fail.
+        let mode_bin = cast::to_i32_checked(mode_off).unwrap_or(i32::MAX) - HIST_HALF;
         let peak_frac = f64::from(mode_cnt) / f64::from(total);
 
         if spec.shift_enabled && mode_bin != 0 && mode_bin.abs() <= spec.max_shift {
-            shifts[p] = mode_bin as i8;
+            shifts[p] = cast::to_i8_checked(mode_bin).unwrap_or(0);
         }
         // Dispersion test uses the peak *after* shifting, which is the same
         // count — shifting relocates the mode to 0 without changing its mass.

@@ -9,6 +9,9 @@
 //! *dispersion* grouping with threshold `λ = 0.4` (Theorem 2), which feeds
 //! the multi-Huffman coder.
 
+// Decode paths must never panic on untrusted input (see docs/STATIC_ANALYSIS.md).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod bound;
 pub mod classify;
 pub mod quantizer;

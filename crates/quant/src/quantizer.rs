@@ -1,6 +1,7 @@
 //! Error-bounded linear-scale quantizer (the SZ3 quantizer CliZ inherits).
 
 use crate::symbol::{bin_to_symbol, symbol_to_bin, ESCAPE};
+use cliz_grid::cast;
 
 /// Outcome of quantizing one value against its prediction.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -51,21 +52,27 @@ impl LinearQuantizer {
     /// Quantizes `value` against `pred`.
     #[inline]
     pub fn quantize(&self, value: f32, pred: f64) -> Quantized {
-        let err = value as f64 - pred;
+        let err = f64::from(value) - pred;
         let step = 2.0 * self.eb;
         let bin_f = (err / step).round();
-        // NaN/inf inputs or predictions fail this check (NaN compares false),
-        // so `bin_f.abs() > radius` alone would let them through.
-        if !(bin_f.abs() <= self.radius as f64) {
+        // quantize_index rejects NaN/inf bin estimates (from non-finite
+        // inputs or predictions) along with out-of-radius bins, so neither
+        // can wrap into a bogus index.
+        let Some(bin) = cast::quantize_index(bin_f, self.radius) else {
             return Quantized::Escape;
-        }
-        let bin = bin_f as i32;
-        let recon = (pred + step * bin as f64) as f32;
+        };
+        let recon = (pred + step * f64::from(bin)) as f32;
         // Exactness check in decoder arithmetic: reject on any rounding slip.
         // Written as a negated `<=` so a NaN difference also escapes.
-        if !(((recon as f64) - (value as f64)).abs() <= self.eb) || !recon.is_finite() {
+        if !((f64::from(recon) - f64::from(value)).abs() <= self.eb) || !recon.is_finite() {
             return Quantized::Escape;
         }
+        // Error-bound invariant at the encode boundary: every emitted bin's
+        // reconstruction is within eb of the input (xtask rule R4).
+        debug_assert!(
+            (f64::from(recon) - f64::from(value)).abs() <= self.eb,
+            "quantize emitted a bin violating |x - recon| <= eb"
+        );
         Quantized::Bin {
             symbol: bin_to_symbol(bin),
             recon,
@@ -77,7 +84,14 @@ impl LinearQuantizer {
     pub fn recover(&self, symbol: u32, pred: f64) -> f32 {
         debug_assert_ne!(symbol, ESCAPE);
         let bin = symbol_to_bin(symbol);
-        (pred + 2.0 * self.eb * bin as f64) as f32
+        // Error-bound invariant at the decode boundary: a well-formed stream
+        // never carries a bin beyond the quantizer radius (xtask rule R4).
+        debug_assert!(
+            bin.unsigned_abs() <= self.radius.unsigned_abs(),
+            "decoded bin {bin} exceeds quantizer radius {}",
+            self.radius
+        );
+        (pred + 2.0 * self.eb * f64::from(bin)) as f32
     }
 }
 

@@ -11,7 +11,7 @@ pub const ESCAPE: u32 = 0;
 /// Zigzag-encodes a signed bin into a symbol ≥ 1.
 #[inline]
 pub fn bin_to_symbol(bin: i32) -> u32 {
-    let z = ((bin << 1) ^ (bin >> 31)) as u32;
+    let z = ((bin << 1) ^ (bin >> 31)).cast_unsigned();
     z + 1
 }
 
@@ -23,7 +23,7 @@ pub fn bin_to_symbol(bin: i32) -> u32 {
 pub fn symbol_to_bin(symbol: u32) -> i32 {
     debug_assert_ne!(symbol, ESCAPE, "escape symbol has no bin value");
     let z = symbol - 1;
-    (z >> 1) as i32 ^ -((z & 1) as i32)
+    (z >> 1).cast_signed() ^ -((z & 1).cast_signed())
 }
 
 #[cfg(test)]

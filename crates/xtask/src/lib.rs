@@ -1,0 +1,97 @@
+//! `cliz-xtask`: workspace static-analysis pass.
+//!
+//! Run with `cargo run -p cliz-xtask -- lint`. See `docs/STATIC_ANALYSIS.md`
+//! for the rule catalogue and suppression syntax. The crate has zero
+//! external dependencies on purpose: it must build with a bare toolchain
+//! even when the crates.io registry is unreachable.
+
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use rules::{FileReport, Violation};
+
+/// A violation bound to the file it was found in.
+#[derive(Debug, Clone)]
+pub struct FileViolation {
+    pub file: String,
+    pub rule: &'static str,
+    pub line: usize,
+    pub message: String,
+}
+
+/// Aggregate result of scanning the workspace.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub violations: Vec<FileViolation>,
+    pub files_scanned: usize,
+    pub suppressed: usize,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Lints a single source string as if it lived at `rel_path`
+/// (workspace-relative, `/`-separated). Exposed for fixture tests.
+pub fn lint_source(rel_path: &str, source: &str) -> FileReport {
+    rules::check_file(rel_path, source)
+}
+
+/// Scans every `crates/*/src/**/*.rs` file under `root`.
+pub fn lint_root(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    for entry in fs::read_dir(&crates_dir)? {
+        let krate = entry?.path();
+        let src = krate.join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut report = Report::default();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let source = fs::read_to_string(&path)?;
+        let fr = rules::check_file(&rel, &source);
+        report.files_scanned += 1;
+        report.suppressed += fr.suppressed;
+        for v in fr.violations {
+            report.violations.push(FileViolation {
+                file: rel.clone(),
+                rule: v.rule,
+                line: v.line,
+                message: v.message,
+            });
+        }
+    }
+    report
+        .violations
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(report)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,63 @@
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cargo run -p cliz-xtask -- lint [--root <dir>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        return usage();
+    };
+    if cmd != "lint" {
+        eprintln!("unknown command `{cmd}`");
+        return usage();
+    }
+    let mut root = PathBuf::from(".");
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage(),
+            },
+            other => {
+                eprintln!("unknown option `{other}`");
+                return usage();
+            }
+        }
+    }
+    // When invoked through cargo, resolve the workspace root rather than
+    // whatever directory the user happens to be in.
+    if root.as_os_str() == "." {
+        if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+            let xtask = PathBuf::from(manifest);
+            if let Some(ws) = xtask.parent().and_then(|p| p.parent()) {
+                root = ws.to_path_buf();
+            }
+        }
+    }
+
+    let report = match cliz_xtask::lint_root(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for v in &report.violations {
+        println!("{} {}:{} — {}", v.rule, v.file, v.line, v.message);
+    }
+    println!(
+        "xtask lint: {} violation(s), {} suppressed, {} file(s) scanned",
+        report.violations.len(),
+        report.suppressed,
+        report.files_scanned
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,472 @@
+//! Lint rules for the CliZ workspace.
+//!
+//! Rule IDs are stable (they appear in suppressions and CI logs):
+//!
+//! * **R0** — malformed `xtask-allow` suppression (unknown rule id or
+//!   missing ` -- reason`).
+//! * **R1** — panicking construct in decode-facing code: `.unwrap()`,
+//!   `.expect(..)`, `panic!`, `unreachable!`, `todo!`, `unimplemented!`, or
+//!   direct slice indexing of a decoder input buffer (`bytes[..]`,
+//!   `buf[i]`, `data[..]`, …). Corrupt or truncated input must surface as
+//!   `Err`/`None`, never as a panic.
+//! * **R2** — bare `as` cast to a narrowing-prone integer type
+//!   (`u8|u16|u32|i8|i16|i32`) in the quantizer/entropy/predictor hot
+//!   paths; use the `cliz_core::cast` checked helpers instead.
+//! * **R3** — a `pub fn compress*`/`pub fn decompress*` codec entry point
+//!   whose signature does not return `Result`.
+//! * **R4** — quantizer encode/decode boundary (`fn quantize`,
+//!   `fn recover`) lacks its `debug_assert!` error-bound invariant hook.
+//!
+//! Suppressions: `// xtask-allow: R1 -- reason` (covers its own line and
+//! the next), or `// xtask-allow-fn: R1 -- reason` (covers the whole next
+//! function item). The reason is mandatory.
+
+use crate::lexer;
+
+/// One finding, file-relative.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub rule: &'static str,
+    pub line: usize,
+    pub message: String,
+}
+
+/// Per-file scan result.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    pub violations: Vec<Violation>,
+    pub suppressed: usize,
+}
+
+pub const ALL_RULES: &[&str] = &["R0", "R1", "R2", "R3", "R4"];
+
+/// Files/dirs (workspace-relative, `/`-separated prefixes) where R1 applies:
+/// everything that parses attacker-controllable container bytes.
+const R1_SCOPE: &[&str] = &[
+    "crates/entropy/src/",
+    "crates/quant/src/",
+    "crates/lossless/src/",
+    "crates/core/src/stream.rs",
+    "crates/core/src/chunked.rs",
+    "crates/core/src/bytesio.rs",
+    "crates/core/src/compressor.rs",
+    "crates/core/src/pipeline.rs",
+    "crates/core/src/periodic.rs",
+    "crates/cli/src/czfile.rs",
+];
+
+/// Crates whose hot paths must use checked casts (R2).
+const R2_SCOPE: &[&str] = &[
+    "crates/quant/src/",
+    "crates/entropy/src/",
+    "crates/predict/src/",
+];
+
+/// Crates whose public codec entry points must return `Result` (R3).
+const R3_SCOPE: &[&str] = &["crates/baselines/src/", "crates/core/src/"];
+
+/// Files that must carry the R4 error-bound invariant hooks.
+const R4_FILES: &[&str] = &["crates/quant/src/quantizer.rs"];
+
+/// Identifier names treated as decoder input buffers for the R1 indexing
+/// check. Heuristic by design: decode paths in this workspace consistently
+/// use these names, and `xtask-allow` covers deliberate exceptions.
+const INPUT_NAMES: &[&str] = &["bytes", "buf", "data", "input", "payload", "src"];
+
+/// Narrowing-prone `as` destinations flagged by R2. Widening casts
+/// (`u64`, `usize`, `i64`) and int→float casts are deliberately exempt.
+const NARROW_TYPES: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+fn in_scope(scope: &[&str], rel_path: &str) -> bool {
+    scope.iter().any(|p| rel_path.starts_with(p))
+}
+
+fn is_ident(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+fn next_nonws(b: &[u8], mut i: usize) -> Option<(usize, u8)> {
+    while i < b.len() {
+        if !(b[i] as char).is_whitespace() {
+            return Some((i, b[i]));
+        }
+        i += 1;
+    }
+    None
+}
+
+fn prev_nonws(b: &[u8], i: usize) -> Option<(usize, u8)> {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        if !(b[j] as char).is_whitespace() {
+            return Some((j, b[j]));
+        }
+    }
+    None
+}
+
+/// Reads the identifier token starting at `i` (which must be its first byte).
+fn ident_at(b: &[u8], i: usize) -> &str {
+    let mut j = i;
+    while j < b.len() && is_ident(b[j]) {
+        j += 1;
+    }
+    std::str::from_utf8(&b[i..j]).unwrap_or("")
+}
+
+/// Reads the identifier token *ending* right before `i` (exclusive).
+fn ident_ending_at(b: &[u8], i: usize) -> &str {
+    let mut j = i;
+    while j > 0 && is_ident(b[j - 1]) {
+        j -= 1;
+    }
+    std::str::from_utf8(&b[j..i]).unwrap_or("")
+}
+
+/// Offset of the matching `}` for the `{` at `open` (or end of input).
+fn match_brace(b: &[u8], open: usize) -> usize {
+    let mut depth = 0isize;
+    let mut i = open;
+    while i < b.len() {
+        match b[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    b.len().saturating_sub(1)
+}
+
+/// Line-number lookup table: `starts[k]` is the byte offset of line `k+1`.
+struct Lines {
+    starts: Vec<usize>,
+}
+
+impl Lines {
+    fn new(text: &str) -> Self {
+        let mut starts = vec![0usize];
+        for (i, c) in text.bytes().enumerate() {
+            if c == b'\n' {
+                starts.push(i + 1);
+            }
+        }
+        Self { starts }
+    }
+
+    fn line_of(&self, offset: usize) -> usize {
+        match self.starts.binary_search(&offset) {
+            Ok(k) => k + 1,
+            Err(k) => k,
+        }
+    }
+
+    fn offset_of_line(&self, line: usize) -> usize {
+        self.starts
+            .get(line.saturating_sub(1))
+            .copied()
+            .unwrap_or(usize::MAX)
+    }
+}
+
+/// A parsed suppression directive.
+struct Suppression {
+    rules: Vec<&'static str>,
+    /// Inclusive line range the suppression covers.
+    first_line: usize,
+    last_line: usize,
+}
+
+fn canonical_rule(id: &str) -> Option<&'static str> {
+    ALL_RULES.iter().copied().find(|r| *r == id)
+}
+
+/// Parses `xtask-allow` comments into suppression ranges; malformed
+/// directives become R0 violations.
+fn collect_suppressions(
+    comments: &[lexer::Comment],
+    active: &str,
+    lines: &Lines,
+    out: &mut Vec<Violation>,
+) -> Vec<Suppression> {
+    let b = active.as_bytes();
+    let mut sups = Vec::new();
+    for c in comments {
+        let (is_fn, rest) = if let Some(r) = c.text.split_once("xtask-allow-fn:") {
+            (true, r.1)
+        } else if let Some(r) = c.text.split_once("xtask-allow:") {
+            (false, r.1)
+        } else {
+            continue;
+        };
+        let (ids, reason) = match rest.split_once("--") {
+            Some((ids, reason)) => (ids, reason.trim()),
+            None => ("", ""),
+        };
+        if reason.is_empty() {
+            out.push(Violation {
+                rule: "R0",
+                line: c.line,
+                message: "xtask-allow requires a reason: `xtask-allow: <rules> -- <why>`"
+                    .to_string(),
+            });
+            continue;
+        }
+        let mut rules = Vec::new();
+        let mut bad = false;
+        for id in ids.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            match canonical_rule(id) {
+                Some(r) => rules.push(r),
+                None => bad = true,
+            }
+        }
+        if bad || rules.is_empty() {
+            out.push(Violation {
+                rule: "R0",
+                line: c.line,
+                message: format!("xtask-allow names unknown rule(s) in `{}`", ids.trim()),
+            });
+            continue;
+        }
+        if is_fn {
+            // Cover the next `fn` item's whole body.
+            let from = lines.offset_of_line(c.line);
+            let mut i = from.min(b.len());
+            let mut covered = None;
+            while i < b.len() {
+                if is_ident(b[i]) && (i == 0 || !is_ident(b[i - 1])) && ident_at(b, i) == "fn" {
+                    let mut j = i;
+                    while j < b.len() && b[j] != b'{' && b[j] != b';' {
+                        j += 1;
+                    }
+                    if j < b.len() && b[j] == b'{' {
+                        let close = match_brace(b, j);
+                        covered = Some((lines.line_of(i), lines.line_of(close)));
+                    }
+                    break;
+                }
+                i += 1;
+            }
+            if let Some((first, last)) = covered {
+                sups.push(Suppression {
+                    rules,
+                    first_line: c.line.min(first),
+                    last_line: last,
+                });
+            } else {
+                out.push(Violation {
+                    rule: "R0",
+                    line: c.line,
+                    message: "xtask-allow-fn found no following function".to_string(),
+                });
+            }
+        } else {
+            // Own-line comments cover the next line; inline ones their own.
+            let last = if c.own_line { c.line + 1 } else { c.line };
+            sups.push(Suppression {
+                rules,
+                first_line: c.line,
+                last_line: last,
+            });
+        }
+    }
+    sups
+}
+
+/// Scans one file. `rel_path` must be workspace-relative with `/` separators.
+pub fn check_file(rel_path: &str, source: &str) -> FileReport {
+    let lexed = lexer::strip(source);
+    let active = lexer::blank_test_items(&lexed.code);
+    let lines = Lines::new(&active);
+    let b = active.as_bytes();
+
+    let mut raw: Vec<Violation> = Vec::new();
+    let mut report = FileReport::default();
+    let sups = collect_suppressions(&lexed.comments, &active, &lines, &mut report.violations);
+
+    let r1 = in_scope(R1_SCOPE, rel_path);
+    let r2 = in_scope(R2_SCOPE, rel_path);
+    let r3 = in_scope(R3_SCOPE, rel_path);
+
+    let mut i = 0usize;
+    while i < b.len() {
+        if !(is_ident(b[i]) && (i == 0 || !is_ident(b[i - 1]))) {
+            i += 1;
+            continue;
+        }
+        let word = ident_at(b, i);
+        let start = i;
+        i += word.len();
+        let line = lines.line_of(start);
+
+        if r1 {
+            // `.unwrap()` / `.expect(` method calls.
+            if (word == "unwrap" || word == "expect")
+                && prev_nonws(b, start).is_some_and(|(_, c)| c == b'.')
+                && next_nonws(b, i).is_some_and(|(_, c)| c == b'(')
+            {
+                raw.push(Violation {
+                    rule: "R1",
+                    line,
+                    message: format!(
+                        "`.{word}()` can panic on corrupt input; return a typed error instead"
+                    ),
+                });
+                continue;
+            }
+            // Panicking macros.
+            if PANIC_MACROS.contains(&word)
+                && next_nonws(b, i).is_some_and(|(_, c)| c == b'!')
+            {
+                raw.push(Violation {
+                    rule: "R1",
+                    line,
+                    message: format!("`{word}!` in decode-facing code; return a typed error"),
+                });
+                continue;
+            }
+            // Direct indexing of decoder input buffers.
+            if INPUT_NAMES.contains(&word)
+                && next_nonws(b, i).is_some_and(|(_, c)| c == b'[')
+            {
+                raw.push(Violation {
+                    rule: "R1",
+                    line,
+                    message: format!(
+                        "direct slice indexing `{word}[..]` on a decoder input; use `.get(..)`"
+                    ),
+                });
+                continue;
+            }
+        }
+
+        if r2 && word == "as" {
+            if let Some((j, _)) = next_nonws(b, i) {
+                let ty = ident_at(b, j);
+                if NARROW_TYPES.contains(&ty) {
+                    raw.push(Violation {
+                        rule: "R2",
+                        line,
+                        message: format!(
+                            "bare `as {ty}` narrowing cast; use a `cliz_core::cast` helper"
+                        ),
+                    });
+                    continue;
+                }
+            }
+        }
+
+        if r3 && word == "fn" {
+            if let Some((j, _)) = next_nonws(b, i) {
+                let name = ident_at(b, j);
+                if (name.starts_with("compress") || name.starts_with("decompress"))
+                    && is_pub_fn(b, start)
+                {
+                    // Signature = everything up to the body/terminator.
+                    let mut k = j;
+                    while k < b.len() && b[k] != b'{' && b[k] != b';' {
+                        k += 1;
+                    }
+                    let sig = &active[j..k.min(active.len())];
+                    if !sig.contains("Result") {
+                        raw.push(Violation {
+                            rule: "R3",
+                            line,
+                            message: format!(
+                                "public codec entry point `{name}` must return `Result`"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // R4: required debug_assert hooks at the quantizer boundaries.
+    if R4_FILES.contains(&rel_path) {
+        for target in ["quantize", "recover"] {
+            if let Some((fn_line, body)) = find_fn_body(b, &lines, target) {
+                if !body.contains("debug_assert") {
+                    raw.push(Violation {
+                        rule: "R4",
+                        line: fn_line,
+                        message: format!(
+                            "`fn {target}` lacks its `debug_assert!` error-bound invariant hook"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // Apply suppressions.
+    for v in raw {
+        let suppressed = sups
+            .iter()
+            .any(|s| s.rules.contains(&v.rule) && (s.first_line..=s.last_line).contains(&v.line));
+        if suppressed {
+            report.suppressed += 1;
+        } else {
+            report.violations.push(v);
+        }
+    }
+    report.violations.sort_by_key(|v| (v.line, v.rule));
+    report
+}
+
+/// True when the `fn` keyword at `fn_start` is part of a `pub fn` item
+/// (possibly with `const`/`async`/`unsafe` qualifiers). `pub(crate)` and
+/// narrower visibilities do not count as public entry points.
+fn is_pub_fn(b: &[u8], fn_start: usize) -> bool {
+    let mut i = fn_start;
+    for _ in 0..4 {
+        let Some((j, c)) = prev_nonws(b, i) else {
+            return false;
+        };
+        if !is_ident(c) {
+            return false;
+        }
+        let word = ident_ending_at(b, j + 1);
+        match word {
+            "pub" => return true,
+            "const" | "async" | "unsafe" => i = j + 1 - word.len(),
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Finds `fn <name>` and returns (line, body text) of its brace block.
+fn find_fn_body<'a>(b: &'a [u8], lines: &Lines, name: &str) -> Option<(usize, &'a str)> {
+    let mut i = 0usize;
+    while i < b.len() {
+        if is_ident(b[i]) && (i == 0 || !is_ident(b[i - 1])) && ident_at(b, i) == "fn" {
+            let after = i + 2;
+            if let Some((j, _)) = next_nonws(b, after) {
+                if ident_at(b, j) == name {
+                    let mut k = j;
+                    while k < b.len() && b[k] != b'{' && b[k] != b';' {
+                        k += 1;
+                    }
+                    if k < b.len() && b[k] == b'{' {
+                        let close = match_brace(b, k);
+                        let body = std::str::from_utf8(&b[k..=close.min(b.len() - 1)]).ok()?;
+                        return Some((lines.line_of(i), body));
+                    }
+                }
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    None
+}

@@ -1,0 +1,97 @@
+//! Fixture tests for the lint rules: each fixture is a small source file
+//! with known violations, asserted by exact rule id and line number.
+//!
+//! The fixtures live under `tests/fixtures/` so neither cargo nor the
+//! scanner itself (which only walks `crates/*/src/`) picks them up as real
+//! code. Each is linted under a *virtual* workspace-relative path chosen to
+//! put it in the scope of the rule under test.
+
+use cliz_xtask::lint_source;
+
+/// `(rule, line)` pairs of a report, sorted.
+fn hits(rel_path: &str, source: &str) -> Vec<(&'static str, usize)> {
+    let mut v: Vec<_> = lint_source(rel_path, source)
+        .violations
+        .iter()
+        .map(|v| (v.rule, v.line))
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn r1_flags_indexing_unwrap_and_panics() {
+    let src = include_str!("fixtures/r1_panics.rs");
+    assert_eq!(
+        hits("crates/entropy/src/fixture.rs", src),
+        vec![("R1", 2), ("R1", 4), ("R1", 6)]
+    );
+}
+
+#[test]
+fn r1_is_scoped_to_decode_facing_code() {
+    // The same source under a non-decode path raises nothing.
+    let src = include_str!("fixtures/r1_panics.rs");
+    assert_eq!(hits("crates/bench/src/fixture.rs", src), vec![]);
+}
+
+#[test]
+fn r2_flags_bare_narrowing_casts_only() {
+    let src = include_str!("fixtures/r2_casts.rs");
+    // `as u128` on line 4 widens and is not flagged.
+    assert_eq!(
+        hits("crates/quant/src/fixture.rs", src),
+        vec![("R2", 2), ("R2", 3)]
+    );
+    assert_eq!(hits("crates/grid/src/fixture.rs", src), vec![]);
+}
+
+#[test]
+fn r3_requires_result_on_pub_codec_entry_points() {
+    let src = include_str!("fixtures/r3_entry.rs");
+    // Line 1: pub compress_* without Result. The Result-returning
+    // decompress_block (line 6) and the private helper (line 11) pass.
+    assert_eq!(hits("crates/baselines/src/fixture.rs", src), vec![("R3", 1)]);
+}
+
+#[test]
+fn r4_requires_debug_assert_hooks_in_quantizer() {
+    let missing = include_str!("fixtures/r4_missing.rs");
+    assert_eq!(
+        hits("crates/quant/src/quantizer.rs", missing),
+        vec![("R4", 4), ("R4", 9)]
+    );
+    // R4 only applies to the quantizer file itself.
+    assert_eq!(hits("crates/quant/src/other.rs", missing), vec![]);
+
+    let present = include_str!("fixtures/r4_present.rs");
+    assert_eq!(hits("crates/quant/src/quantizer.rs", present), vec![]);
+}
+
+#[test]
+fn clean_decode_code_passes_and_test_modules_are_exempt() {
+    let src = include_str!("fixtures/clean.rs");
+    let report = lint_source("crates/entropy/src/fixture.rs", src);
+    assert_eq!(report.violations.len(), 0, "{:?}", report.violations);
+    assert_eq!(report.suppressed, 0);
+}
+
+#[test]
+fn suppressions_cover_line_and_function_scopes() {
+    let src = include_str!("fixtures/suppressed.rs");
+    let report = lint_source("crates/entropy/src/fixture.rs", src);
+    assert_eq!(report.violations.len(), 0, "{:?}", report.violations);
+    // bytes[0] on line 3, and bytes[0]/bytes[1] inside first_two.
+    assert_eq!(report.suppressed, 3);
+}
+
+#[test]
+fn malformed_suppressions_are_r0_and_do_not_suppress() {
+    let src = include_str!("fixtures/bad_suppression.rs");
+    // Missing reason (line 2) and unknown rule id (line 7) are R0, and the
+    // violations they failed to cover still surface (lines 3 and 8).
+    assert_eq!(
+        hits("crates/entropy/src/fixture.rs", src),
+        vec![("R0", 2), ("R0", 7), ("R1", 3), ("R1", 8)]
+    );
+}

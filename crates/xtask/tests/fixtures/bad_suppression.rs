@@ -1,0 +1,9 @@
+pub fn checksum(bytes: &[u8]) -> u8 {
+    // xtask-allow: R1
+    bytes[0]
+}
+
+pub fn tail(bytes: &[u8]) -> u8 {
+    // xtask-allow: R9 -- no such rule
+    bytes[1]
+}

@@ -1,0 +1,14 @@
+pub fn parse(bytes: &[u8]) -> Option<u32> {
+    let arr: [u8; 4] = bytes.get(..4)?.try_into().ok()?;
+    Some(u32::from_le_bytes(arr))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic() {
+        let bytes = [1u8, 0, 0, 0];
+        assert_eq!(super::parse(&bytes).unwrap(), 1);
+        let _ = bytes[0];
+    }
+}

@@ -1,0 +1,9 @@
+pub fn parse(bytes: &[u8]) -> u32 {
+    let first = bytes[0];
+    let v: u32 = u32::from(first);
+    let tail = bytes.get(1..).unwrap();
+    if tail.is_empty() {
+        panic!("empty tail");
+    }
+    v
+}

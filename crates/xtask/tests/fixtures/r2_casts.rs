@@ -1,0 +1,7 @@
+pub fn narrow(v: u64) -> u8 {
+    let small = v as u8;
+    let mid = (v >> 8) as u16;
+    let wide = v as u128;
+    let _ = (mid, wide);
+    small
+}

@@ -1,0 +1,14 @@
+pub fn compress_block(values: &[f32]) -> Vec<u8> {
+    let _ = values;
+    Vec::new()
+}
+
+pub fn decompress_block(blob: &[u8]) -> Result<Vec<f32>, String> {
+    let _ = blob;
+    Ok(Vec::new())
+}
+
+fn compress_helper(values: &[f32]) -> Vec<u8> {
+    let _ = values;
+    Vec::new()
+}

@@ -1,0 +1,13 @@
+pub struct Q;
+
+impl Q {
+    pub fn quantize(&self, value: f32, pred: f64) -> u32 {
+        let _ = (value, pred);
+        0
+    }
+
+    pub fn recover(&self, symbol: u32, pred: f64) -> f32 {
+        let _ = (symbol, pred);
+        0.0
+    }
+}

@@ -1,0 +1,13 @@
+pub struct Q;
+
+impl Q {
+    pub fn quantize(&self, value: f32, pred: f64) -> u32 {
+        debug_assert!(value.is_finite() || !pred.is_nan());
+        0
+    }
+
+    pub fn recover(&self, symbol: u32, pred: f64) -> f32 {
+        debug_assert!(symbol > 0);
+        pred as f32
+    }
+}

@@ -1,0 +1,11 @@
+pub fn checksum(bytes: &[u8]) -> u8 {
+    // xtask-allow: R1 -- fixture: caller guarantees non-empty input
+    bytes[0]
+}
+
+// xtask-allow-fn: R1 -- fixture: whole function is encoder-side
+pub fn first_two(bytes: &[u8]) -> (u8, u8) {
+    let a = bytes[0];
+    let b = bytes[1];
+    (a, b)
+}

@@ -3,6 +3,7 @@
 
 use cliz::prelude::*;
 use cliz::grid::{Grid, Shape};
+use cliz::{ChunkedReader, ChunkedWriter};
 
 fn sample_grid() -> Grid<f32> {
     Grid::from_fn(Shape::new(&[24, 32]), |c| {
@@ -144,6 +145,92 @@ fn compressed_stream_is_deterministic() {
     let a = cliz::compress(&g, None, ErrorBound::Abs(1e-3), &cfg).unwrap();
     let b = cliz::compress(&g, None, ErrorBound::Abs(1e-3), &cfg).unwrap();
     assert_eq!(a, b, "compression must be deterministic");
+}
+
+#[test]
+fn chunked_container_corruption_never_panics() {
+    let g = sample_grid();
+    let bytes = cliz::compress_chunked(
+        &g,
+        None,
+        ErrorBound::Abs(1e-3),
+        &PipelineConfig::default_for(2),
+        6,
+    )
+    .unwrap();
+
+    // Truncation sweep: dense over the header, strided over the body.
+    for cut in (0..64.min(bytes.len())).chain((64..bytes.len()).step_by(3)) {
+        assert!(
+            cliz::decompress_chunked(&bytes[..cut], None).is_err(),
+            "chunked prefix of {cut} bytes decoded successfully"
+        );
+    }
+
+    // Bit-flip sweep: decoding may survive (flips inside literals) but must
+    // never panic, and surviving output must keep the advertised shape.
+    // Random chunk access goes through a separate offset-table path, so
+    // exercise both.
+    let mut corrupted = 0usize;
+    for pos in (0..bytes.len()).step_by(5) {
+        let mut b = bytes.clone();
+        b[pos] ^= 0x81;
+        match cliz::decompress_chunked(&b, None) {
+            Err(_) => corrupted += 1,
+            Ok(out) => assert_eq!(out.shape().dims(), &[24, 32]),
+        }
+        let _ = cliz::decompress_chunk(&b, 1, None);
+    }
+    assert!(corrupted > 0, "no chunked corruption ever detected");
+}
+
+#[test]
+fn stream_container_corruption_never_panics() {
+    // Build a 3-slab stream of [8, 32] records.
+    let g = sample_grid();
+    let mut sink: Vec<u8> = Vec::new();
+    {
+        let mut w =
+            ChunkedWriter::new(&mut sink, &[32], 1e-3, PipelineConfig::default_for(2)).unwrap();
+        for s in 0..3 {
+            let rows = g.as_slice()[s * 8 * 32..(s + 1) * 8 * 32].to_vec();
+            let slab = Grid::from_vec(Shape::new(&[8, 32]), rows);
+            w.write_slab(&slab, None).unwrap();
+        }
+        w.finish().unwrap();
+    }
+    let reread = ChunkedReader::open(&sink).unwrap().read_all(|_| None).unwrap();
+    assert_eq!(reread.shape().dims(), &[24, 32]);
+
+    // Truncation sweep. Opening may succeed on some prefixes (the trailer
+    // parse is length-relative), but every slab read must then fail cleanly.
+    for cut in (0..sink.len()).step_by(3) {
+        if let Ok(r) = ChunkedReader::open(&sink[..cut]) {
+            for i in 0..r.slabs() {
+                let _ = r.read_slab(i, None);
+            }
+            let _ = r.read_all(|_| None);
+        }
+    }
+
+    // Bit-flip sweep over header, frames, and trailer index.
+    let mut corrupted = 0usize;
+    for pos in (0..sink.len()).step_by(5) {
+        let mut b = sink.clone();
+        b[pos] ^= 0xA5;
+        match ChunkedReader::open(&b) {
+            Err(_) => corrupted += 1,
+            Ok(r) => {
+                for i in 0..r.slabs() {
+                    if r.read_slab(i, None).is_err() {
+                        corrupted += 1;
+                    }
+                }
+                let _ = r.read_all(|_| None);
+            }
+        }
+    }
+    assert!(corrupted > 0, "no stream corruption ever detected");
 }
 
 #[test]
