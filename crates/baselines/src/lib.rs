@@ -22,6 +22,7 @@
 //! (baselines are mask-blind, so "everywhere" includes fill values — exactly
 //! the handicap Sec. V-A describes).
 
+pub(crate) mod header;
 pub mod qoz;
 pub mod sperr;
 pub mod sz2;

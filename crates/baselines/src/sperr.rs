@@ -12,6 +12,7 @@
 //! values inject energy at every scale — comes from the transform, not the
 //! back-end coder.
 
+use crate::header::{read_header, Reader};
 use crate::traits::{BaselineError, Compressor};
 use cliz_entropy::huffman;
 use cliz_grid::{Grid, MaskMap, Shape};
@@ -114,6 +115,7 @@ fn inv_line(x: &mut [f64]) {
 
 /// Applies the wavelet along every axis of the low-frequency sub-box at each
 /// level. `inverse` reverses levels and axes exactly.
+// xtask-allow-fn: R5 -- box extents shrink from dims, so every offset stays below dims product == buf.len(); callers size buf from validated dims
 fn transform(buf: &mut [f64], dims: &[usize], levels: usize, inverse: bool) {
     let ndim = dims.len();
     let strides = {
@@ -214,23 +216,6 @@ fn write_varint(out: &mut Vec<u8>, mut v: u64) {
             return;
         }
         out.push(byte | 0x80);
-    }
-}
-
-fn read_varint(bytes: &[u8], pos: &mut usize) -> Option<u64> {
-    let mut v = 0u64;
-    let mut shift = 0u32;
-    loop {
-        let b = *bytes.get(*pos)?;
-        *pos += 1;
-        v |= u64::from(b & 0x7F) << shift;
-        if b & 0x80 == 0 {
-            return Some(v);
-        }
-        shift += 7;
-        if shift >= 64 {
-            return None;
-        }
     }
 }
 
@@ -354,77 +339,49 @@ impl Compressor for Sperr {
         bytes: &[u8],
         _mask: Option<&MaskMap>,
     ) -> Result<Grid<f32>, BaselineError> {
-        if bytes.len() < 5 {
-            return Err(BaselineError::Truncated);
-        }
-        if u32::from_le_bytes(bytes[..4].try_into().unwrap()) != MAGIC {
-            return Err(BaselineError::BadMagic);
-        }
-        let ndim = bytes[4] as usize;
-        if ndim == 0 || ndim > 6 {
-            return Err(BaselineError::Corrupt("bad rank"));
-        }
-        let mut pos = 5;
-        let need = |n: usize, pos: usize| {
-            if pos + n > bytes.len() {
-                Err(BaselineError::Truncated)
-            } else {
-                Ok(&bytes[pos..pos + n])
-            }
-        };
-        let mut dims = Vec::with_capacity(ndim);
-        for _ in 0..ndim {
-            dims.push(u64::from_le_bytes(need(8, pos)?.try_into().unwrap()) as usize);
-            pos += 8;
-        }
-        if dims.iter().any(|&d| d == 0) {
-            return Err(BaselineError::Corrupt("zero dim"));
-        }
-        pos += 8; // eb (informational)
-        let step = f64::from_le_bytes(need(8, pos)?.try_into().unwrap());
-        pos += 8;
+        let mut r = Reader::new(bytes);
+        let (dims, total) = read_header(&mut r, MAGIC)?;
+        r.skip(8)?; // eb (informational)
+        let step = r.f64()?;
         if !(step > 0.0) {
             return Err(BaselineError::Corrupt("bad step"));
         }
-        let levels = need(1, pos)?[0] as usize;
-        pos += 1;
+        let levels = r.u8()? as usize;
 
-        let payload = cliz_lossless::decompress(&bytes[pos..])?;
-        let rd = |n: usize, p: &mut usize| -> Result<Vec<u8>, BaselineError> {
-            if *p + n > payload.len() {
-                return Err(BaselineError::Truncated);
-            }
-            let s = payload[*p..*p + n].to_vec();
-            *p += n;
-            Ok(s)
-        };
-        let mut p = 0usize;
-        let stream_len =
-            u64::from_le_bytes(rd(8, &mut p)?.try_into().unwrap()) as usize;
-        let stream = rd(stream_len, &mut p)?;
-        let symbols =
-            huffman::decode_stream(&stream).ok_or(BaselineError::Corrupt("huffman"))?;
-        let total: usize = dims.iter().product();
+        let payload = cliz_lossless::decompress(r.rest())?;
+        let mut pr = Reader::new(&payload);
+        let stream_len = pr.len64()?;
+        let symbols = huffman::decode_stream(pr.take(stream_len)?)
+            .ok_or(BaselineError::Corrupt("huffman"))?;
         if symbols.len() != total {
             return Err(BaselineError::Corrupt("symbol count"));
         }
-        let n_escapes = u64::from_le_bytes(rd(8, &mut p)?.try_into().unwrap()) as usize;
+        let n_escapes = pr.len64()?;
+        if n_escapes > total {
+            return Err(BaselineError::Corrupt("escape count"));
+        }
         let mut escapes = Vec::with_capacity(n_escapes);
         for _ in 0..n_escapes {
-            escapes.push(f64::from_le_bytes(rd(8, &mut p)?.try_into().unwrap()));
+            escapes.push(pr.f64()?);
         }
-        let n_out = u64::from_le_bytes(rd(8, &mut p)?.try_into().unwrap()) as usize;
+        let n_out = pr.len64()?;
         if n_out > total {
             return Err(BaselineError::Corrupt("outlier count"));
         }
         let mut outliers = Vec::with_capacity(n_out);
         let mut prev = 0u64;
         for _ in 0..n_out {
-            let gap = read_varint(&payload, &mut p).ok_or(BaselineError::Truncated)?;
-            let idx = prev + gap;
+            let gap = pr.varint()?;
+            let idx = prev
+                .checked_add(gap)
+                .ok_or(BaselineError::Corrupt("outlier index"))?;
             prev = idx;
-            let v = f32::from_le_bytes(rd(4, &mut p)?.try_into().unwrap());
-            outliers.push((idx as usize, v));
+            let v = pr.f32()?;
+            let idx = usize::try_from(idx)
+                .ok()
+                .filter(|&i| i < total)
+                .ok_or(BaselineError::Corrupt("outlier index"))?;
+            outliers.push((idx, v));
         }
 
         // Rebuild coefficients.
@@ -440,10 +397,7 @@ impl Compressor for Sperr {
         transform(&mut coeffs, &dims, levels, true);
         let mut out: Vec<f32> = coeffs.iter().map(|&v| v as f32).collect();
         for (idx, v) in outliers {
-            if idx >= total {
-                return Err(BaselineError::Corrupt("outlier index"));
-            }
-            out[idx] = v;
+            out[idx] = v; // idx < total checked at parse time
         }
         Ok(Grid::from_vec(Shape::new(&dims), out))
     }

@@ -9,6 +9,7 @@
 //! and because it is a strong comparator on rough data where long-range
 //! interpolation loses.
 
+use crate::header::{read_header, Reader};
 use crate::traits::{BaselineError, Compressor};
 use cliz_entropy::huffman;
 use cliz_grid::{Grid, MaskMap, Shape};
@@ -46,6 +47,7 @@ fn lorenzo_stencil(strides: &[usize]) -> Vec<(usize, f64)> {
 /// point in `buf` (the decoder-visible reconstruction), `None` leaves it.
 /// Boundary points use the partial stencil (out-of-range corners drop out,
 /// matching SZ2's zero-padding semantics).
+// xtask-allow-fn: R5 -- slab/odometer offsets stay below dims product == buf.len(); callers size buf from validated dims
 fn walk_lorenzo(
     dims: &[usize],
     buf: &mut [f32],
@@ -144,9 +146,9 @@ impl Compressor for Sz2Lorenzo {
 
         let stream = huffman::encode_stream(&symbols);
         let mut literals = Vec::with_capacity(escapes * 4);
-        for (i, &s) in symbols.iter().enumerate() {
+        for (&s, &v) in symbols.iter().zip(&buf) {
             if s == ESCAPE {
-                literals.extend_from_slice(&buf[i].to_le_bytes());
+                literals.extend_from_slice(&v.to_le_bytes());
             }
         }
         let mut payload = Vec::with_capacity(stream.len() + literals.len() + 16);
@@ -172,57 +174,29 @@ impl Compressor for Sz2Lorenzo {
         bytes: &[u8],
         _mask: Option<&MaskMap>,
     ) -> Result<Grid<f32>, BaselineError> {
-        let need = |n: usize, pos: usize| {
-            if pos + n > bytes.len() {
-                Err(BaselineError::Truncated)
-            } else {
-                Ok(&bytes[pos..pos + n])
-            }
-        };
-        if u32::from_le_bytes(need(4, 0)?.try_into().unwrap()) != MAGIC {
-            return Err(BaselineError::BadMagic);
-        }
-        let ndim = need(1, 4)?[0] as usize;
-        if ndim == 0 || ndim > 6 {
-            return Err(BaselineError::Corrupt("bad rank"));
-        }
-        let mut pos = 5;
-        let mut dims = Vec::with_capacity(ndim);
-        for _ in 0..ndim {
-            dims.push(u64::from_le_bytes(need(8, pos)?.try_into().unwrap()) as usize);
-            pos += 8;
-        }
-        if dims.iter().any(|&d| d == 0) {
-            return Err(BaselineError::Corrupt("zero dim"));
-        }
-        let eb = f64::from_le_bytes(need(8, pos)?.try_into().unwrap());
-        pos += 8;
+        let mut r = Reader::new(bytes);
+        let (dims, total) = read_header(&mut r, MAGIC)?;
+        let eb = r.f64()?;
         if !(eb > 0.0) {
             return Err(BaselineError::Corrupt("bad eb"));
         }
-        let escapes = u64::from_le_bytes(need(8, pos)?.try_into().unwrap()) as usize;
-        pos += 8;
-        let payload = cliz_lossless::decompress(&bytes[pos..])?;
-        if payload.len() < 8 {
-            return Err(BaselineError::Truncated);
-        }
-        let stream_len = u64::from_le_bytes(payload[..8].try_into().unwrap()) as usize;
-        if payload.len() < 8 + stream_len + escapes * 4 {
-            return Err(BaselineError::Truncated);
-        }
-        let symbols = huffman::decode_stream(&payload[8..8 + stream_len])
+        let escapes = r.len64()?;
+        let payload = cliz_lossless::decompress(r.rest())?;
+
+        let mut pr = Reader::new(&payload);
+        let stream_len = pr.len64()?;
+        let symbols = huffman::decode_stream(pr.take(stream_len)?)
             .ok_or(BaselineError::Corrupt("huffman"))?;
-        let total: usize = dims.iter().product();
         if symbols.len() != total {
             return Err(BaselineError::Corrupt("symbol count"));
         }
         if symbols.iter().filter(|&&s| s == ESCAPE).count() != escapes {
             return Err(BaselineError::Corrupt("escape count"));
         }
+        // escapes ≤ total here, so the allocation is bounded.
         let mut literals = Vec::with_capacity(escapes);
-        let lit = &payload[8 + stream_len..];
-        for k in 0..escapes {
-            literals.push(f32::from_le_bytes(lit[k * 4..k * 4 + 4].try_into().unwrap()));
+        for _ in 0..escapes {
+            literals.push(pr.f32()?);
         }
 
         let q = LinearQuantizer::new(eb);

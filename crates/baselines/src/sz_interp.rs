@@ -1,6 +1,7 @@
 //! SZ3-style interpolation compressor (the framework CliZ builds on, with
 //! every climate-specific feature switched off).
 
+use crate::header::{read_header, Reader};
 use crate::traits::{BaselineError, Compressor};
 use cliz_entropy::huffman;
 use cliz_grid::{Grid, MaskMap, Shape};
@@ -90,9 +91,9 @@ pub(crate) fn encode(
 
     let stream = huffman::encode_stream(&symbols);
     let mut literals = Vec::with_capacity(escapes * 4);
-    for (i, &s) in symbols.iter().enumerate() {
+    for (&s, &v) in symbols.iter().zip(&buf) {
         if s == ESCAPE {
-            literals.extend_from_slice(&buf[i].to_le_bytes());
+            literals.extend_from_slice(&v.to_le_bytes());
         }
     }
 
@@ -123,68 +124,35 @@ pub(crate) fn decode(
     magic: u32,
     policy: EbPolicy,
 ) -> Result<Grid<f32>, BaselineError> {
-    let need = |n: usize, pos: usize| {
-        if pos + n > bytes.len() {
-            Err(BaselineError::Truncated)
-        } else {
-            Ok(&bytes[pos..pos + n])
-        }
-    };
-    if u32::from_le_bytes(need(4, 0)?.try_into().unwrap()) != magic {
-        return Err(BaselineError::BadMagic);
-    }
-    let ndim = need(1, 4)?[0] as usize;
-    if ndim == 0 || ndim > 6 {
-        return Err(BaselineError::Corrupt("bad rank"));
-    }
-    let mut pos = 5;
-    let mut dims = Vec::with_capacity(ndim);
-    for _ in 0..ndim {
-        dims.push(u64::from_le_bytes(need(8, pos)?.try_into().unwrap()) as usize);
-        pos += 8;
-    }
-    if dims.iter().any(|&d| d == 0) {
-        return Err(BaselineError::Corrupt("zero dim"));
-    }
-    let eb = f64::from_le_bytes(need(8, pos)?.try_into().unwrap());
-    pos += 8;
+    let mut r = Reader::new(bytes);
+    let (dims, total) = read_header(&mut r, magic)?;
+    let eb = r.f64()?;
     if !(eb > 0.0) {
         return Err(BaselineError::Corrupt("bad eb"));
     }
-    let fitting = match need(1, pos)?[0] {
+    let fitting = match r.u8()? {
         0 => Fitting::Linear,
         1 => Fitting::Cubic,
         _ => return Err(BaselineError::Corrupt("bad fitting")),
     };
-    pos += 1;
-    let escapes = u64::from_le_bytes(need(8, pos)?.try_into().unwrap()) as usize;
-    pos += 8;
+    let escapes = r.len64()?;
 
-    let payload = cliz_lossless::decompress(&bytes[pos..])?;
-    if payload.len() < 8 {
-        return Err(BaselineError::Truncated);
-    }
-    let stream_len = u64::from_le_bytes(payload[..8].try_into().unwrap()) as usize;
-    if payload.len() < 8 + stream_len + escapes * 4 {
-        return Err(BaselineError::Truncated);
-    }
-    let stream = &payload[8..8 + stream_len];
-    let symbols = huffman::decode_stream(stream)
+    let payload = cliz_lossless::decompress(r.rest())?;
+    let mut pr = Reader::new(&payload);
+    let stream_len = pr.len64()?;
+    let symbols = huffman::decode_stream(pr.take(stream_len)?)
         .ok_or(BaselineError::Corrupt("huffman decode"))?;
-    let total: usize = dims.iter().product();
     if symbols.len() != total {
         return Err(BaselineError::Corrupt("symbol count"));
-    }
-    let mut literals = Vec::with_capacity(escapes);
-    let lit_bytes = &payload[8 + stream_len..];
-    for k in 0..escapes {
-        literals.push(f32::from_le_bytes(
-            lit_bytes[k * 4..k * 4 + 4].try_into().unwrap(),
-        ));
     }
     let observed = symbols.iter().filter(|&&s| s == ESCAPE).count();
     if observed != escapes {
         return Err(BaselineError::Corrupt("escape count"));
+    }
+    // escapes ≤ total here, so the allocation is bounded.
+    let mut literals = Vec::with_capacity(escapes);
+    for _ in 0..escapes {
+        literals.push(pr.f32()?);
     }
 
     let params = InterpParams::new(fitting);
@@ -197,7 +165,8 @@ pub(crate) fn decode(
         &symbols,
         &literals,
         0.0,
-    );
+    )
+    .map_err(|_| BaselineError::Corrupt("literal/escape mismatch"))?;
     Ok(Grid::from_vec(Shape::new(&dims), buf))
 }
 

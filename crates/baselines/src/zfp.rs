@@ -16,6 +16,7 @@
 //! weakens, the baseline; the comparisons CliZ cares about (block exponents
 //! wrecked by mask fill values, no periodicity exploitation) are unchanged.
 
+use crate::header::{read_header, Reader};
 use crate::traits::{BaselineError, Compressor};
 use cliz_entropy::{BitReader, BitWriter};
 use cliz_grid::{Grid, MaskMap, Shape};
@@ -27,26 +28,24 @@ const Q_BITS: i32 = 26;
 /// Block side length (ZFP's 4).
 const SIDE: usize = 4;
 
-/// ZFP's forward 4-point lifting transform (exact integer arithmetic).
+/// ZFP's forward 4-point lifting transform. Wrapping arithmetic matches the
+/// reference implementation's wrap-around semantics and keeps the decode
+/// side panic-free on corrupt coefficient streams.
 fn fwd_lift(p: &mut [i64], offset: usize, stride: usize) {
     let mut x = p[offset];
     let mut y = p[offset + stride];
     let mut z = p[offset + 2 * stride];
     let mut w = p[offset + 3 * stride];
-    x += w;
-    x >>= 1;
-    w -= x;
-    z += y;
-    z >>= 1;
-    y -= z;
-    x += z;
-    x >>= 1;
-    z -= x;
-    w += y;
-    w >>= 1;
-    y -= w;
-    w += y >> 1;
-    y -= w >> 1;
+    x = x.wrapping_add(w) >> 1;
+    w = w.wrapping_sub(x);
+    z = z.wrapping_add(y) >> 1;
+    y = y.wrapping_sub(z);
+    x = x.wrapping_add(z) >> 1;
+    z = z.wrapping_sub(x);
+    w = w.wrapping_add(y) >> 1;
+    y = y.wrapping_sub(w);
+    w = w.wrapping_add(y >> 1);
+    y = y.wrapping_sub(w >> 1);
     p[offset] = x;
     p[offset + stride] = y;
     p[offset + 2 * stride] = z;
@@ -62,20 +61,16 @@ fn inv_lift(p: &mut [i64], offset: usize, stride: usize) {
     let mut y = p[offset + stride];
     let mut z = p[offset + 2 * stride];
     let mut w = p[offset + 3 * stride];
-    y += w >> 1;
-    w -= y >> 1;
-    y += w;
-    w <<= 1;
-    w -= y;
-    z += x;
-    x <<= 1;
-    x -= z;
-    y += z;
-    z <<= 1;
-    z -= y;
-    w += x;
-    x <<= 1;
-    x -= w;
+    y = y.wrapping_add(w >> 1);
+    w = w.wrapping_sub(y >> 1);
+    y = y.wrapping_add(w);
+    w = (w << 1).wrapping_sub(y);
+    z = z.wrapping_add(x);
+    x = (x << 1).wrapping_sub(z);
+    y = y.wrapping_add(z);
+    z = (z << 1).wrapping_sub(y);
+    w = w.wrapping_add(x);
+    x = (x << 1).wrapping_sub(w);
     p[offset] = x;
     p[offset + stride] = y;
     p[offset + 2 * stride] = z;
@@ -382,6 +377,7 @@ impl BlockIter {
     }
 
     /// Gathers one (padded) block's values.
+    // xtask-allow-fn: R5 -- block coords are clamped to dims and resolved via Shape::index_of over the grid's own shape
     fn gather(&self, data: &[f32], shape: &Shape, origin: &[usize]) -> Vec<f32> {
         let ndim = self.dims.len();
         let lead = ndim - self.rank;
@@ -465,33 +461,10 @@ impl Compressor for Zfp {
         bytes: &[u8],
         _mask: Option<&MaskMap>,
     ) -> Result<Grid<f32>, BaselineError> {
-        if bytes.len() < 5 {
-            return Err(BaselineError::Truncated);
-        }
-        if u32::from_le_bytes(bytes[..4].try_into().unwrap()) != MAGIC {
-            return Err(BaselineError::BadMagic);
-        }
-        let ndim = bytes[4] as usize;
-        if ndim == 0 || ndim > 6 {
-            return Err(BaselineError::Corrupt("bad rank"));
-        }
-        let mut pos = 5;
-        let mut dims = Vec::with_capacity(ndim);
-        for _ in 0..ndim {
-            if pos + 8 > bytes.len() {
-                return Err(BaselineError::Truncated);
-            }
-            dims.push(u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap()) as usize);
-            pos += 8;
-        }
-        if dims.iter().any(|&d| d == 0) {
-            return Err(BaselineError::Corrupt("zero dim"));
-        }
-        if pos + 8 > bytes.len() {
-            return Err(BaselineError::Truncated);
-        }
-        pos += 8; // eb (informational on decode)
-        let payload = cliz_lossless::decompress(&bytes[pos..])?;
+        let mut rd = Reader::new(bytes);
+        let (dims, _total) = read_header(&mut rd, MAGIC)?;
+        rd.skip(8)?; // eb (informational on decode)
+        let payload = cliz_lossless::decompress(rd.rest())?;
         let mut r = BitReader::new(&payload);
 
         let shape = Shape::new(&dims);

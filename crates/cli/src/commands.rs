@@ -133,8 +133,11 @@ pub fn tune(p: &Parsed) -> Result<(), CliError> {
     Ok(())
 }
 
-fn codec_instance(codec: Codec, config: Option<PipelineConfig>) -> Box<dyn Compressor> {
-    match codec {
+fn codec_instance(
+    codec: Codec,
+    config: Option<PipelineConfig>,
+) -> Result<Box<dyn Compressor>, CliError> {
+    Ok(match codec {
         Codec::Cliz => Box::new(match config {
             Some(c) => Cliz::tuned(c),
             None => Cliz::new(),
@@ -144,8 +147,12 @@ fn codec_instance(codec: Codec, config: Option<PipelineConfig>) -> Box<dyn Compr
         Codec::Zfp => Box::new(Zfp),
         Codec::Sperr => Box::new(Sperr),
         Codec::Qoz => Box::new(Qoz),
-        Codec::ClizChunked => unreachable!("chunked streams bypass codec_instance"),
-    }
+        // Chunked streams have no single-shot codec; callers route them to
+        // the dedicated chunked entry points first.
+        Codec::ClizChunked => {
+            return Err(CliError::new("chunked streams have no single-shot codec"))
+        }
+    })
 }
 
 /// `cliz compress <file.caf> -o file.cz [--rel E | --abs X] [--config F] [--compressor C]`
@@ -198,19 +205,14 @@ pub fn compress(p: &Parsed) -> Result<(), CliError> {
             let cfg = config
                 .clone()
                 .unwrap_or_else(|| PipelineConfig::default_for(ds.data.shape().ndim()));
+            let chunk = chunk.ok_or_else(|| CliError::new("--chunk required for chunked streams"))?;
             (
-                cliz::compress_chunked(
-                    &ds.data,
-                    ds.mask.as_ref(),
-                    bound,
-                    &cfg,
-                    chunk.unwrap(),
-                )?,
+                cliz::compress_chunked(&ds.data, ds.mask.as_ref(), bound, &cfg, chunk)?,
                 "cliz-chunked",
             )
         }
         _ => {
-            let compressor = codec_instance(codec, config);
+            let compressor = codec_instance(codec, config)?;
             (
                 compressor.compress(&ds.data, ds.mask.as_ref(), bound)?,
                 compressor.name(),
@@ -262,7 +264,7 @@ pub fn decompress(p: &Parsed) -> Result<(), CliError> {
 
     let data = match cz.codec {
         Codec::ClizChunked => cliz::decompress_chunked(&cz.payload, mask.as_ref())?,
-        _ => codec_instance(cz.codec, None).decompress(&cz.payload, mask.as_ref())?,
+        _ => codec_instance(cz.codec, None)?.decompress(&cz.payload, mask.as_ref())?,
     };
     let mut ds = Dataset::new(cz.name.clone(), data, mask);
     ds.dim_names = cz.dim_names.clone();

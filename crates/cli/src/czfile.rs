@@ -108,7 +108,9 @@ pub fn save(path: &Path, cz: &CzFile) -> Result<(), CliError> {
 }
 
 pub fn load(path: &Path) -> Result<CzFile, CliError> {
-    let mut r = std::io::BufReader::new(std::fs::File::open(path)?);
+    let file = std::fs::File::open(path)?;
+    let file_len = file.metadata()?.len();
+    let mut r = std::io::BufReader::new(file);
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if u32::from_le_bytes(magic) != MAGIC {
@@ -136,7 +138,14 @@ pub fn load(path: &Path) -> Result<CzFile, CliError> {
     r.read_exact(&mut masked)?;
     let mut len = [0u8; 8];
     r.read_exact(&mut len)?;
-    let mut payload = vec![0u8; u64::from_le_bytes(len) as usize];
+    let len = u64::from_le_bytes(len);
+    // A payload cannot be longer than the file it sits in: reject a corrupt
+    // length field before allocating for it.
+    if len > file_len {
+        return Err(CliError::new("cz: payload length exceeds file size"));
+    }
+    let len = usize::try_from(len).map_err(|_| CliError::new("cz: payload length overflows"))?;
+    let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
     Ok(CzFile {
         codec,
@@ -178,6 +187,24 @@ mod tests {
         save(&path, &cz).unwrap();
         let back = load(&path).unwrap();
         assert_eq!(back, cz);
+    }
+
+    #[test]
+    fn implausible_payload_length_rejected() {
+        // Valid header claiming a payload far larger than the file itself:
+        // must fail cleanly without attempting the allocation.
+        let mut bytes = MAGIC.to_le_bytes().to_vec();
+        bytes.push(0); // codec = cliz
+        bytes.extend_from_slice(&0u16.to_le_bytes()); // empty name
+        bytes.push(0); // no dims
+        bytes.extend_from_slice(&0u16.to_le_bytes()); // no attrs
+        bytes.push(0); // unmasked
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes()); // absurd payload len
+        let dir = std::env::temp_dir().join("cliz_cz_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("oversized.cz");
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(load(&path).is_err());
     }
 
     #[test]

@@ -133,7 +133,9 @@ pub fn autotune_fast(
     permutation.reverse();
 
     let sample_spec = match (spec.time_axis, period_detected) {
-        (Some(axis), Some(p)) => SampleSpec::with_axis_floor(spec.sampling_rate, axis, 3 * p),
+        (Some(axis), Some(p)) => {
+            SampleSpec::with_axis_floor(spec.sampling_rate, axis, p.saturating_mul(3))
+        }
         _ => SampleSpec::new(spec.sampling_rate),
     };
     let sampled = sample_blocks(data, mask_ref, sample_spec);
@@ -142,7 +144,7 @@ pub fn autotune_fast(
     let mut candidates = Vec::new();
     let mut periodicities = vec![Periodicity::None];
     if let (Some(axis), Some(p)) = (spec.time_axis, period_detected) {
-        if p * 2 <= sampled.data.shape().dim(axis) {
+        if p <= sampled.data.shape().dim(axis) / 2 {
             periodicities.push(Periodicity::Extract {
                 time_axis: axis,
                 period: p,
@@ -179,7 +181,11 @@ pub fn autotune_fast(
     }
     ranking.sort_by(|a, b| b.est_ratio.total_cmp(&a.est_ratio));
 
-    let mut best = ranking[0].config.clone();
+    let mut best = ranking
+        .first()
+        .ok_or(ClizError::BadConfig("autotune: no candidate pipelines"))?
+        .config
+        .clone();
     if let (Periodicity::Extract { .. }, Some(axis), Some(p)) =
         (best.periodicity, spec.time_axis, period_detected)
     {
@@ -218,7 +224,9 @@ pub fn autotune(
     // three periods so periodic candidates stay evaluable at low rates
     // (the paper's Table IV keeps periodicity=12 down to 0.001% sampling).
     let sample_spec = match (spec.time_axis, period_detected) {
-        (Some(axis), Some(p)) => SampleSpec::with_axis_floor(spec.sampling_rate, axis, 3 * p),
+        (Some(axis), Some(p)) => {
+            SampleSpec::with_axis_floor(spec.sampling_rate, axis, p.saturating_mul(3))
+        }
         _ => SampleSpec::new(spec.sampling_rate),
     };
     let sampled = sample_blocks(data, mask_ref, sample_spec);
@@ -230,7 +238,7 @@ pub fn autotune(
     // Candidate set. Periodic candidates need the period to fit inside the
     // sample's (possibly truncated) time axis.
     let period_for_sample = match (spec.time_axis, period_detected) {
-        (Some(axis), Some(p)) if p * 2 <= s_data.shape().dim(axis) => Some((axis, p)),
+        (Some(axis), Some(p)) if p <= s_data.shape().dim(axis) / 2 => Some((axis, p)),
         _ => None,
     };
     let candidates = enumerate_pipelines(data.shape().ndim(), period_for_sample, use_mask);
@@ -256,7 +264,11 @@ pub fn autotune(
 
     // Promote the winner's periodicity to the *full-data* period (the sample
     // gate above only affected evaluation feasibility).
-    let mut best = ranking[0].config.clone();
+    let mut best = ranking
+        .first()
+        .ok_or(ClizError::BadConfig("autotune: no candidate pipelines"))?
+        .config
+        .clone();
     if let (Periodicity::Extract { .. }, Some(axis), Some(p)) =
         (best.periodicity, spec.time_axis, period_detected)
     {

@@ -298,7 +298,8 @@ pub fn decompress_plain(
     }
     reconstruct(
         &mut buf, &fdims, &params, &quantizer, &symbols, &literals, fill_value,
-    );
+    )
+    .map_err(|_| ClizError::Corrupt("literal/escape mismatch"))?;
 
     // Un-fuse (reshape) and un-permute back to the original layout.
     let working = Grid::from_vec(permuted_shape, buf);

@@ -161,6 +161,9 @@ impl<'a> ChunkedReader<'a> {
         for _ in 0..ndim - 1 {
             record_dims.push(r.u64()? as usize);
         }
+        if record_dims.iter().any(|&d| d == 0) {
+            return Err(ClizError::Corrupt("zero-sized record dimension"));
+        }
         let eb_abs = r.f64()?;
 
         // Trailer.
@@ -267,6 +270,12 @@ impl<'a> ChunkedReader<'a> {
     pub fn read_all(&self, mask_for: impl Fn(usize) -> Option<MaskMap>) -> Result<Grid<f32>, ClizError> {
         let record: usize = self.record_dims.iter().product();
         let total = self.total_records();
+        // A grid cannot have a zero-sized leading axis: an empty or
+        // zero-length index (honest empty stream or corrupt trailer) must
+        // surface as an error, not a Shape panic below.
+        if total == 0 {
+            return Err(ClizError::Corrupt("stream holds no records"));
+        }
         // `total` is trailer-derived and untrusted: cap the pre-allocation so
         // a corrupt index cannot force an OOM abort. Per-slab shape
         // validation in `read_slab` rejects a lying index before much data

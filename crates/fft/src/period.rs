@@ -97,9 +97,7 @@ pub fn estimate_period(
         if !all_valid {
             continue;
         }
-        let row: Vec<f64> = (0..line.len)
-            .map(|k| buf[line.base + k * line.stride] as f64)
-            .collect();
+        let row: Vec<f64> = line.gather(buf).into_iter().map(f64::from).collect();
         // Remove the mean so the DC bin doesn't dwarf the cycle.
         let mean = row.iter().sum::<f64>() / row.len() as f64;
         let centered: Vec<f64> = row.iter().map(|v| v - mean).collect();
@@ -125,8 +123,9 @@ pub fn estimate_period(
     let body = &spectrum[1..];
     let max_amp = body.iter().cloned().fold(0.0f64, f64::max);
     let mut sorted: Vec<f64> = body.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let median = sorted[sorted.len() / 2];
+    sorted.sort_by(f64::total_cmp);
+    // An empty body (n < 2) falls through to the `max_amp <= 0.0` bail-out.
+    let median = sorted.get(sorted.len() / 2).copied().unwrap_or(0.0);
 
     if max_amp <= 0.0 || max_amp < spec.significance * median.max(f64::MIN_POSITIVE) {
         return PeriodEstimate {

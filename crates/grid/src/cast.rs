@@ -13,7 +13,12 @@
 //!   construction (containers cap payloads well below `u32::MAX`);
 //! * [`quantize_index`] — float→bin conversion that folds the quantizer's
 //!   radius check into the cast, so out-of-range bins become escapes
-//!   instead of wrapped indices.
+//!   instead of wrapped indices;
+//! * [`f64_to_f32_checked`] / [`float_to_index`] — the float-side
+//!   counterparts demanded by rule R6: narrowing to `f32` must surface
+//!   overflow, and float→index conversions must clamp, not wrap;
+//! * `u32_le`/`u64_le`/`f32_le`/`f64_le` — bounds-checked little-endian
+//!   field readers for container decoders (`None` on short input).
 //!
 //! Everything is `#[inline]`: each helper reduces to the same machine code
 //! as the cast it replaces (plus the explicit check, where one exists).
@@ -48,6 +53,66 @@ pub fn to_i8_checked<T: TryInto<i8>>(v: T) -> Option<i8> {
     v.try_into().ok()
 }
 
+/// Range-checked conversion to `usize`; `None` when the value does not fit.
+#[inline]
+pub fn to_usize_checked<T: TryInto<usize>>(v: T) -> Option<usize> {
+    v.try_into().ok()
+}
+
+/// Narrows `f64` to `f32`, refusing conversions that lose the value
+/// entirely: `None` when the input is non-finite or overflows `f32` range
+/// (the rounded result is ±∞). Plain precision rounding still happens —
+/// that is the point of storing `f32` — but silent overflow does not.
+#[inline]
+pub fn f64_to_f32_checked(v: f64) -> Option<f32> {
+    let f = v as f32;
+    if f.is_finite() {
+        Some(f)
+    } else {
+        None
+    }
+}
+
+/// Converts a float estimate to a slot index clamped to `0..len`:
+/// non-finite or negative inputs map to 0, anything past the end maps to
+/// the last slot. Replaces bare `as usize` on float expressions (rule R6),
+/// whose NaN→0 / overflow saturation semantics are easy to invoke by
+/// accident on corrupt statistics.
+#[inline]
+pub fn float_to_index(v: f64, len: usize) -> usize {
+    debug_assert!(len > 0, "float_to_index: empty range");
+    if !(v > 0.0) {
+        return 0;
+    }
+    // `as` saturates for out-of-range floats, so the min() is the only
+    // clamp needed on the high side.
+    (v as usize).min(len.saturating_sub(1))
+}
+
+/// Reads a little-endian `u32` from the front of `b`; `None` on short input.
+#[inline]
+pub fn u32_le(b: &[u8]) -> Option<u32> {
+    Some(u32::from_le_bytes(b.get(..4)?.try_into().ok()?))
+}
+
+/// Reads a little-endian `u64` from the front of `b`; `None` on short input.
+#[inline]
+pub fn u64_le(b: &[u8]) -> Option<u64> {
+    Some(u64::from_le_bytes(b.get(..8)?.try_into().ok()?))
+}
+
+/// Reads a little-endian `f32` from the front of `b`; `None` on short input.
+#[inline]
+pub fn f32_le(b: &[u8]) -> Option<f32> {
+    Some(f32::from_le_bytes(b.get(..4)?.try_into().ok()?))
+}
+
+/// Reads a little-endian `f64` from the front of `b`; `None` on short input.
+#[inline]
+pub fn f64_le(b: &[u8]) -> Option<f64> {
+    Some(f64::from_le_bytes(b.get(..8)?.try_into().ok()?))
+}
+
 /// Deliberate truncation to the low 8 bits (bit-packing only).
 #[inline]
 pub fn low_u8(v: impl Into<u64>) -> u8 {
@@ -74,6 +139,7 @@ pub fn low_u32(v: impl Into<u64>) -> u32 {
 /// validation path — decoders never call this.
 #[inline]
 pub fn u32_len(len: usize) -> u32 {
+    // xtask-allow: R5 -- encoder-only length narrowing (see doc above); decoders never call this
     u32::try_from(len).expect("encoder section length exceeds u32 range")
 }
 
@@ -131,5 +197,41 @@ mod tests {
     fn u32_len_roundtrip() {
         assert_eq!(u32_len(0), 0);
         assert_eq!(u32_len(1 << 20), 1 << 20);
+    }
+
+    #[test]
+    fn f32_narrowing_is_checked() {
+        assert_eq!(f64_to_f32_checked(1.5), Some(1.5f32));
+        // Precision rounding is allowed…
+        assert_eq!(f64_to_f32_checked(1e-300), Some(0.0f32));
+        // …but overflow to ±∞ and non-finite inputs are not.
+        assert_eq!(f64_to_f32_checked(1e300), None);
+        assert_eq!(f64_to_f32_checked(f64::NEG_INFINITY), None);
+        assert_eq!(f64_to_f32_checked(f64::NAN), None);
+    }
+
+    #[test]
+    fn float_to_index_clamps() {
+        assert_eq!(float_to_index(3.7, 10), 3);
+        assert_eq!(float_to_index(-2.0, 10), 0);
+        assert_eq!(float_to_index(f64::NAN, 10), 0);
+        assert_eq!(float_to_index(1e30, 10), 9);
+        assert_eq!(float_to_index(9.999, 10), 9);
+    }
+
+    #[test]
+    fn le_readers_check_bounds() {
+        let b = 0xDEAD_BEEFu32.to_le_bytes();
+        assert_eq!(u32_le(&b), Some(0xDEAD_BEEF));
+        assert_eq!(u32_le(&b[..3]), None);
+        let b = 42u64.to_le_bytes();
+        assert_eq!(u64_le(&b), Some(42));
+        assert_eq!(u64_le(&[]), None);
+        let b = 1.25f32.to_le_bytes();
+        assert_eq!(f32_le(&b), Some(1.25));
+        assert_eq!(f32_le(&b[..2]), None);
+        let b = (-3.5f64).to_le_bytes();
+        assert_eq!(f64_le(&b), Some(-3.5));
+        assert_eq!(f64_le(&b[..7]), None);
     }
 }

@@ -17,7 +17,16 @@ pub struct Line {
 
 impl Line {
     /// Gathers the line's values from backing storage into a `Vec`.
+    ///
+    /// The line must fit in `data`: true by construction for lines produced
+    /// by [`LineIter`] over the grid's own shape, and asserted here so a
+    /// mismatched buffer fails loudly at the algorithm boundary.
+    // xtask-allow-fn: R5 -- offsets come from LineIter over the grid's own Shape; extent asserted at entry
     pub fn gather<T: Copy>(&self, data: &[T]) -> Vec<T> {
+        assert!(
+            self.len == 0 || self.base + (self.len - 1) * self.stride < data.len(),
+            "Line::gather: line extends past the buffer"
+        );
         (0..self.len).map(|k| data[self.base + k * self.stride]).collect()
     }
 }

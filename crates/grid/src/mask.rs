@@ -121,11 +121,15 @@ impl MaskMap {
         out
     }
 
-    /// Inverse of [`MaskMap::pack_bits`].
+    /// Inverse of [`MaskMap::pack_bits`]. Callers pass a buffer sized from
+    /// the shape (`len().div_ceil(8)`); a short buffer is a programmer
+    /// error, and any byte past the end reads as all-invalid flags.
     pub fn unpack_bits(shape: Shape, bytes: &[u8]) -> Self {
         let n = shape.len();
         assert!(bytes.len() * 8 >= n, "packed mask too short");
-        let valid = (0..n).map(|i| bytes[i / 8] >> (i % 8) & 1 == 1).collect();
+        let valid = (0..n)
+            .map(|i| bytes.get(i / 8).is_some_and(|&b| b >> (i % 8) & 1 == 1))
+            .collect();
         Self { shape, valid }
     }
 }

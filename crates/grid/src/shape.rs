@@ -39,6 +39,7 @@ impl Shape {
         for i in (0..dims.len().saturating_sub(1)).rev() {
             strides[i] = strides[i + 1]
                 .checked_mul(dims[i + 1])
+                // xtask-allow: R5 -- construction invariant: decoders cap total volume before building a Shape
                 .expect("Shape: element count overflows usize");
         }
         Self {

@@ -22,6 +22,7 @@ pub struct Smoothness {
 
 /// Measures first-difference smoothness along every axis, skipping pairs with
 /// an invalid endpoint. Returns one [`Smoothness`] per axis.
+// xtask-allow-fn: R5 -- offsets come from LineIter over data's own Shape; shape equality asserted at entry
 pub fn dimension_smoothness(data: &Grid<f32>, mask: &MaskMap) -> Vec<Smoothness> {
     assert_eq!(data.shape(), mask.shape());
     let ndim = data.shape().ndim();

@@ -35,7 +35,7 @@ impl Default for Effort {
 const HASH_BITS: u32 = 15;
 const HASH_SIZE: usize = 1 << HASH_BITS;
 
-// xtask-allow-fn: R1 -- encoder-side hashing; every call site guarantees i+2 < data.len()
+// xtask-allow-fn: R1, R5 -- encoder-side hashing; every call site guarantees i+2 < data.len()
 #[inline]
 fn hash3(data: &[u8], i: usize) -> usize {
     // Multiplicative hash of a 3-byte little-endian load.
@@ -44,7 +44,7 @@ fn hash3(data: &[u8], i: usize) -> usize {
 }
 
 /// Parses `data` into LZ77 tokens.
-// xtask-allow-fn: R1 -- encoder-side match finder over caller data; indices are bounded by the scan invariants (cand < i, best_len < max_len <= n - i), not by untrusted input
+// xtask-allow-fn: R1, R5 -- encoder-side match finder over caller data; indices are bounded by the scan invariants (cand < i, best_len < max_len <= n - i), not by untrusted input
 pub fn tokenize(data: &[u8], effort: Effort) -> Vec<Token> {
     let n = data.len();
     let mut tokens = Vec::with_capacity(n / 2);

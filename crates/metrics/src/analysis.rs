@@ -7,7 +7,7 @@
 //! as a healthy quantizer produces, or lumpy?), and the lag-k error
 //! autocorrelation that exposes spatially correlated artifacts.
 
-use cliz_grid::MaskMap;
+use cliz_grid::{cast, MaskMap};
 
 /// Distribution-level error report.
 #[derive(Clone, Debug)]
@@ -94,7 +94,7 @@ pub fn analyze_errors(
     };
     if max_abs > 0.0 {
         for &e in &errors {
-            let b = (((e + max_abs) / bucket_width) as usize).min(bins - 1);
+            let b = cast::float_to_index((e + max_abs) / bucket_width, bins);
             histogram[b] += 1;
         }
     } else {
@@ -135,7 +135,7 @@ impl ErrorAnalysis {
             return 1.0;
         }
         let bins = self.histogram.len();
-        let keep = ((bins as f64 * frac) / 2.0).ceil() as usize;
+        let keep = cast::float_to_index((bins as f64 * frac / 2.0).ceil(), bins + 1);
         let mid = bins / 2;
         let lo = mid.saturating_sub(keep);
         let hi = (mid + keep).min(bins);

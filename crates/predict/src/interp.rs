@@ -39,6 +39,27 @@ impl<'a> InterpParams<'a> {
     }
 }
 
+/// Decode-side stream mismatch: the literal stream length disagrees with
+/// the escape count implied by the symbol grid. Containers are untrusted —
+/// this must surface as an error, never a panic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReconstructError {
+    pub expected_literals: usize,
+    pub got_literals: usize,
+}
+
+impl std::fmt::Display for ReconstructError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "literal stream has {} value(s) but the symbol grid escapes {}",
+            self.got_literals, self.expected_literals
+        )
+    }
+}
+
+impl std::error::Error for ReconstructError {}
+
 /// Row-major strides for `dims`.
 fn strides_of(dims: &[usize]) -> Vec<usize> {
     let mut strides = vec![1usize; dims.len()];
@@ -71,6 +92,7 @@ pub fn predict_quantize(
 /// any returned bound ≤ the advertised user bound keeps the global contract.
 /// The decoder must be driven with the identical policy
 /// ([`reconstruct_leveled`]).
+// xtask-allow-fn: R5 -- walk() only visits idx < dims product == buf.len(), asserted at entry
 pub fn predict_quantize_leveled(
     buf: &mut [f32],
     dims: &[usize],
@@ -111,6 +133,10 @@ pub fn predict_quantize_leveled(
 /// Decompression pass: replays `symbols` (raster order) into `buf`.
 /// `literals` supplies escape values in raster order. Masked points receive
 /// `fill_value`.
+///
+/// Fails (without touching a single element) when the literal stream length
+/// disagrees with the escape count in `symbols` — the streams come from an
+/// untrusted container.
 pub fn reconstruct(
     buf: &mut [f32],
     dims: &[usize],
@@ -119,7 +145,7 @@ pub fn reconstruct(
     symbols: &[u32],
     literals: &[f32],
     fill_value: f32,
-) {
+) -> Result<(), ReconstructError> {
     reconstruct_leveled(
         buf,
         dims,
@@ -133,6 +159,7 @@ pub fn reconstruct(
 
 /// [`reconstruct`] with a per-level quantizer mirroring
 /// [`predict_quantize_leveled`].
+// xtask-allow-fn: R5 -- walk() only visits idx < dims product == buf.len(), asserted at entry; literal stream validated before use
 pub fn reconstruct_leveled(
     buf: &mut [f32],
     dims: &[usize],
@@ -141,30 +168,38 @@ pub fn reconstruct_leveled(
     symbols: &[u32],
     literals: &[f32],
     fill_value: f32,
-) {
+) -> Result<(), ReconstructError> {
     let expected: usize = dims.iter().product();
     assert_eq!(buf.len(), expected);
     assert_eq!(symbols.len(), expected);
 
+    // Validate the literal stream before writing anything: the container
+    // may disagree with its own symbol grid.
+    let escapes = symbols
+        .iter()
+        .enumerate()
+        .filter(|&(i, &s)| s == ESCAPE && params.is_valid(i))
+        .count();
+    if literals.len() != escapes {
+        return Err(ReconstructError {
+            expected_literals: escapes,
+            got_literals: literals.len(),
+        });
+    }
+
     // Pre-scatter literals to their raster positions.
     let mut lit_grid: Option<Vec<f32>> = None;
-    {
+    if escapes > 0 {
         let mut it = literals.iter();
         let mut grid = vec![0.0f32; expected];
-        let mut any = false;
         for (i, &s) in symbols.iter().enumerate() {
             if s == ESCAPE && params.is_valid(i) {
-                let v = *it
-                    .next()
-                    .expect("literal stream shorter than escape count");
-                grid[i] = v;
-                any = true;
+                if let Some(&v) = it.next() {
+                    grid[i] = v;
+                }
             }
         }
-        assert!(it.next().is_none(), "literal stream longer than escape count");
-        if any {
-            lit_grid = Some(grid);
-        }
+        lit_grid = Some(grid);
     }
 
     for (i, v) in buf.iter_mut().enumerate() {
@@ -179,11 +214,13 @@ pub fn reconstruct_leveled(
         }
         let s = symbols[idx];
         buf[idx] = if s == ESCAPE {
-            lit_grid.as_ref().expect("escape without literals")[idx]
+            // lit_grid is Some whenever any escape exists (validated above).
+            lit_grid.as_deref().map_or(0.0, |g| g[idx])
         } else {
             quantizer_for(stride).recover(s, pred)
         };
     });
+    Ok(())
 }
 
 /// The traversal skeleton. Calls `visit(buf, idx, stride, pred)` exactly
@@ -277,6 +314,7 @@ where
 /// Computes the fit prediction for the point at linear index `idx`, which
 /// sits at coordinate `i` along the active dimension (stride `dim_stride`,
 /// length `dim_len`), using neighbours at `i ± s` and `i ± 3s`.
+// xtask-allow-fn: R5 -- neighbour offsets are bounds-checked against dim_len before use; walk() guarantees idx/i agree
 #[inline]
 fn predict_at(
     buf: &[f32],
@@ -312,7 +350,9 @@ fn predict_at(
         if pos < 0 || pos as usize >= dim_len {
             return None;
         }
-        let j = (idx as isize + offset_steps * (s * dim_stride) as isize) as usize;
+        // idx == line base + i*dim_stride, so rebase through the line
+        // origin: no signed/unsigned round-trip on the linear index.
+        let j = idx - i * dim_stride + pos as usize * dim_stride;
         if mask.is_some_and(|m| !m[j]) {
             return None;
         }
@@ -381,7 +421,7 @@ mod tests {
         assert_eq!(literals.len(), escapes);
 
         let mut out = vec![0.0f32; data.len()];
-        reconstruct(&mut out, dims, &params, &q, &symbols, &literals, -999.0);
+        reconstruct(&mut out, dims, &params, &q, &symbols, &literals, -999.0).unwrap();
 
         for (i, (&orig, &rec)) in data.iter().zip(&out).enumerate() {
             if mask.is_none_or(|m| m[i]) {
@@ -560,6 +600,28 @@ mod tests {
             })
             .collect();
         roundtrip(&data, &[500], Fitting::Cubic, None, 1e-9);
+    }
+
+    #[test]
+    fn literal_mismatch_is_an_error_not_a_panic() {
+        let q = LinearQuantizer::new(1e-3);
+        let params = InterpParams::new(Fitting::Linear);
+        let mut data: Vec<f32> = (0..64).map(|i| (i as f32 * 0.4).sin()).collect();
+        data[17] = 1.0e30; // far beyond any bin: guaranteed escape
+        let mut buf = data.clone();
+        let mut symbols = vec![0u32; 64];
+        let escapes = predict_quantize(&mut buf, &[64], &params, &q, &mut symbols);
+        assert!(escapes >= 1);
+
+        let mut out = vec![0.0f32; 64];
+        // Too few literals…
+        let err = reconstruct(&mut out, &[64], &params, &q, &symbols, &[], -1.0)
+            .unwrap_err();
+        assert_eq!(err.expected_literals, escapes);
+        assert_eq!(err.got_literals, 0);
+        // …and too many.
+        let too_many = vec![0.0f32; escapes + 3];
+        assert!(reconstruct(&mut out, &[64], &params, &q, &symbols, &too_many, -1.0).is_err());
     }
 
     #[test]

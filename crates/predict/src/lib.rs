@@ -29,4 +29,5 @@ pub mod interp;
 pub use fitting::{cubic_coeffs, linear_coeffs, Fitting};
 pub use interp::{
     predict_quantize, predict_quantize_leveled, reconstruct, reconstruct_leveled, InterpParams,
+    ReconstructError,
 };

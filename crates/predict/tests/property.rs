@@ -77,7 +77,10 @@ proptest! {
         prop_assert_eq!(literals.len(), escapes);
 
         let mut dec_buf = vec![0.0f32; case.data.len()];
-        reconstruct(&mut dec_buf, &case.dims, &params, &q, &symbols, &literals, -5.5);
+        prop_assert!(
+            reconstruct(&mut dec_buf, &case.dims, &params, &q, &symbols, &literals, -5.5)
+                .is_ok()
+        );
 
         for i in 0..case.data.len() {
             if is_valid(i) {

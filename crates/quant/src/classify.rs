@@ -21,7 +21,7 @@ use cliz_grid::cast;
 /// lumped together; a position whose true mode lies outside this window is
 /// necessarily dispersed, so the classification is unaffected.
 const HIST_HALF: i32 = 8;
-const HIST_W: usize = (2 * HIST_HALF + 1) as usize;
+const HIST_W: usize = 2 * (HIST_HALF as usize) + 1;
 
 /// Classification tuning.
 #[derive(Clone, Copy, Debug)]
@@ -139,9 +139,11 @@ impl Classification {
 
     /// Inverse of [`Classification::marker_bytes`].
     pub fn from_marker_bytes(bytes: &[u8]) -> Option<Self> {
-        let h_len = u64::from_le_bytes(bytes.get(..8)?.try_into().ok()?) as usize;
+        let h_len = cast::to_usize_checked(cast::u64_le(bytes)?)?;
         let n_words = h_len.div_ceil(11);
-        if bytes.len() < 8 + n_words * 4 {
+        // Checked arithmetic: a corrupt h_len must not overflow the length
+        // bound below (and the allocations stay behind this check).
+        if bytes.len() < n_words.checked_mul(4)?.checked_add(8)? {
             return None;
         }
         let mut shifts = Vec::with_capacity(h_len);
@@ -197,7 +199,10 @@ pub fn classify(
         totals[p] += 1;
         let bin = symbol_to_bin(s);
         if bin.abs() <= HIST_HALF {
-            hist[p * HIST_W + (bin + HIST_HALF) as usize] += 1;
+            // In range by the check above, so the conversion never fails.
+            if let Some(off) = cast::to_usize_checked(bin + HIST_HALF) {
+                hist[p * HIST_W + off] += 1;
+            }
         }
     }
 

@@ -61,10 +61,14 @@ impl LinearQuantizer {
         let Some(bin) = cast::quantize_index(bin_f, self.radius) else {
             return Quantized::Escape;
         };
-        let recon = (pred + step * f64::from(bin)) as f32;
+        // Checked narrowing: a correction that overflows f32 escapes instead
+        // of silently reconstructing ±∞.
+        let Some(recon) = cast::f64_to_f32_checked(pred + step * f64::from(bin)) else {
+            return Quantized::Escape;
+        };
         // Exactness check in decoder arithmetic: reject on any rounding slip.
         // Written as a negated `<=` so a NaN difference also escapes.
-        if !((f64::from(recon) - f64::from(value)).abs() <= self.eb) || !recon.is_finite() {
+        if !((f64::from(recon) - f64::from(value)).abs() <= self.eb) {
             return Quantized::Escape;
         }
         // Error-bound invariant at the encode boundary: every emitted bin's
@@ -91,7 +95,10 @@ impl LinearQuantizer {
             "decoded bin {bin} exceeds quantizer radius {}",
             self.radius
         );
-        (pred + 2.0 * self.eb * f64::from(bin)) as f32
+        // Checked narrowing: encoders never emit a bin whose reconstruction
+        // overflows f32 (quantize escapes first), so an overflow here means a
+        // corrupt stream — surface NaN rather than a silent ±∞.
+        cast::f64_to_f32_checked(pred + 2.0 * self.eb * f64::from(bin)).unwrap_or(f32::NAN)
     }
 }
 

@@ -223,7 +223,7 @@ pub fn read_caf(r: &mut impl Read) -> Result<Dataset, StoreError> {
     r.read_exact(&mut bytes)?;
     let values: Vec<f32> = bytes
         .chunks_exact(4)
-        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
         .collect();
     let shape = Shape::new(&dims);
     let data = Grid::from_vec(shape.clone(), values);

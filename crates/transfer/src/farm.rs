@@ -60,15 +60,15 @@ pub fn schedule_lpt(durations: &[f64], cores: usize) -> f64 {
     }
     let cores = cores.max(1);
     let mut sorted: Vec<f64> = durations.to_vec();
-    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    sorted.sort_by(|a, b| b.total_cmp(a));
     let mut load = vec![0.0f64; cores.min(durations.len())];
     for d in sorted {
         let i = load
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
-            .expect("non-empty load vector");
+            .unwrap_or(0);
         load[i] += d;
     }
     load.into_iter().fold(0.0, f64::max)

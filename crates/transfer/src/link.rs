@@ -62,9 +62,7 @@ impl WanLink {
         let mut lane_bytes = vec![0u64; streams];
         let mut lane_files = vec![0usize; streams];
         for s in sizes {
-            let i = (0..streams)
-                .min_by_key(|&i| lane_bytes[i])
-                .expect("streams >= 1");
+            let i = (0..streams).min_by_key(|&i| lane_bytes[i]).unwrap_or(0);
             lane_bytes[i] += s;
             lane_files[i] += 1;
         }

@@ -27,8 +27,74 @@ pub struct Lexed {
     pub comments: Vec<Comment>,
 }
 
-fn is_ident(c: u8) -> bool {
+pub(crate) fn is_ident(c: u8) -> bool {
     c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// First non-whitespace byte at or after `i`.
+pub(crate) fn next_nonws(b: &[u8], mut i: usize) -> Option<(usize, u8)> {
+    while i < b.len() {
+        if !(b[i] as char).is_whitespace() {
+            return Some((i, b[i]));
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Last non-whitespace byte strictly before `i`.
+pub(crate) fn prev_nonws(b: &[u8], i: usize) -> Option<(usize, u8)> {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        if !(b[j] as char).is_whitespace() {
+            return Some((j, b[j]));
+        }
+    }
+    None
+}
+
+/// Reads the identifier token starting at `i` (which must be its first byte).
+pub(crate) fn ident_at(b: &[u8], i: usize) -> &str {
+    let mut j = i;
+    while j < b.len() && is_ident(b[j]) {
+        j += 1;
+    }
+    std::str::from_utf8(&b[i..j]).unwrap_or("")
+}
+
+/// Reads the identifier token *ending* right before `i` (exclusive).
+pub(crate) fn ident_ending_at(b: &[u8], i: usize) -> &str {
+    let mut j = i;
+    while j > 0 && is_ident(b[j - 1]) {
+        j -= 1;
+    }
+    std::str::from_utf8(&b[j..i]).unwrap_or("")
+}
+
+/// True when the byte at `i` starts an identifier token.
+pub(crate) fn ident_starts_at(b: &[u8], i: usize) -> bool {
+    is_ident(b[i]) && (i == 0 || !is_ident(b[i - 1]))
+}
+
+/// Offset of the matching `}` for the `{` at `open` (or end of input).
+pub(crate) fn match_brace(b: &[u8], open: usize) -> usize {
+    let mut depth = 0isize;
+    let mut i = open;
+    while i < b.len() {
+        match b[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    b.len().saturating_sub(1)
 }
 
 /// Strips comments and string/char literals out of `source`.
@@ -225,6 +291,38 @@ pub fn strip(source: &str) -> Lexed {
 /// tell `r"raw"` from an identifier ending in `r`, e.g. `var"`).
 fn prev_ident(code: &[u8]) -> bool {
     code.last().copied().is_some_and(is_ident)
+}
+
+/// Line-number lookup table: `starts[k]` is the byte offset of line `k+1`.
+/// Shared by every pass that maps byte offsets back to 1-based lines.
+pub struct Lines {
+    starts: Vec<usize>,
+}
+
+impl Lines {
+    pub fn new(text: &str) -> Self {
+        let mut starts = vec![0usize];
+        for (i, c) in text.bytes().enumerate() {
+            if c == b'\n' {
+                starts.push(i + 1);
+            }
+        }
+        Self { starts }
+    }
+
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.starts.binary_search(&offset) {
+            Ok(k) => k + 1,
+            Err(k) => k,
+        }
+    }
+
+    pub fn offset_of_line(&self, line: usize) -> usize {
+        self.starts
+            .get(line.saturating_sub(1))
+            .copied()
+            .unwrap_or(usize::MAX)
+    }
 }
 
 /// Blanks `#[cfg(test)]` and `#[test]` items (attribute through the end of

@@ -4,14 +4,34 @@
 //! for the rule catalogue and suppression syntax. The crate has zero
 //! external dependencies on purpose: it must build with a bare toolchain
 //! even when the crates.io registry is unreachable.
+//!
+//! Two layers of analysis:
+//!
+//! * per-file token rules (R0–R4, R6) in [`rules`], over lexed code with
+//!   comments/strings/test items blanked ([`lexer`]);
+//! * workspace passes over a cross-crate call graph: [`items`] parses `fn`
+//!   items and call/hazard sites, [`callgraph`] links call sites to every
+//!   same-named function, and [`taint`] runs the R5 panic-reachability
+//!   pass from decode-tainted entry points.
+//!
+//! [`output`] renders reports as text/JSON/SARIF and implements the
+//! `xtask-baseline.json` ratchet (findings may only shrink).
 
+pub mod callgraph;
+pub mod items;
 pub mod lexer;
+pub mod output;
 pub mod rules;
+pub mod taint;
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+pub use output::{
+    baseline_from_report, baseline_to_json, parse_baseline, ratchet, to_json, to_sarif, Baseline,
+    RatchetOutcome,
+};
 pub use rules::{FileReport, Violation};
 
 /// A violation bound to the file it was found in.
@@ -38,26 +58,74 @@ impl Report {
 }
 
 /// Lints a single source string as if it lived at `rel_path`
-/// (workspace-relative, `/`-separated). Exposed for fixture tests.
+/// (workspace-relative, `/`-separated). Per-file rules only (R0–R4, R6);
+/// the workspace R5 pass needs the whole file set — use [`lint_sources`].
+/// Exposed for fixture tests.
 pub fn lint_source(rel_path: &str, source: &str) -> FileReport {
     rules::check_file(rel_path, source)
 }
 
+/// Lints a set of sources as one workspace: per-file rules plus the
+/// cross-crate R5 taint pass. Each entry is `(rel_path, source)`.
+pub fn lint_sources(files: &[(String, String)]) -> Report {
+    let mut report = Report::default();
+    let mut all_items = Vec::with_capacity(files.len());
+    let mut sups_by_file = Vec::with_capacity(files.len());
+    for (rel, source) in files {
+        let fa = rules::analyze_file(rel, source);
+        report.files_scanned += 1;
+        report.suppressed += fa.report.suppressed;
+        for v in fa.report.violations {
+            report.violations.push(FileViolation {
+                file: rel.clone(),
+                rule: v.rule,
+                line: v.line,
+                message: v.message,
+            });
+        }
+        sups_by_file.push((rel.clone(), fa.sups));
+        all_items.push((rel.clone(), fa.items));
+    }
+
+    // Workspace pass: R5 panic reachability over the call graph.
+    for f in taint::analyze(&all_items) {
+        let suppressed = sups_by_file
+            .iter()
+            .find(|(rel, _)| *rel == f.file)
+            .is_some_and(|(_, sups)| sups.iter().any(|s| s.covers("R5", f.line)));
+        if suppressed {
+            report.suppressed += 1;
+        } else {
+            report.violations.push(FileViolation {
+                file: f.file,
+                rule: "R5",
+                line: f.line,
+                message: f.message,
+            });
+        }
+    }
+
+    report
+        .violations
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report
+}
+
 /// Scans every `crates/*/src/**/*.rs` file under `root`.
 pub fn lint_root(root: &Path) -> io::Result<Report> {
-    let mut files = Vec::new();
+    let mut paths = Vec::new();
     let crates_dir = root.join("crates");
     for entry in fs::read_dir(&crates_dir)? {
         let krate = entry?.path();
         let src = krate.join("src");
         if src.is_dir() {
-            collect_rs(&src, &mut files)?;
+            collect_rs(&src, &mut paths)?;
         }
     }
-    files.sort();
+    paths.sort();
 
-    let mut report = Report::default();
-    for path in files {
+    let mut files = Vec::with_capacity(paths.len());
+    for path in paths {
         let rel = path
             .strip_prefix(root)
             .unwrap_or(&path)
@@ -66,22 +134,9 @@ pub fn lint_root(root: &Path) -> io::Result<Report> {
             .collect::<Vec<_>>()
             .join("/");
         let source = fs::read_to_string(&path)?;
-        let fr = rules::check_file(&rel, &source);
-        report.files_scanned += 1;
-        report.suppressed += fr.suppressed;
-        for v in fr.violations {
-            report.violations.push(FileViolation {
-                file: rel.clone(),
-                rule: v.rule,
-                line: v.line,
-                message: v.message,
-            });
-        }
+        files.push((rel, source));
     }
-    report
-        .violations
-        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    Ok(report)
+    Ok(lint_sources(&files))
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {

@@ -2,8 +2,18 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: cargo run -p cliz-xtask -- lint [--root <dir>]");
+    eprintln!(
+        "usage: cargo run -p cliz-xtask -- lint [--root <dir>] \
+         [--format text|json|sarif] [--baseline <file>] [--write-baseline]"
+    );
     ExitCode::from(2)
+}
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
 }
 
 fn main() -> ExitCode {
@@ -16,12 +26,26 @@ fn main() -> ExitCode {
         return usage();
     }
     let mut root = PathBuf::from(".");
+    let mut format = Format::Text;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => match args.next() {
                 Some(dir) => root = PathBuf::from(dir),
                 None => return usage(),
             },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
+                _ => return usage(),
+            },
+            "--baseline" => match args.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--write-baseline" => write_baseline = true,
             other => {
                 eprintln!("unknown option `{other}`");
                 return usage();
@@ -38,6 +62,7 @@ fn main() -> ExitCode {
             }
         }
     }
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("xtask-baseline.json"));
 
     let report = match cliz_xtask::lint_root(&root) {
         Ok(r) => r,
@@ -46,18 +71,84 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    for v in &report.violations {
-        println!("{} {}:{} — {}", v.rule, v.file, v.line, v.message);
+
+    if write_baseline {
+        let base = cliz_xtask::baseline_from_report(&report);
+        let text = cliz_xtask::baseline_to_json(&base);
+        if let Err(e) = std::fs::write(&baseline_path, text) {
+            eprintln!("xtask lint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "xtask lint: wrote baseline ({} entr{}) to {}",
+            base.entries.len(),
+            if base.entries.len() == 1 { "y" } else { "ies" },
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
     }
-    println!(
+
+    // Load the ratchet baseline when present; a malformed one is a hard
+    // error (it must never silently allow regressions).
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match cliz_xtask::parse_baseline(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!(
+                    "xtask lint: malformed baseline {}: {e}",
+                    baseline_path.display()
+                );
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => cliz_xtask::Baseline::default(),
+    };
+    let outcome = cliz_xtask::ratchet(&report, &baseline);
+
+    // Machine-readable formats go to stdout; the human summary to stderr.
+    match format {
+        Format::Text => {
+            for v in &report.violations {
+                println!("{} {}:{} — {}", v.rule, v.file, v.line, v.message);
+            }
+        }
+        Format::Json => print!("{}", cliz_xtask::to_json(&report)),
+        Format::Sarif => print!("{}", cliz_xtask::to_sarif(&report)),
+    }
+    let summary = format!(
         "xtask lint: {} violation(s), {} suppressed, {} file(s) scanned",
         report.violations.len(),
         report.suppressed,
         report.files_scanned
     );
-    if report.is_clean() {
-        ExitCode::SUCCESS
+    if format == Format::Text {
+        println!("{summary}");
     } else {
+        eprintln!("{summary}");
+    }
+    for (rule, file, current, allowed) in &outcome.regressions {
+        eprintln!(
+            "xtask lint: ratchet regression: {rule} in {file}: {current} finding(s), \
+             baseline allows {allowed}"
+        );
+    }
+    for (rule, file, current, allowed) in &outcome.stale {
+        eprintln!(
+            "xtask lint: baseline stale: {rule} in {file} is down to {current} \
+             (baseline {allowed}) — shrink it with --write-baseline"
+        );
+    }
+    if outcome.known > 0 {
+        eprintln!(
+            "xtask lint: {} finding(s) tolerated by {}",
+            outcome.known,
+            baseline_path.display()
+        );
+    }
+
+    if outcome.is_regression() {
         ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }

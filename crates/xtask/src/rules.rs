@@ -16,12 +16,25 @@
 //!   whose signature does not return `Result`.
 //! * **R4** — quantizer encode/decode boundary (`fn quantize`,
 //!   `fn recover`) lacks its `debug_assert!` error-bound invariant hook.
+//! * **R5** — panic reachability: a panicking construct or unchecked
+//!   input-buffer index reachable (via the cross-crate call graph) from a
+//!   decode-tainted entry point. Produced by the workspace pass in
+//!   [`crate::taint`], not by the per-file scan here; the rule id is
+//!   registered so suppressions can name it.
+//! * **R6** — lossy numeric cast in the quantizer/predictor/metrics paths:
+//!   bare `as f32` (f64→f32 precision loss) or an expression-result
+//!   `(..) as usize|u64|i64|isize` (the float→int shape rule R2's
+//!   identifier-cast check cannot see). Use the `cliz_core::cast` helpers
+//!   (`f64_to_f32_checked`, `float_to_index`, `to_usize_checked`).
 //!
 //! Suppressions: `// xtask-allow: R1 -- reason` (covers its own line and
 //! the next), or `// xtask-allow-fn: R1 -- reason` (covers the whole next
 //! function item). The reason is mandatory.
 
-use crate::lexer;
+use crate::items::{self, FnItem};
+use crate::lexer::{
+    self, ident_at, ident_ending_at, is_ident, match_brace, next_nonws, prev_nonws, Lines,
+};
 
 /// One finding, file-relative.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,7 +51,7 @@ pub struct FileReport {
     pub suppressed: usize,
 }
 
-pub const ALL_RULES: &[&str] = &["R0", "R1", "R2", "R3", "R4"];
+pub const ALL_RULES: &[&str] = &["R0", "R1", "R2", "R3", "R4", "R5", "R6"];
 
 /// Files/dirs (workspace-relative, `/`-separated prefixes) where R1 applies:
 /// everything that parses attacker-controllable container bytes.
@@ -68,6 +81,20 @@ const R3_SCOPE: &[&str] = &["crates/baselines/src/", "crates/core/src/"];
 /// Files that must carry the R4 error-bound invariant hooks.
 const R4_FILES: &[&str] = &["crates/quant/src/quantizer.rs"];
 
+/// Crates whose numeric paths must route float↔int / f64→f32 conversions
+/// through the `cliz_core::cast` helpers (R6).
+const R6_SCOPE: &[&str] = &[
+    "crates/quant/src/",
+    "crates/predict/src/",
+    "crates/metrics/src/",
+];
+
+/// Integer destinations R6 checks for the expression-result cast shape
+/// (`(expr) as usize`). R2 already covers the narrowing destinations for
+/// identifier casts; these are the wide types R2 exempts, which is exactly
+/// where a silently truncating float→int cast hides.
+const R6_INT_TYPES: &[&str] = &["usize", "u64", "i64", "isize"];
+
 /// Identifier names treated as decoder input buffers for the R1 indexing
 /// check. Heuristic by design: decode paths in this workspace consistently
 /// use these names, and `xtask-allow` covers deliberate exceptions.
@@ -83,106 +110,19 @@ fn in_scope(scope: &[&str], rel_path: &str) -> bool {
     scope.iter().any(|p| rel_path.starts_with(p))
 }
 
-fn is_ident(c: u8) -> bool {
-    c.is_ascii_alphanumeric() || c == b'_'
-}
-
-fn next_nonws(b: &[u8], mut i: usize) -> Option<(usize, u8)> {
-    while i < b.len() {
-        if !(b[i] as char).is_whitespace() {
-            return Some((i, b[i]));
-        }
-        i += 1;
-    }
-    None
-}
-
-fn prev_nonws(b: &[u8], i: usize) -> Option<(usize, u8)> {
-    let mut j = i;
-    while j > 0 {
-        j -= 1;
-        if !(b[j] as char).is_whitespace() {
-            return Some((j, b[j]));
-        }
-    }
-    None
-}
-
-/// Reads the identifier token starting at `i` (which must be its first byte).
-fn ident_at(b: &[u8], i: usize) -> &str {
-    let mut j = i;
-    while j < b.len() && is_ident(b[j]) {
-        j += 1;
-    }
-    std::str::from_utf8(&b[i..j]).unwrap_or("")
-}
-
-/// Reads the identifier token *ending* right before `i` (exclusive).
-fn ident_ending_at(b: &[u8], i: usize) -> &str {
-    let mut j = i;
-    while j > 0 && is_ident(b[j - 1]) {
-        j -= 1;
-    }
-    std::str::from_utf8(&b[j..i]).unwrap_or("")
-}
-
-/// Offset of the matching `}` for the `{` at `open` (or end of input).
-fn match_brace(b: &[u8], open: usize) -> usize {
-    let mut depth = 0isize;
-    let mut i = open;
-    while i < b.len() {
-        match b[i] {
-            b'{' => depth += 1,
-            b'}' => {
-                depth -= 1;
-                if depth == 0 {
-                    return i;
-                }
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    b.len().saturating_sub(1)
-}
-
-/// Line-number lookup table: `starts[k]` is the byte offset of line `k+1`.
-struct Lines {
-    starts: Vec<usize>,
-}
-
-impl Lines {
-    fn new(text: &str) -> Self {
-        let mut starts = vec![0usize];
-        for (i, c) in text.bytes().enumerate() {
-            if c == b'\n' {
-                starts.push(i + 1);
-            }
-        }
-        Self { starts }
-    }
-
-    fn line_of(&self, offset: usize) -> usize {
-        match self.starts.binary_search(&offset) {
-            Ok(k) => k + 1,
-            Err(k) => k,
-        }
-    }
-
-    fn offset_of_line(&self, line: usize) -> usize {
-        self.starts
-            .get(line.saturating_sub(1))
-            .copied()
-            .unwrap_or(usize::MAX)
-    }
-}
-
 /// A parsed suppression directive.
-struct Suppression {
+pub struct Suppression {
     rules: Vec<&'static str>,
     /// Inclusive line range the suppression covers.
     first_line: usize,
     last_line: usize,
+}
+
+impl Suppression {
+    /// True when this directive suppresses `rule` findings on `line`.
+    pub fn covers(&self, rule: &str, line: usize) -> bool {
+        self.rules.contains(&rule) && (self.first_line..=self.last_line).contains(&line)
+    }
 }
 
 fn canonical_rule(id: &str) -> Option<&'static str> {
@@ -281,8 +221,22 @@ fn collect_suppressions(
     sups
 }
 
+/// Full per-file analysis: the per-file rule findings plus the artifacts
+/// the workspace-level passes need (suppression ranges for applying R5
+/// suppressions, parsed `fn` items for the call graph).
+pub struct FileAnalysis {
+    pub report: FileReport,
+    pub sups: Vec<Suppression>,
+    pub items: Vec<FnItem>,
+}
+
 /// Scans one file. `rel_path` must be workspace-relative with `/` separators.
 pub fn check_file(rel_path: &str, source: &str) -> FileReport {
+    analyze_file(rel_path, source).report
+}
+
+/// Scans one file and also returns its suppressions and parsed items.
+pub fn analyze_file(rel_path: &str, source: &str) -> FileAnalysis {
     let lexed = lexer::strip(source);
     let active = lexer::blank_test_items(&lexed.code);
     let lines = Lines::new(&active);
@@ -295,6 +249,7 @@ pub fn check_file(rel_path: &str, source: &str) -> FileReport {
     let r1 = in_scope(R1_SCOPE, rel_path);
     let r2 = in_scope(R2_SCOPE, rel_path);
     let r3 = in_scope(R3_SCOPE, rel_path);
+    let r6 = in_scope(R6_SCOPE, rel_path);
 
     let mut i = 0usize;
     while i < b.len() {
@@ -364,6 +319,39 @@ pub fn check_file(rel_path: &str, source: &str) -> FileReport {
             }
         }
 
+        if r6 && word == "as" {
+            if let Some((j, _)) = next_nonws(b, i) {
+                let ty = ident_at(b, j);
+                if ty == "f32" {
+                    raw.push(Violation {
+                        rule: "R6",
+                        line,
+                        message: "bare `as f32` cast loses f64 precision silently; use \
+                                  `cliz_core::cast::f64_to_f32_checked`"
+                            .to_string(),
+                    });
+                    continue;
+                }
+                // `(expr) as usize` — the expression-result shape where a
+                // float→int truncation hides. Identifier casts (`i as u64`)
+                // stay exempt: loop counters and widths, not float math.
+                if R6_INT_TYPES.contains(&ty)
+                    && prev_nonws(b, start).is_some_and(|(_, c)| c == b')')
+                {
+                    raw.push(Violation {
+                        rule: "R6",
+                        line,
+                        message: format!(
+                            "expression-result `as {ty}` cast (possible float→int \
+                             truncation); use `cliz_core::cast::float_to_index` or a \
+                             checked conversion"
+                        ),
+                    });
+                    continue;
+                }
+            }
+        }
+
         if r3 && word == "fn" {
             if let Some((j, _)) = next_nonws(b, i) {
                 let name = ident_at(b, j);
@@ -409,9 +397,7 @@ pub fn check_file(rel_path: &str, source: &str) -> FileReport {
 
     // Apply suppressions.
     for v in raw {
-        let suppressed = sups
-            .iter()
-            .any(|s| s.rules.contains(&v.rule) && (s.first_line..=s.last_line).contains(&v.line));
+        let suppressed = sups.iter().any(|s| s.covers(v.rule, v.line));
         if suppressed {
             report.suppressed += 1;
         } else {
@@ -419,7 +405,13 @@ pub fn check_file(rel_path: &str, source: &str) -> FileReport {
         }
     }
     report.violations.sort_by_key(|v| (v.line, v.rule));
-    report
+
+    let parsed = items::parse_items(&active, &lines);
+    FileAnalysis {
+        report,
+        sups,
+        items: parsed,
+    }
 }
 
 /// True when the `fn` keyword at `fn_start` is part of a `pub fn` item

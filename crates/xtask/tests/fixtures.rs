@@ -6,7 +6,9 @@
 //! code. Each is linted under a *virtual* workspace-relative path chosen to
 //! put it in the scope of the rule under test.
 
-use cliz_xtask::lint_source;
+use cliz_xtask::{
+    baseline_from_report, baseline_to_json, lint_source, lint_sources, parse_baseline, ratchet,
+};
 
 /// `(rule, line)` pairs of a report, sorted.
 fn hits(rel_path: &str, source: &str) -> Vec<(&'static str, usize)> {
@@ -94,4 +96,124 @@ fn malformed_suppressions_are_r0_and_do_not_suppress() {
         hits("crates/entropy/src/fixture.rs", src),
         vec![("R0", 2), ("R0", 7), ("R1", 3), ("R1", 8)]
     );
+}
+
+/// Assembles a two-file virtual workspace for the cross-crate R5 pass.
+fn r5_workspace() -> Vec<(String, String)> {
+    vec![
+        (
+            "crates/alpha/src/entry.rs".to_string(),
+            include_str!("fixtures/r5_entry.rs").to_string(),
+        ),
+        (
+            "crates/beta/src/helpers.rs".to_string(),
+            include_str!("fixtures/r5_helpers.rs").to_string(),
+        ),
+    ]
+}
+
+#[test]
+fn r5_pins_the_exact_cross_crate_taint_chain() {
+    let report = lint_sources(&r5_workspace());
+    // Exactly one finding: the `bytes[0]` in `leaf`, two hops from the
+    // `decompress_blob` seed in the other crate. `untainted` (never called
+    // from a seed) raises nothing despite touching a slice.
+    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+    let v = &report.violations[0];
+    assert_eq!(v.rule, "R5");
+    assert_eq!(v.file, "crates/beta/src/helpers.rs");
+    assert_eq!(v.line, 6);
+    assert_eq!(
+        v.message,
+        "indexing `bytes[..]` reachable from decode-tainted input \
+         (path: decompress_blob → step → leaf)"
+    );
+}
+
+#[test]
+fn r5_is_silent_without_a_seed_and_in_exempt_crates() {
+    // Helpers alone (no decompress/read/parse entry anywhere): clean.
+    let helpers_only = vec![(
+        "crates/beta/src/helpers.rs".to_string(),
+        include_str!("fixtures/r5_helpers.rs").to_string(),
+    )];
+    assert_eq!(lint_sources(&helpers_only).violations.len(), 0);
+
+    // The same tainted pair under an exempt crate raises nothing.
+    let exempt: Vec<(String, String)> = r5_workspace()
+        .into_iter()
+        .map(|(p, s)| (p.replace("crates/alpha", "crates/xtask").replace("crates/beta", "crates/bench"), s))
+        .collect();
+    assert_eq!(lint_sources(&exempt).violations.len(), 0);
+}
+
+#[test]
+fn r5_function_suppression_covers_the_hazard_and_counts() {
+    let files = vec![(
+        "crates/beta/src/decode.rs".to_string(),
+        include_str!("fixtures/r5_suppressed.rs").to_string(),
+    )];
+    let report = lint_sources(&files);
+    assert_eq!(report.violations.len(), 0, "{:?}", report.violations);
+    assert_eq!(report.suppressed, 1);
+}
+
+#[test]
+fn r6_flags_bare_f32_and_expression_casts_in_scope() {
+    let src = include_str!("fixtures/r6_casts.rs");
+    // Line 2: `x as f32`; line 3: `(n * 2) as usize`. The identifier cast on
+    // line 4 and everything inside the test module stay exempt.
+    assert_eq!(
+        hits("crates/metrics/src/fixture.rs", src),
+        vec![("R6", 2), ("R6", 3)]
+    );
+    // Out of the quant/predict/metrics scope: clean.
+    assert_eq!(hits("crates/grid/src/fixture.rs", src), vec![]);
+}
+
+#[test]
+fn ratchet_tolerates_baselined_findings_and_fails_on_growth() {
+    let report = lint_sources(&r5_workspace());
+    assert_eq!(report.violations.len(), 1);
+
+    // An empty baseline (the committed state of this repo) fails the run.
+    let empty = parse_baseline("{\"version\": 1, \"entries\": []}").expect("parse");
+    let out = ratchet(&report, &empty);
+    assert!(out.is_regression());
+    assert_eq!(out.regressions.len(), 1);
+    let (rule, file, current, allowed) = &out.regressions[0];
+    assert_eq!((rule.as_str(), current, allowed), ("R5", &1, &0));
+    assert_eq!(file, "crates/beta/src/helpers.rs");
+
+    // A baseline written from the report tolerates exactly these findings.
+    let base = baseline_from_report(&report);
+    let reparsed = parse_baseline(&baseline_to_json(&base)).expect("roundtrip");
+    let out = ratchet(&report, &reparsed);
+    assert!(!out.is_regression());
+    assert_eq!(out.known, 1);
+}
+
+#[test]
+fn ratchet_only_shrinks_fixed_findings_go_stale_not_green_lit() {
+    let report = lint_sources(&r5_workspace());
+    let base = baseline_from_report(&report);
+
+    // Burn the finding down (suppress it at the hazard function): the old
+    // baseline entry is now stale, and the run still passes.
+    let fixed: Vec<(String, String)> = r5_workspace()
+        .into_iter()
+        .map(|(p, s)| {
+            let s = s.replace(
+                "pub fn leaf",
+                "// xtask-allow-fn: R5 -- fixture: burned down\npub fn leaf",
+            );
+            (p, s)
+        })
+        .collect();
+    let clean = lint_sources(&fixed);
+    assert_eq!(clean.violations.len(), 0, "{:?}", clean.violations);
+    let out = ratchet(&clean, &base);
+    assert!(!out.is_regression());
+    assert_eq!(out.stale.len(), 1);
+    assert_eq!(out.stale[0].2, 0, "stale entry reports current count 0");
 }

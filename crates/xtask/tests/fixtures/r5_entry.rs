@@ -1,0 +1,3 @@
+pub fn decompress_blob(bytes: &[u8]) -> u8 {
+    step(bytes)
+}

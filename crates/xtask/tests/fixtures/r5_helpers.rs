@@ -1,0 +1,11 @@
+pub fn step(bytes: &[u8]) -> u8 {
+    leaf(bytes)
+}
+
+pub fn leaf(bytes: &[u8]) -> u8 {
+    bytes[0]
+}
+
+pub fn untainted(v: &[u8]) -> u8 {
+    v.first().copied().unwrap_or(0)
+}

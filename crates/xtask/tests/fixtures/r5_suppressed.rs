@@ -1,0 +1,4 @@
+// xtask-allow-fn: R5 -- fixture: index is bounds-checked by the caller
+pub fn decode_first(bytes: &[u8]) -> u8 {
+    bytes[0]
+}

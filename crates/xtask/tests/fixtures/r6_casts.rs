@@ -1,0 +1,14 @@
+pub fn lossy(x: f64, n: u64) -> (f32, usize) {
+    let a = x as f32;
+    let b = (n * 2) as usize;
+    let c = n as usize;
+    (a, b + c)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn casts_in_tests_are_exempt() {
+        let _ = (1.0f64) as f32;
+    }
+}

@@ -233,6 +233,133 @@ fn stream_container_corruption_never_panics() {
     assert!(corrupted > 0, "no stream corruption ever detected");
 }
 
+/// Deterministic xorshift64* PRNG for the mutation sweeps: fixed seeds keep
+/// failures reproducible (print the seed on assert) without any rand dep.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Applies `count` random byte mutations (XOR, overwrite, or zero) in place.
+fn mutate(bytes: &mut [u8], rng: &mut XorShift, count: usize) {
+    if bytes.is_empty() {
+        return;
+    }
+    for _ in 0..count {
+        let pos = (rng.next() as usize) % bytes.len();
+        match rng.next() % 3 {
+            0 => bytes[pos] ^= (rng.next() >> 32) as u8 | 1,
+            1 => bytes[pos] = (rng.next() >> 24) as u8,
+            _ => bytes[pos] = 0,
+        }
+    }
+}
+
+#[test]
+fn seeded_multibyte_mutation_sweep_on_plain_container() {
+    // Multi-byte mutations hit interacting-field corruption (length vs
+    // payload, table vs stream) that the single-byte sweep cannot reach.
+    let g = sample_grid();
+    let bytes = cliz::compress(&g, None, ErrorBound::Abs(1e-3), &PipelineConfig::default_for(2))
+        .unwrap();
+    for seed in 1..=200u64 {
+        let mut rng = XorShift(seed);
+        let mut b = bytes.clone();
+        let count = 1 + (rng.next() as usize) % 8;
+        mutate(&mut b, &mut rng, count);
+        // Must return (Ok with the right shape, or Err) — never panic.
+        if let Ok(out) = cliz::decompress(&b, None) {
+            assert_eq!(out.shape().dims(), &[24, 32], "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn seeded_multibyte_mutation_sweep_on_chunked_container() {
+    let g = sample_grid();
+    let bytes = cliz::compress_chunked(
+        &g,
+        None,
+        ErrorBound::Abs(1e-3),
+        &PipelineConfig::default_for(2),
+        6,
+    )
+    .unwrap();
+    for seed in 1..=150u64 {
+        let mut rng = XorShift(seed.wrapping_mul(0x9E37_79B9));
+        let mut b = bytes.clone();
+        let count = 1 + (rng.next() as usize) % 8;
+        mutate(&mut b, &mut rng, count);
+        if let Ok(out) = cliz::decompress_chunked(&b, None) {
+            assert_eq!(out.shape().dims(), &[24, 32], "seed {seed}");
+        }
+        // Random slab access takes the offset-table path: sweep it too.
+        for chunk in 0..4 {
+            let _ = cliz::decompress_chunk(&b, chunk, None);
+        }
+    }
+}
+
+#[test]
+fn seeded_multibyte_mutation_sweep_on_stream_container() {
+    let g = sample_grid();
+    let mut sink: Vec<u8> = Vec::new();
+    {
+        let mut w =
+            ChunkedWriter::new(&mut sink, &[32], 1e-3, PipelineConfig::default_for(2)).unwrap();
+        for s in 0..3 {
+            let rows = g.as_slice()[s * 8 * 32..(s + 1) * 8 * 32].to_vec();
+            let slab = Grid::from_vec(Shape::new(&[8, 32]), rows);
+            w.write_slab(&slab, None).unwrap();
+        }
+        w.finish().unwrap();
+    }
+    for seed in 1..=150u64 {
+        let mut rng = XorShift(seed.wrapping_mul(0xDEAD_BEEF) | 1);
+        let mut b = sink.clone();
+        let count = 1 + (rng.next() as usize) % 8;
+        mutate(&mut b, &mut rng, count);
+        if let Ok(r) = ChunkedReader::open(&b) {
+            for i in 0..r.slabs() {
+                let _ = r.read_slab(i, None);
+            }
+            let _ = r.read_all(|_| None);
+        }
+    }
+}
+
+#[test]
+fn seeded_mutation_sweep_on_baseline_codecs() {
+    // The baseline decoders share the hardened header reader; hold them to
+    // the same no-panic bar as the CLIZ containers.
+    let g = sample_grid();
+    for seed in 1..=60u64 {
+        for (name, bytes) in [
+            ("sz3", SzInterp.compress(&g, None, ErrorBound::Abs(1e-3)).unwrap()),
+            ("zfp", Zfp.compress(&g, None, ErrorBound::Abs(1e-3)).unwrap()),
+            ("sperr", Sperr.compress(&g, None, ErrorBound::Abs(1e-3)).unwrap()),
+        ] {
+            let mut rng = XorShift(seed.wrapping_mul(0x0123_4567_89AB_CDEF) | 1);
+            let mut b = bytes.clone();
+            let count = 1 + (rng.next() as usize) % 6;
+            mutate(&mut b, &mut rng, count);
+            match name {
+                "sz3" => drop(SzInterp.decompress(&b, None)),
+                "zfp" => drop(Zfp.decompress(&b, None)),
+                _ => drop(Sperr.decompress(&b, None)),
+            }
+        }
+    }
+}
+
 #[test]
 fn decompression_is_idempotent_across_calls() {
     let g = sample_grid();
