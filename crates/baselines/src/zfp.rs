@@ -468,7 +468,15 @@ impl Compressor for Zfp {
         let mut r = BitReader::new(&payload);
 
         let shape = Shape::new(&dims);
-        let mut out = vec![0.0f32; shape.len()];
+        let total = shape.len();
+        // The claimed dims must be plausible for the payload actually
+        // present: every zfp block costs at least one payload bit and
+        // covers at most 4^rank ≤ 4096 elements (rank ≤ 6 per the header
+        // check), so a tiny crafted file cannot demand a huge allocation.
+        if total > payload.len().saturating_mul(8).saturating_add(8).saturating_mul(4096) {
+            return Err(BaselineError::Corrupt("grid larger than payload"));
+        }
+        let mut out = vec![0.0f32; total];
         let iter = BlockIter::new(&dims);
         for origin in iter.block_origins() {
             let vals = decode_block(&mut r, iter.rank)?;

@@ -121,7 +121,7 @@ pub mod store {
 pub mod prelude {
     pub use crate::{
         autotune, autotune_fast, compress, decompress, Cliz, Compressor, PipelineConfig, Periodicity, Qoz,
-        Sperr, SzInterp, TuneSpec, Zfp,
+        Sperr, Sz2Lorenzo, SzInterp, TuneSpec, Zfp,
     };
     pub use cliz_grid::{Grid, MaskMap, Shape};
     pub use cliz_quant::ErrorBound;

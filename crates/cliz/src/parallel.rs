@@ -29,18 +29,27 @@ pub fn compress_many(
 }
 
 /// Decompresses every stream in parallel, preserving order. `masks[i]` must
-/// match what `streams[i]` was compressed with.
+/// match what `streams[i]` was compressed with; a batch whose two slices
+/// disagree in length is rejected up front rather than silently zip-truncated
+/// (or panicked on) — batch assembly bugs surface as an error the caller can
+/// attribute, not a crash inside the pool.
 pub fn decompress_many(
     compressor: &dyn Compressor,
     streams: &[Vec<u8>],
     masks: &[Option<&MaskMap>],
-) -> Vec<Result<Grid<f32>, BaselineError>> {
-    assert_eq!(streams.len(), masks.len());
-    streams
+) -> Result<Vec<Result<Grid<f32>, BaselineError>>, BaselineError> {
+    if streams.len() != masks.len() {
+        return Err(BaselineError::Backend(format!(
+            "batch shape mismatch: {} stream(s) but {} mask slot(s)",
+            streams.len(),
+            masks.len()
+        )));
+    }
+    Ok(streams
         .par_iter()
         .zip(masks.par_iter())
         .map(|(bytes, mask)| compressor.decompress(bytes, *mask))
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -74,7 +83,7 @@ mod tests {
         }
         let streams: Vec<Vec<u8>> = batch.into_iter().map(|r| r.unwrap()).collect();
         let masks = vec![None; streams.len()];
-        let decoded = decompress_many(&cliz, &streams, &masks);
+        let decoded = decompress_many(&cliz, &streams, &masks).unwrap();
         for (f, d) in fields.iter().zip(decoded) {
             let d = d.unwrap();
             for (a, b) in f.as_slice().iter().zip(d.as_slice()) {
@@ -89,8 +98,15 @@ mod tests {
         let cliz = Cliz::new();
         let stream = cliz.compress(&good, None, ErrorBound::Abs(1e-3)).unwrap();
         let garbage = vec![1u8, 2, 3];
-        let results = decompress_many(&cliz, &[stream, garbage], &[None, None]);
+        let results = decompress_many(&cliz, &[stream, garbage], &[None, None]).unwrap();
         assert!(results[0].is_ok());
         assert!(results[1].is_err());
+    }
+
+    #[test]
+    fn mismatched_batch_is_an_error_not_a_panic() {
+        let cliz = Cliz::new();
+        let err = decompress_many(&cliz, &[vec![0u8]], &[None, None]).unwrap_err();
+        assert!(err.to_string().contains("batch shape mismatch"), "{err}");
     }
 }

@@ -218,6 +218,20 @@ pub fn decompress_chunked(
     mask: Option<&MaskMap>,
 ) -> Result<Grid<f32>, ClizError> {
     let header = read_header(bytes)?;
+    // `read_header` enforces these invariants at the parse boundary, but
+    // the chunk-placement arithmetic below must not depend on a parser far
+    // away staying in sync — revalidate the fields it multiplies with.
+    if header.dims.len() < 2
+        || header.chunk_len == 0
+        || header.dims.iter().any(|&d| d == 0)
+        || header
+            .dims
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+            .is_none()
+    {
+        return Err(ClizError::Corrupt("bad chunk header"));
+    }
     let shape = Shape::new(&header.dims);
     let slab_stride: usize = header.dims[1..].iter().product();
     // The header dims are untrusted until the first decoded chunk

@@ -154,7 +154,7 @@ pub fn compress_with_stats(
             let (t_bytes, t_stats) = compress_with_stats(
                 &template,
                 tmask.as_ref(),
-                ErrorBound::Abs(eb_abs * config.template_eb_factor),
+                ErrorBound::Abs(template_eb(eb_abs, config.template_eb_factor)),
                 &inner_config,
             )?;
             // The residual is taken against what the decoder will actually
@@ -167,8 +167,7 @@ pub fn compress_with_stats(
             let residual =
                 subtract_template(data, &template_recon, effective_mask, time_axis);
             let vmax = mn.abs().max(mx.abs()) as f64 + eb_abs;
-            let slack = 4.0 * vmax * f64::from(f32::EPSILON);
-            let eb_res = (eb_abs - slack).max(eb_abs * 0.5);
+            let eb_res = residual_eb(eb_abs, vmax);
             let (r_bytes, r_stats) = compress_with_stats(
                 &residual,
                 effective_mask,
@@ -193,6 +192,26 @@ pub fn compress_with_stats(
     let bytes = w.finish();
     stats.compressed_bytes = bytes.len();
     Ok((bytes, stats))
+}
+
+/// Error bound handed to the template stage of periodic mode. Kept as a named
+/// helper so every scaling of the user's bound is auditable in one place
+/// (xtask rule R8).
+#[inline]
+fn template_eb(eb_abs: f64, factor: f64) -> f64 {
+    eb_abs * factor
+}
+
+/// Error bound for the residual stage of periodic mode: the user bound minus
+/// a small slack for the two f32 roundings on the template path (data −
+/// template at encode, residual + template at decode), each bounded by half a
+/// ULP of the operand magnitude — without it the reconstruction can land a
+/// fraction of a ULP past eb. Floored at half the user bound so a huge vmax
+/// can never drive the residual bound to zero (xtask rule R8).
+#[inline]
+fn residual_eb(eb_abs: f64, vmax: f64) -> f64 {
+    let slack = 4.0 * vmax * f64::from(f32::EPSILON);
+    (eb_abs - slack).max(eb_abs * 0.5)
 }
 
 /// Decompresses a CLIZ container. Streams compressed with a mask require the

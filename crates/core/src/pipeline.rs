@@ -222,6 +222,24 @@ pub fn decompress_plain(
     let fused = fuse_shape(&permuted_shape, fusion);
     let fdims = fused.dims().to_vec();
     let total = fused.len();
+    // The fused dims come from container bytes. Before the full-grid
+    // buffers below are sized from them, the claimed element count must be
+    // corroborated: by the caller's mask when one is present, or by the
+    // decoded symbol stream otherwise (every valid symbol costs at least
+    // one bit) — a flipped dimension byte must surface as Corrupt, not as
+    // a giant allocation.
+    match mask_slice {
+        Some(m) => {
+            if total != m.len() {
+                return Err(ClizError::Corrupt("element count does not match mask"));
+            }
+        }
+        None => {
+            if total > stream.len().saturating_mul(8).saturating_add(8) {
+                return Err(ClizError::Corrupt("element count exceeds stream size"));
+            }
+        }
+    }
     let n_valid = mask_slice.map_or(total, |m| m.iter().filter(|&&v| v).count());
     if escapes > n_valid {
         return Err(ClizError::Corrupt("escape count exceeds data size"));

@@ -177,6 +177,12 @@ impl<'a> ChunkedReader<'a> {
         if tm != TRAILER_MAGIC {
             return Err(ClizError::Corrupt("missing trailer (incomplete stream?)"));
         }
+        // The slab count is untrusted: bound it by what the file can
+        // physically hold (16 bytes per slab entry) before any arithmetic
+        // or allocation is sized from it.
+        if n > bytes.len() / 16 {
+            return Err(ClizError::Truncated);
+        }
         let trailer_len = n * 16 + 8;
         if bytes.len() < trailer_len {
             return Err(ClizError::Truncated);

@@ -43,6 +43,14 @@ impl LinearQuantizer {
         self.eb
     }
 
+    /// Quantization step: the bin width `2·eb`. The only place the error
+    /// bound is scaled — encoder and decoder both go through this helper so
+    /// the two sides can never disagree on the step (xtask rule R8).
+    #[inline]
+    fn eb_step(&self) -> f64 {
+        2.0 * self.eb
+    }
+
     /// Largest symbol this quantizer can emit (for alphabet sizing).
     /// Zigzag maps `+radius` above `-radius`, so that is the extreme.
     pub fn max_symbol(&self) -> u32 {
@@ -53,7 +61,7 @@ impl LinearQuantizer {
     #[inline]
     pub fn quantize(&self, value: f32, pred: f64) -> Quantized {
         let err = f64::from(value) - pred;
-        let step = 2.0 * self.eb;
+        let step = self.eb_step();
         let bin_f = (err / step).round();
         // quantize_index rejects NaN/inf bin estimates (from non-finite
         // inputs or predictions) along with out-of-radius bins, so neither
@@ -98,7 +106,7 @@ impl LinearQuantizer {
         // Checked narrowing: encoders never emit a bin whose reconstruction
         // overflows f32 (quantize escapes first), so an overflow here means a
         // corrupt stream — surface NaN rather than a silent ±∞.
-        cast::f64_to_f32_checked(pred + 2.0 * self.eb * f64::from(bin)).unwrap_or(f32::NAN)
+        cast::f64_to_f32_checked(pred + self.eb_step() * f64::from(bin)).unwrap_or(f32::NAN)
     }
 }
 

@@ -33,6 +33,18 @@ pub fn measure_farm(
     cores: usize,
     compress_one: impl Fn(usize) -> u64 + Sync,
 ) -> FarmReport {
+    // An empty workload never touches the pool or the closure; a zero-core
+    // farm is modelled faithfully by schedule_lpt (infinite makespan when
+    // there is work) rather than silently promoted to one core.
+    if n_files == 0 {
+        return FarmReport {
+            cores,
+            files: 0,
+            per_file_seconds: Vec::new(),
+            wall_seconds: 0.0,
+            compressed_sizes: Vec::new(),
+        };
+    }
     let results: Vec<(f64, u64)> = (0..n_files)
         .into_par_iter()
         .map(|i| {
@@ -54,11 +66,18 @@ pub fn measure_farm(
 }
 
 /// Longest-processing-time-first makespan on `cores` identical machines.
+///
+/// Degenerate inputs are handled explicitly: an empty job list takes no time
+/// on any farm (including a zero-core one), and a non-empty job list on zero
+/// cores never finishes — that is reported as `f64::INFINITY` instead of
+/// silently borrowing a core the caller said does not exist.
 pub fn schedule_lpt(durations: &[f64], cores: usize) -> f64 {
     if durations.is_empty() {
         return 0.0;
     }
-    let cores = cores.max(1);
+    if cores == 0 {
+        return f64::INFINITY;
+    }
     let mut sorted: Vec<f64> = durations.to_vec();
     sorted.sort_by(|a, b| b.total_cmp(a));
     let mut load = vec![0.0f64; cores.min(durations.len())];
@@ -101,6 +120,29 @@ mod tests {
     #[test]
     fn empty_farm_is_free() {
         assert_eq!(schedule_lpt(&[], 4), 0.0);
+        // ...even when there are no cores to be free on.
+        assert_eq!(schedule_lpt(&[], 0), 0.0);
+    }
+
+    #[test]
+    fn zero_cores_with_work_never_finishes() {
+        assert_eq!(schedule_lpt(&[1.0, 2.0], 0), f64::INFINITY);
+    }
+
+    #[test]
+    fn empty_workload_yields_empty_report_without_running_jobs() {
+        let report = measure_farm(0, 4, |_| panic!("no job should run"));
+        assert_eq!(report.files, 0);
+        assert!(report.per_file_seconds.is_empty());
+        assert!(report.compressed_sizes.is_empty());
+        assert_eq!(report.wall_seconds, 0.0);
+    }
+
+    #[test]
+    fn zero_core_farm_reports_infinite_wall_time() {
+        let report = measure_farm(2, 0, |i| i as u64);
+        assert_eq!(report.files, 2);
+        assert_eq!(report.wall_seconds, f64::INFINITY);
     }
 
     #[test]

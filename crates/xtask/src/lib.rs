@@ -11,13 +11,18 @@
 //!   comments/strings/test items blanked ([`lexer`]);
 //! * workspace passes over a cross-crate call graph: [`items`] parses `fn`
 //!   items and call/hazard sites, [`callgraph`] links call sites to every
-//!   same-named function, and [`taint`] runs the R5 panic-reachability
-//!   pass from decode-tainted entry points.
+//!   same-named function, [`taint`] runs the R5 panic-reachability pass
+//!   from decode-tainted entry points, [`dataflow`] runs the R7
+//!   length-provenance pass, and [`contracts`] runs the R8 error-bound
+//!   contract audit (integration-test files are collected as coverage
+//!   evidence for R8 but are exempt from every other rule).
 //!
 //! [`output`] renders reports as text/JSON/SARIF and implements the
 //! `xtask-baseline.json` ratchet (findings may only shrink).
 
 pub mod callgraph;
+pub mod contracts;
+pub mod dataflow;
 pub mod items;
 pub mod lexer;
 pub mod output;
@@ -66,14 +71,20 @@ pub fn lint_source(rel_path: &str, source: &str) -> FileReport {
 }
 
 /// Lints a set of sources as one workspace: per-file rules plus the
-/// cross-crate R5 taint pass. Each entry is `(rel_path, source)`.
+/// cross-crate R5/R7 passes and the R8 contract audit. Each entry is
+/// `(rel_path, source)`. Integration-test files (`tests/…`) are coverage
+/// evidence for R8 only — no per-file rules, no call-graph seeding.
 pub fn lint_sources(files: &[(String, String)]) -> Report {
     let mut report = Report::default();
     let mut all_items = Vec::with_capacity(files.len());
     let mut sups_by_file = Vec::with_capacity(files.len());
+    let mut product_files: Vec<(String, String)> = Vec::with_capacity(files.len());
     for (rel, source) in files {
-        let fa = rules::analyze_file(rel, source);
         report.files_scanned += 1;
+        if contracts::is_test_path(rel) {
+            continue;
+        }
+        let fa = rules::analyze_file(rel, source);
         report.suppressed += fa.report.suppressed;
         for v in fa.report.violations {
             report.violations.push(FileViolation {
@@ -85,24 +96,43 @@ pub fn lint_sources(files: &[(String, String)]) -> Report {
         }
         sups_by_file.push((rel.clone(), fa.sups));
         all_items.push((rel.clone(), fa.items));
+        product_files.push((rel.clone(), source.clone()));
     }
 
-    // Workspace pass: R5 panic reachability over the call graph.
-    for f in taint::analyze(&all_items) {
+    let push = |report: &mut Report,
+                    rule: &'static str,
+                    file: String,
+                    line: usize,
+                    message: String| {
         let suppressed = sups_by_file
             .iter()
-            .find(|(rel, _)| *rel == f.file)
-            .is_some_and(|(_, sups)| sups.iter().any(|s| s.covers("R5", f.line)));
+            .find(|(rel, _)| *rel == file)
+            .is_some_and(|(_, sups)| sups.iter().any(|s| s.covers(rule, line)));
         if suppressed {
             report.suppressed += 1;
         } else {
             report.violations.push(FileViolation {
-                file: f.file,
-                rule: "R5",
-                line: f.line,
-                message: f.message,
+                file,
+                rule,
+                line,
+                message,
             });
         }
+    };
+
+    // Workspace pass: R5 panic reachability over the call graph.
+    for f in taint::analyze(&all_items) {
+        push(&mut report, "R5", f.file, f.line, f.message);
+    }
+
+    // Workspace pass: R7 length-provenance dataflow.
+    for f in dataflow::analyze(&product_files) {
+        push(&mut report, "R7", f.file, f.line, f.message);
+    }
+
+    // Workspace pass: R8 error-bound contract audit (sees the test files).
+    for f in contracts::analyze(files) {
+        push(&mut report, "R8", f.file, f.line, f.message);
     }
 
     report
@@ -111,7 +141,11 @@ pub fn lint_sources(files: &[(String, String)]) -> Report {
     report
 }
 
-/// Scans every `crates/*/src/**/*.rs` file under `root`.
+/// Scans every `crates/*/src/**/*.rs` file under `root`, plus the
+/// integration-test files (`tests/*.rs`, `crates/*/tests/**/*.rs`) that
+/// serve as R8 coverage evidence. Test trees of the exempt crates (xtask's
+/// own fixtures, benches) are skipped: their deliberate violations must
+/// never count as evidence.
 pub fn lint_root(root: &Path) -> io::Result<Report> {
     let mut paths = Vec::new();
     let crates_dir = root.join("crates");
@@ -121,6 +155,17 @@ pub fn lint_root(root: &Path) -> io::Result<Report> {
         if src.is_dir() {
             collect_rs(&src, &mut paths)?;
         }
+        let is_exempt = krate
+            .file_name()
+            .is_some_and(|n| n == "xtask" || n == "bench");
+        let tests = krate.join("tests");
+        if !is_exempt && tests.is_dir() {
+            collect_rs(&tests, &mut paths)?;
+        }
+    }
+    let root_tests = root.join("tests");
+    if root_tests.is_dir() {
+        collect_rs(&root_tests, &mut paths)?;
     }
     paths.sort();
 

@@ -68,6 +68,8 @@ const RULE_DESCRIPTIONS: &[(&str, &str)] = &[
     ("R4", "quantizer boundary lacks its debug_assert invariant hook"),
     ("R5", "panic reachable from decode-tainted input (call-graph pass)"),
     ("R6", "bare float<->int or f64->f32 cast; use cliz_core::cast helpers"),
+    ("R7", "unchecked arithmetic/slice/allocation sized by an untrusted length (dataflow pass)"),
+    ("R8", "Compressor impl lacks bound-asserting roundtrip test, or eb scaled outside a named helper"),
 ];
 
 /// Renders the report as a minimal SARIF 2.1.0 document.

@@ -26,6 +26,15 @@
 //!   `(..) as usize|u64|i64|isize` (the float→int shape rule R2's
 //!   identifier-cast check cannot see). Use the `cliz_core::cast` helpers
 //!   (`f64_to_f32_checked`, `float_to_index`, `to_usize_checked`).
+//! * **R7** — length-provenance dataflow: unchecked arithmetic, slice
+//!   construction, or allocation sized by a length/offset/count value that
+//!   originated in a container/header parser and has not passed through a
+//!   `checked_*`/cast helper or an explicit validation guard. Produced by
+//!   the workspace pass in [`crate::dataflow`].
+//! * **R8** — error-bound contract: every `impl Compressor` must be
+//!   reachable from a roundtrip test asserting `|x − x'| ≤ eb`, and eb
+//!   scaling must live in a named `eb` helper. Produced by the workspace
+//!   pass in [`crate::contracts`].
 //!
 //! Suppressions: `// xtask-allow: R1 -- reason` (covers its own line and
 //! the next), or `// xtask-allow-fn: R1 -- reason` (covers the whole next
@@ -51,7 +60,7 @@ pub struct FileReport {
     pub suppressed: usize,
 }
 
-pub const ALL_RULES: &[&str] = &["R0", "R1", "R2", "R3", "R4", "R5", "R6"];
+pub const ALL_RULES: &[&str] = &["R0", "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"];
 
 /// Files/dirs (workspace-relative, `/`-separated prefixes) where R1 applies:
 /// everything that parses attacker-controllable container bytes.

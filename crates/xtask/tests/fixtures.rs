@@ -171,6 +171,78 @@ fn r6_flags_bare_f32_and_expression_casts_in_scope() {
     assert_eq!(hits("crates/grid/src/fixture.rs", src), vec![]);
 }
 
+/// `(rule, line)` pairs of a workspace-pass report, sorted.
+fn workspace_hits(files: &[(String, String)]) -> Vec<(&'static str, usize)> {
+    let mut v: Vec<_> = lint_sources(files)
+        .violations
+        .iter()
+        .map(|v| (v.rule, v.line))
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn r7_flags_unchecked_arithmetic_and_allocation_from_wire_lengths() {
+    let files = vec![(
+        "crates/core/src/stream.rs".to_string(),
+        include_str!("fixtures/r7_tainted.rs").to_string(),
+    )];
+    // Line 2 reads `n` off the wire; line 3 multiplies it bare, line 4
+    // allocates from it — both before any validation.
+    assert_eq!(workspace_hits(&files), vec![("R7", 3), ("R7", 4)]);
+}
+
+#[test]
+fn r7_guarded_and_checked_reads_pass() {
+    // Identical reads, but one fn compares `n` against a cap before using
+    // it and the other goes through `checked_mul`: both clean.
+    let files = vec![(
+        "crates/core/src/stream.rs".to_string(),
+        include_str!("fixtures/r7_guarded.rs").to_string(),
+    )];
+    assert_eq!(workspace_hits(&files), vec![]);
+}
+
+#[test]
+fn r8_flags_compressor_impl_without_bound_test() {
+    let files = vec![(
+        "crates/baselines/src/fixture.rs".to_string(),
+        include_str!("fixtures/r8_impl.rs").to_string(),
+    )];
+    let report = lint_sources(&files);
+    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+    assert_eq!(report.violations[0].rule, "R8");
+    assert!(report.violations[0].message.contains("FixtureCodec"));
+}
+
+#[test]
+fn r8_bound_asserting_roundtrip_test_satisfies_the_contract() {
+    // Same impl, now mentioned from a test that asserts |x - x'| <= eb.
+    let files = vec![
+        (
+            "crates/baselines/src/fixture.rs".to_string(),
+            include_str!("fixtures/r8_impl.rs").to_string(),
+        ),
+        (
+            "tests/r8_roundtrip.rs".to_string(),
+            include_str!("fixtures/r8_roundtrip.rs").to_string(),
+        ),
+    ];
+    assert_eq!(workspace_hits(&files), vec![]);
+}
+
+#[test]
+fn r8_eb_scaling_must_live_in_a_named_helper() {
+    let files = vec![(
+        "crates/quant/src/fixture.rs".to_string(),
+        include_str!("fixtures/r8_eb.rs").to_string(),
+    )];
+    // `2.0 * self.eb` inside `step()` (line 7) is flagged; the same
+    // expression inside `eb_step()` and the comparison in `within()` pass.
+    assert_eq!(workspace_hits(&files), vec![("R8", 7)]);
+}
+
 #[test]
 fn ratchet_tolerates_baselined_findings_and_fails_on_growth() {
     let report = lint_sources(&r5_workspace());

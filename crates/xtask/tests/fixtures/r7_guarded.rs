@@ -1,0 +1,16 @@
+pub fn read_trailer(r: &mut Reader, cap: usize) -> Result<usize, Error> {
+    let n = r.u32() as usize;
+    if n > cap {
+        return Err(Error::Truncated);
+    }
+    let trailer_len = n * 16 + 8;
+    let slabs: Vec<u64> = Vec::with_capacity(n);
+    let _ = slabs;
+    Ok(trailer_len)
+}
+
+pub fn read_count(r: &mut Reader) -> Result<usize, Error> {
+    let n = r.u32() as usize;
+    let bytes = n.checked_mul(16).ok_or(Error::Truncated)?;
+    Ok(bytes)
+}

@@ -1,0 +1,7 @@
+pub fn read_trailer(r: &mut Reader) -> Result<usize, Error> {
+    let n = r.u32() as usize;
+    let trailer_len = n * 16 + 8;
+    let slabs: Vec<u64> = Vec::with_capacity(n);
+    let _ = slabs;
+    Ok(trailer_len)
+}

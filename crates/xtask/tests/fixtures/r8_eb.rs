@@ -1,0 +1,17 @@
+pub struct Quant {
+    eb: f64,
+}
+
+impl Quant {
+    pub fn step(&self) -> f64 {
+        2.0 * self.eb
+    }
+
+    pub fn eb_step(&self) -> f64 {
+        2.0 * self.eb
+    }
+
+    pub fn within(&self, err: f64) -> bool {
+        err <= self.eb
+    }
+}

@@ -1,0 +1,12 @@
+pub struct FixtureCodec;
+
+impl Compressor for FixtureCodec {
+    fn name(&self) -> &'static str {
+        "fixture"
+    }
+
+    fn compress(&self, data: &[f32], eb: f64) -> Vec<u8> {
+        let _ = (data, eb);
+        Vec::new()
+    }
+}

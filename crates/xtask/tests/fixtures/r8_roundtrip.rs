@@ -1,0 +1,10 @@
+#[test]
+fn fixture_codec_respects_bound() {
+    let codec = FixtureCodec;
+    let eb = 1e-3f64;
+    let input = [1.0f64, 2.0, 3.0];
+    let output = roundtrip(&codec, &input, eb);
+    for (x, y) in input.iter().zip(output.iter()) {
+        assert!((x - y).abs() <= eb);
+    }
+}

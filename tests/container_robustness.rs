@@ -336,26 +336,99 @@ fn seeded_multibyte_mutation_sweep_on_stream_container() {
     }
 }
 
+/// Compressed streams for every baseline codec, for the shared-header sweeps.
+fn baseline_streams(g: &Grid<f32>) -> Vec<(&'static str, Vec<u8>)> {
+    vec![
+        ("sz3", SzInterp.compress(g, None, ErrorBound::Abs(1e-3)).unwrap()),
+        ("sz2", Sz2Lorenzo.compress(g, None, ErrorBound::Abs(1e-3)).unwrap()),
+        ("qoz", Qoz.compress(g, None, ErrorBound::Abs(1e-3)).unwrap()),
+        ("zfp", Zfp.compress(g, None, ErrorBound::Abs(1e-3)).unwrap()),
+        ("sperr", Sperr.compress(g, None, ErrorBound::Abs(1e-3)).unwrap()),
+    ]
+}
+
+fn baseline_decompress(name: &str, bytes: &[u8]) -> Result<Grid<f32>, cliz::BaselineError> {
+    match name {
+        "sz3" => SzInterp.decompress(bytes, None),
+        "sz2" => Sz2Lorenzo.decompress(bytes, None),
+        "qoz" => Qoz.decompress(bytes, None),
+        "zfp" => Zfp.decompress(bytes, None),
+        _ => Sperr.decompress(bytes, None),
+    }
+}
+
+/// Bytes of the shared `magic, rank, dims` prefix every baseline container
+/// starts with ([`cliz_baselines::header::read_header`]): u32 + u8 + 2×u64
+/// for the rank-2 sample grid.
+const BASELINE_HEADER_LEN: usize = 4 + 1 + 2 * 8;
+
 #[test]
 fn seeded_mutation_sweep_on_baseline_codecs() {
     // The baseline decoders share the hardened header reader; hold them to
     // the same no-panic bar as the CLIZ containers.
     let g = sample_grid();
     for seed in 1..=60u64 {
-        for (name, bytes) in [
-            ("sz3", SzInterp.compress(&g, None, ErrorBound::Abs(1e-3)).unwrap()),
-            ("zfp", Zfp.compress(&g, None, ErrorBound::Abs(1e-3)).unwrap()),
-            ("sperr", Sperr.compress(&g, None, ErrorBound::Abs(1e-3)).unwrap()),
-        ] {
+        for (name, bytes) in baseline_streams(&g) {
             let mut rng = XorShift(seed.wrapping_mul(0x0123_4567_89AB_CDEF) | 1);
             let mut b = bytes.clone();
             let count = 1 + (rng.next() as usize) % 6;
             mutate(&mut b, &mut rng, count);
-            match name {
-                "sz3" => drop(SzInterp.decompress(&b, None)),
-                "zfp" => drop(Zfp.decompress(&b, None)),
-                _ => drop(Sperr.decompress(&b, None)),
+            let _ = baseline_decompress(name, &b);
+        }
+    }
+}
+
+#[test]
+fn baseline_header_bitflip_sweep_detected_or_survived() {
+    // Dense single-byte sweep confined to the shared header prefix: every
+    // position, four flip patterns, all five codecs. A flipped magic, rank,
+    // or dim must come back as a typed error — and whatever still decodes
+    // must never panic on the way.
+    let g = sample_grid();
+    let mut rejected = 0usize;
+    for (name, bytes) in baseline_streams(&g) {
+        for pos in 0..BASELINE_HEADER_LEN.min(bytes.len()) {
+            for flip in [0x01u8, 0x5A, 0x80, 0xFF] {
+                let mut b = bytes.clone();
+                b[pos] ^= flip;
+                if baseline_decompress(name, &b).is_err() {
+                    rejected += 1;
+                }
             }
+        }
+    }
+    assert!(rejected > 0, "no baseline header corruption ever detected");
+}
+
+#[test]
+fn baseline_header_truncation_rejected() {
+    // No prefix shorter than the header can parse: magic, rank, and every
+    // dim read must fail with Truncated, not panic or fabricate a grid.
+    let g = sample_grid();
+    for (name, bytes) in baseline_streams(&g) {
+        for cut in 0..BASELINE_HEADER_LEN.min(bytes.len()) {
+            assert!(
+                baseline_decompress(name, &bytes[..cut]).is_err(),
+                "{name}: header prefix of {cut} bytes decoded successfully"
+            );
+        }
+    }
+}
+
+#[test]
+fn seeded_multibyte_mutation_sweep_on_baseline_headers() {
+    // Multi-byte mutations confined to the header region reach the
+    // interacting-field cases (rank vs dim count, dims vs payload length)
+    // that the single-byte sweep cannot.
+    let g = sample_grid();
+    for (name, bytes) in baseline_streams(&g) {
+        for seed in 1..=80u64 {
+            let mut rng = XorShift(seed.wrapping_mul(0xA24B_AED4_963E_E407) | 1);
+            let mut b = bytes.clone();
+            let header_len = BASELINE_HEADER_LEN.min(b.len());
+            let count = 1 + (rng.next() as usize) % 4;
+            mutate(&mut b[..header_len], &mut rng, count);
+            let _ = baseline_decompress(name, &b);
         }
     }
 }
