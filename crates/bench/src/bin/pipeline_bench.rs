@@ -1,0 +1,357 @@
+//! End-to-end pipeline benchmark: the zero-copy hot path against the frozen
+//! allocation baseline, and the chunked worker pool across thread counts.
+//!
+//! Three synthetic fields (smooth, masked, periodic) at three sizes each run
+//! through:
+//!
+//! 1. **single-shot**: `compress_alloc_baseline` (frozen pre-optimization
+//!    pipeline) vs `compress` (borrowed identity permutation, arena-recycled
+//!    scratch, gather-free entropy input) — bytes asserted identical;
+//! 2. **chunked**: `compress_chunked_alloc_baseline` (serial, fresh
+//!    allocations per slab) vs `compress_chunked_with_threads` at 1/2/4/host
+//!    workers — containers asserted identical at every worker count;
+//! 3. **chunked decode**: serial vs pooled decode, grids asserted identical.
+//!
+//! Every thread count reports a *measured* wall time plus an *LPT-projected*
+//! wall time: each slab is timed individually on one core and the measured
+//! durations are scheduled onto N cores with
+//! [`cliz::transfer::schedule_lpt`] — the same model the paper's Fig. 13
+//! farm uses. On a single-core host the measured speedup is necessarily ~1×
+//! and the projection is the meaningful number; `host_cores` is recorded so
+//! readers can tell which regime produced the file. See
+//! docs/PERFORMANCE.md for how to read and refresh the output.
+//!
+//! ```sh
+//! cargo run -p cliz-bench --release --bin pipeline_bench [--quick|--full]
+//! # writes BENCH_pipeline.json into the current directory
+//! ```
+//!
+//! Exits non-zero if any parallel output diverges from serial — CI runs
+//! `--quick` as a smoke test of exactly that invariant.
+
+use cliz::grid::{Grid, MaskMap, Shape};
+use cliz::quant::ErrorBound;
+use cliz::transfer::schedule_lpt;
+use cliz::PipelineConfig;
+use cliz_bench::Args;
+use std::time::Instant;
+
+const EB: f64 = 1e-3;
+
+fn smooth(dims: &[usize]) -> Grid<f32> {
+    Grid::from_fn(Shape::new(dims), |c| {
+        let mut v = 0.0f64;
+        for (k, &x) in c.iter().enumerate() {
+            v += ((x as f64) * 0.07 * (k + 1) as f64).sin() * 5.0;
+        }
+        v as f32
+    })
+}
+
+/// Smooth field with a CESM-style fill mask over a coherent "land" region
+/// (~25% of points), like SSH over continents.
+fn masked(dims: &[usize]) -> (Grid<f32>, MaskMap) {
+    let mut g = smooth(dims);
+    let shape = g.shape().clone();
+    let land = Grid::from_fn(shape.clone(), |c| {
+        ((c[c.len() - 1] as f64 * 0.11).sin() + (c[c.len() - 2] as f64 * 0.13).cos()) > 0.9
+    });
+    let mut valid = vec![true; g.len()];
+    for (i, (&is_land, v)) in land
+        .as_slice()
+        .iter()
+        .zip(g.as_mut_slice().iter_mut())
+        .enumerate()
+    {
+        if is_land {
+            *v = 9.96921e36;
+            valid[i] = false;
+        }
+    }
+    (g, MaskMap::from_flags(shape, valid))
+}
+
+/// Field with a strong period-12 cycle along axis 0 plus smooth spatial
+/// structure — periodic *data* through the plain pipeline (the frozen
+/// baseline covers plain mode; periodic-mode thread identity is covered by
+/// the test suite).
+fn periodic(dims: &[usize]) -> Grid<f32> {
+    Grid::from_fn(Shape::new(dims), |c| {
+        let phase = 2.0 * std::f64::consts::PI * (c[0] % 12) as f64 / 12.0;
+        let mut v = 6.0 * phase.sin();
+        for (k, &x) in c.iter().enumerate().skip(1) {
+            v += ((x as f64) * 0.09 * k as f64).cos() * 2.0;
+        }
+        v as f32
+    })
+}
+
+/// Best-of-`reps` wall time plus the last result.
+fn time<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best, out.unwrap())
+}
+
+#[cfg(target_os = "linux")]
+fn reset_peak_rss() {
+    // "5" resets the peak-RSS (VmHWM) counter to the current RSS.
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
+#[cfg(not(target_os = "linux"))]
+fn reset_peak_rss() {}
+
+#[cfg(target_os = "linux")]
+fn peak_rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line
+        .trim_start_matches("VmHWM:")
+        .trim()
+        .trim_end_matches("kB")
+        .trim()
+        .parse()
+        .ok()?;
+    Some(kb / 1024.0)
+}
+
+#[cfg(not(target_os = "linux"))]
+fn peak_rss_mb() -> Option<f64> {
+    None
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_opt(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".to_string(), json_f64)
+}
+
+fn main() {
+    let args = Args::parse();
+    let sizes: Vec<Vec<usize>> = if args.quick {
+        vec![vec![16, 24, 32]]
+    } else if args.full {
+        vec![
+            vec![64, 128, 128],
+            vec![128, 192, 256],
+            vec![256, 320, 384],
+        ]
+    } else {
+        vec![vec![32, 64, 64], vec![64, 96, 128], vec![96, 160, 192]]
+    };
+    let reps = if args.quick { 1 } else { 2 };
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut thread_counts = vec![1usize, 2, 4, host_cores];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+
+    let mut diverged = false;
+    let mut field_json: Vec<String> = Vec::new();
+
+    type Build = fn(&[usize]) -> (Grid<f32>, Option<MaskMap>);
+    let fields: [(&str, Build); 3] = [
+        ("smooth", |d| (smooth(d), None)),
+        ("masked", |d| {
+            let (g, m) = masked(d);
+            (g, Some(m))
+        }),
+        ("periodic", |d| (periodic(d), None)),
+    ];
+    for (name, build) in fields {
+        for dims in &sizes {
+            let (data, mask) = build(dims);
+            let mask_ref = mask.as_ref();
+            let config = PipelineConfig::default_for(dims.len());
+            let bound = ErrorBound::Abs(EB);
+            let mb = (data.len() * 4) as f64 / 1e6;
+            // ~7 slabs with an uneven tail — the load-balancing case.
+            let chunk_len = dims[0].div_ceil(7).max(1);
+            println!("\n=== {name} {dims:?} ({mb:.1} MB, chunk_len {chunk_len})");
+
+            // --- 1. single-shot: frozen baseline vs zero-copy hot path ---
+            reset_peak_rss();
+            let (base_s, base_bytes) = time(reps, || {
+                cliz::compress_alloc_baseline(&data, mask_ref, bound, &config).unwrap()
+            });
+            let base_rss = peak_rss_mb();
+            reset_peak_rss();
+            let (opt_s, opt_bytes) =
+                time(reps, || cliz::compress(&data, mask_ref, bound, &config).unwrap());
+            let opt_rss = peak_rss_mb();
+            let single_identical = base_bytes == opt_bytes;
+            if !single_identical {
+                eprintln!("DIVERGENCE: single-shot optimized bytes != baseline ({name} {dims:?})");
+                diverged = true;
+            }
+            println!(
+                "  single-shot  baseline {:>8.1} MB/s   zero-copy {:>8.1} MB/s   speedup {:.2}x",
+                mb / base_s,
+                mb / opt_s,
+                base_s / opt_s
+            );
+
+            // --- 2. chunked compression across worker counts ---
+            reset_peak_rss();
+            let (cbase_s, cbase_bytes) = time(reps, || {
+                cliz::compress_chunked_alloc_baseline(&data, mask_ref, bound, &config, chunk_len)
+                    .unwrap()
+            });
+            let cbase_rss = peak_rss_mb();
+
+            // Per-slab durations on one core feed the LPT projection (the
+            // Fig. 13 farm methodology): projected wall at N workers is the
+            // LPT makespan of the measured durations.
+            let n_chunks = dims[0].div_ceil(chunk_len);
+            let mask_grid =
+                mask_ref.map(|m| Grid::from_vec(m.shape().clone(), m.as_slice().to_vec()));
+            let mut slab_s = Vec::with_capacity(n_chunks);
+            {
+                let mut arena = cliz::ScratchArena::new();
+                for i in 0..n_chunks {
+                    let start = i * chunk_len;
+                    let rows = chunk_len.min(dims[0] - start);
+                    let mut s = vec![0usize; dims.len()];
+                    s[0] = start;
+                    let mut size = dims.clone();
+                    size[0] = rows;
+                    let slab = data.block(&s, &size);
+                    let slab_mask = mask_grid.as_ref().map(|mg| {
+                        let b = mg.block(&s, &size);
+                        MaskMap::from_flags(b.shape().clone(), b.into_vec())
+                    });
+                    let t0 = Instant::now();
+                    let _ = cliz::compress_with_stats_arena(
+                        &slab,
+                        slab_mask.as_ref(),
+                        bound,
+                        &config,
+                        &mut arena,
+                    )
+                    .unwrap();
+                    slab_s.push(t0.elapsed().as_secs_f64());
+                }
+            }
+            let serial_sum: f64 = slab_s.iter().sum();
+
+            let mut thread_json = Vec::new();
+            for &threads in &thread_counts {
+                reset_peak_rss();
+                let (t_s, t_bytes) = time(reps, || {
+                    cliz::compress_chunked_with_threads(
+                        &data, mask_ref, bound, &config, chunk_len, threads,
+                    )
+                    .unwrap()
+                });
+                let t_rss = peak_rss_mb();
+                let identical = t_bytes == cbase_bytes;
+                if !identical {
+                    eprintln!(
+                        "DIVERGENCE: chunked bytes at {threads} thread(s) != serial baseline \
+                         ({name} {dims:?})"
+                    );
+                    diverged = true;
+                }
+                let projected_s = schedule_lpt(&slab_s, threads);
+                println!(
+                    "  chunked x{threads:<2}  measured {:>8.1} MB/s ({:.2}x)   \
+                     LPT-projected {:>8.1} MB/s ({:.2}x)   identical {identical}",
+                    mb / t_s,
+                    cbase_s / t_s,
+                    mb / projected_s,
+                    serial_sum / projected_s,
+                );
+                thread_json.push(format!(
+                    "{{\"threads\":{threads},\"measured_s\":{},\"measured_mb_s\":{},\
+                     \"measured_speedup\":{},\"lpt_projected_s\":{},\
+                     \"lpt_projected_speedup\":{},\"peak_rss_mb\":{},\
+                     \"bytes_identical\":{identical}}}",
+                    json_f64(t_s),
+                    json_f64(mb / t_s),
+                    json_f64(cbase_s / t_s),
+                    json_f64(projected_s),
+                    json_f64(serial_sum / projected_s),
+                    json_opt(t_rss),
+                ));
+            }
+
+            // --- 3. chunked decode, serial vs pooled ---
+            let (d1_s, d1) = time(reps, || {
+                cliz::decompress_chunked_with_threads(&cbase_bytes, mask_ref, 1).unwrap()
+            });
+            let (dn_s, dn) = time(reps, || {
+                cliz::decompress_chunked_with_threads(&cbase_bytes, mask_ref, host_cores).unwrap()
+            });
+            let decode_identical = d1 == dn;
+            if !decode_identical {
+                eprintln!("DIVERGENCE: pooled decode != serial decode ({name} {dims:?})");
+                diverged = true;
+            }
+            println!(
+                "  decode       serial {:>8.1} MB/s   x{host_cores} {:>8.1} MB/s   identical {decode_identical}",
+                mb / d1_s,
+                mb / dn_s
+            );
+
+            field_json.push(format!(
+                "{{\"field\":\"{name}\",\"dims\":{dims:?},\"mb\":{},\
+                 \"single_shot\":{{\"baseline_s\":{},\"baseline_mb_s\":{},\
+                 \"optimized_s\":{},\"optimized_mb_s\":{},\"speedup\":{},\
+                 \"baseline_peak_rss_mb\":{},\"optimized_peak_rss_mb\":{},\
+                 \"bytes_identical\":{single_identical}}},\
+                 \"chunked\":{{\"chunk_len\":{chunk_len},\"n_chunks\":{n_chunks},\
+                 \"serial_baseline_s\":{},\"serial_baseline_peak_rss_mb\":{},\
+                 \"per_slab_s\":[{}],\"threads\":[{}],\
+                 \"decode\":{{\"serial_s\":{},\"pooled_s\":{},\"pooled_threads\":{host_cores},\
+                 \"identical\":{decode_identical}}}}}}}",
+                json_f64(mb),
+                json_f64(base_s),
+                json_f64(mb / base_s),
+                json_f64(opt_s),
+                json_f64(mb / opt_s),
+                json_f64(base_s / opt_s),
+                json_opt(base_rss),
+                json_opt(opt_rss),
+                json_f64(cbase_s),
+                json_opt(cbase_rss),
+                slab_s.iter().map(|&s| json_f64(s)).collect::<Vec<_>>().join(","),
+                thread_json.join(","),
+                json_f64(d1_s),
+                json_f64(dn_s),
+            ));
+        }
+    }
+
+    let tier = if args.quick {
+        "quick"
+    } else if args.full {
+        "full"
+    } else {
+        "scaled"
+    };
+    let json = format!(
+        "{{\"schema\":\"cliz-pipeline-bench-v1\",\"tier\":\"{tier}\",\
+         \"host_cores\":{host_cores},\"eb_abs\":{EB},\"reps\":{reps},\
+         \"fields\":[{}]}}\n",
+        field_json.join(",")
+    );
+    std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
+    println!("\nwrote BENCH_pipeline.json ({} field runs)", field_json.len());
+
+    if diverged {
+        eprintln!("FAIL: parallel output diverged from serial");
+        std::process::exit(1);
+    }
+}

@@ -155,6 +155,17 @@ fn codec_instance(
     })
 }
 
+/// Parses `--threads` (0 = auto / host parallelism), rejecting it for codecs
+/// without a worker pool so a silently ignored flag can't misreport a
+/// benchmark.
+fn parse_threads(p: &Parsed, chunked: bool) -> Result<usize, CliError> {
+    let threads: usize = p.parse_option("threads", 0usize)?;
+    if p.option("threads").is_some() && !chunked {
+        return Err(CliError::new("--threads only applies to chunked streams"));
+    }
+    Ok(threads)
+}
+
 /// `cliz compress <file.caf> -o file.cz [--rel E | --abs X] [--config F] [--compressor C]`
 pub fn compress(p: &Parsed) -> Result<(), CliError> {
     let path = p.positional(0, "input file")?;
@@ -198,6 +209,7 @@ pub fn compress(p: &Parsed) -> Result<(), CliError> {
     let masked = is_cliz
         && ds.mask.as_ref().is_some_and(|m| !m.is_all_valid())
         && config.as_ref().map_or(true, |c| c.use_mask);
+    let threads = parse_threads(p, matches!(codec, Codec::ClizChunked))?;
 
     let t0 = std::time::Instant::now();
     let (payload, codec_name): (Vec<u8>, &str) = match codec {
@@ -207,7 +219,14 @@ pub fn compress(p: &Parsed) -> Result<(), CliError> {
                 .unwrap_or_else(|| PipelineConfig::default_for(ds.data.shape().ndim()));
             let chunk = chunk.ok_or_else(|| CliError::new("--chunk required for chunked streams"))?;
             (
-                cliz::compress_chunked(&ds.data, ds.mask.as_ref(), bound, &cfg, chunk)?,
+                cliz::compress_chunked_with_threads(
+                    &ds.data,
+                    ds.mask.as_ref(),
+                    bound,
+                    &cfg,
+                    chunk,
+                    threads,
+                )?,
                 "cliz-chunked",
             )
         }
@@ -262,8 +281,11 @@ pub fn decompress(p: &Parsed) -> Result<(), CliError> {
         ));
     }
 
+    let threads = parse_threads(p, matches!(cz.codec, Codec::ClizChunked))?;
     let data = match cz.codec {
-        Codec::ClizChunked => cliz::decompress_chunked(&cz.payload, mask.as_ref())?,
+        Codec::ClizChunked => {
+            cliz::decompress_chunked_with_threads(&cz.payload, mask.as_ref(), threads)?
+        }
         _ => codec_instance(cz.codec, None)?.decompress(&cz.payload, mask.as_ref())?,
     };
     let mut ds = Dataset::new(cz.name.clone(), data, mask);

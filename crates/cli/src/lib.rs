@@ -54,7 +54,8 @@ USAGE:
   cliz tune <file.caf> [--rate 0.01] [--rel 1e-3] -o model.clizcfg
   cliz compress <file.caf> -o file.cz [--rel 1e-3 | --abs X]
                 [--config model.clizcfg] [--compressor cliz|sz3|sz2|zfp|sperr|qoz]
-  cliz decompress <file.cz> -o out.caf [--mask-from orig.caf]
+                [--chunk ROWS [--threads N]]   (N=0 means all host cores)
+  cliz decompress <file.cz> -o out.caf [--mask-from orig.caf] [--threads N]
   cliz slab <file.cz> --index N -o slab.caf [--mask-from orig.caf]
   cliz eval <orig.caf> <recon.caf>
 

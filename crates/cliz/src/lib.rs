@@ -35,10 +35,20 @@
 //! ```
 
 pub use cliz_core::{
-    autotune, autotune_fast, compress, compress_chunked, compress_with_stats, decompress, decompress_chunk,
-    decompress_chunked, valid_min_max, ChunkedReader, ChunkedWriter, ClizError, CompressStats,
-    PipelineConfig, Periodicity, TuneResult, TuneSpec,
+    autotune, autotune_fast, compress, compress_chunked, compress_chunked_with_threads,
+    compress_with_stats, compress_with_stats_arena, decompress, decompress_arena,
+    decompress_chunk, decompress_chunked, decompress_chunked_with_threads, valid_min_max,
+    ChunkedReader, ChunkedWriter, ClizError, CompressStats, PipelineConfig, Periodicity,
+    ScratchArena, TuneResult, TuneSpec,
 };
+
+// Frozen pre-optimization reference implementations, re-exported for the
+// benchmark harness and differential tests only (see their docs in
+// cliz-core).
+#[doc(hidden)]
+pub use cliz_core::chunked::compress_chunked_alloc_baseline;
+#[doc(hidden)]
+pub use cliz_core::compressor::compress_alloc_baseline;
 
 /// Resolves a value-range-relative tolerance against the *valid* (unmasked,
 /// finite) range — the fair way to drive mask-blind baselines at the same

@@ -1,15 +1,26 @@
-//! Rayon-parallel batch compression.
+//! Parallel compression entry points.
 //!
 //! Climate campaigns compress many independent fields (ensemble members,
 //! variables, snapshots). CliZ's interpolation is inherently sequential
-//! *within* a field, so the natural parallelism is across fields — exactly
-//! how the paper's Fig. 13 farm uses its cores. These helpers fan a batch
-//! over the rayon thread pool with one shared configuration.
+//! *within* a field, so the parallelism lives at two coarser grains:
+//!
+//! * **across fields** — [`compress_many`] / [`decompress_many`] fan a batch
+//!   over the rayon thread pool with one shared configuration (the paper's
+//!   Fig. 13 farm granularity);
+//! * **within one chunked container** — [`compress_chunked_threads`] /
+//!   [`decompress_chunked_threads`] split a single field's slabs across a
+//!   scoped worker pool with LPT load balancing, producing byte-identical
+//!   containers for every worker count (see [`cliz_core::chunked`]).
 
 use crate::{BaselineError, Compressor};
 use cliz_grid::{Grid, MaskMap};
 use cliz_quant::ErrorBound;
 use rayon::prelude::*;
+
+pub use cliz_core::chunked::{
+    compress_chunked_with_threads as compress_chunked_threads,
+    decompress_chunked_with_threads as decompress_chunked_threads,
+};
 
 /// One compression job: a field, its optional mask, and its bound.
 pub struct Job<'a> {

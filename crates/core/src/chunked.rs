@@ -9,19 +9,41 @@
 //!
 //! Format: `magic "CLZC" | ndim u8 | dims ndim×u64 | chunk_len u64 |
 //! n_chunks u32 | offsets (n_chunks+1)×u64 | chunk containers…`.
+//!
+//! Slabs are independent, so both directions run on a scoped worker pool:
+//! slabs are LPT-assigned to workers by estimated cost
+//! ([`cliz_transfer::assign_lpt`] — the tail slab is thinner than the rest),
+//! each worker owns a [`ScratchArena`], and the results are stitched behind
+//! the offset table in index order. The container bytes and the decoded grid
+//! are byte-identical across any worker count, including 1.
 
 use crate::bytesio::{ByteReader, ByteWriter};
-use crate::compressor::{compress, decompress, valid_min_max};
+use crate::compressor::{
+    compress_alloc_baseline, compress_with_stats_arena, decompress, decompress_arena,
+    valid_min_max,
+};
 use crate::config::PipelineConfig;
 use crate::error::ClizError;
+use crate::scratch::ScratchArena;
 use cliz_grid::{Grid, MaskMap, Shape};
 use cliz_quant::ErrorBound;
+use cliz_transfer::assign_lpt;
 
 const MAGIC: u32 = 0x434C_5A43; // "CLZC"
 
 /// Number of slabs a grid of `dim0` splits into with `chunk_len` thickness.
 fn chunk_count(dim0: usize, chunk_len: usize) -> usize {
     dim0.div_ceil(chunk_len)
+}
+
+/// `threads == 0` means "use the host's parallelism"; the pool never spawns
+/// more workers than there are jobs.
+fn resolve_threads(threads: usize, jobs: usize) -> usize {
+    let t = match threads {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        t => t,
+    };
+    t.min(jobs).max(1)
 }
 
 /// Extracts slab `i` of `data` (and mask) along axis 0.
@@ -62,6 +84,22 @@ pub fn compress_chunked(
     config: &PipelineConfig,
     chunk_len: usize,
 ) -> Result<Vec<u8>, ClizError> {
+    compress_chunked_with_threads(data, mask, bound, config, chunk_len, 0)
+}
+
+/// [`compress_chunked`] with an explicit worker count. `threads == 0` uses
+/// the host's parallelism; `threads == 1` runs serially on the calling
+/// thread. The output is byte-identical for every worker count: each slab is
+/// an independent container compressed under the same resolved bound, and
+/// the offset table is always written in slab order.
+pub fn compress_chunked_with_threads(
+    data: &Grid<f32>,
+    mask: Option<&MaskMap>,
+    bound: ErrorBound,
+    config: &PipelineConfig,
+    chunk_len: usize,
+    threads: usize,
+) -> Result<Vec<u8>, ClizError> {
     if chunk_len == 0 {
         return Err(ClizError::BadConfig("chunk length must be positive"));
     }
@@ -78,33 +116,107 @@ pub fn compress_chunked(
     let n_chunks = chunk_count(dims[0], chunk_len);
     let mask_grid = mask.map(|m| Grid::from_vec(m.shape().clone(), m.as_slice().to_vec()));
 
-    // Chunks are independent: compress them across the rayon pool. Ordered
-    // collect keeps the container byte-for-byte deterministic.
-    use rayon::prelude::*;
-    let blobs: Vec<Vec<u8>> = (0..n_chunks)
-        .into_par_iter()
-        .map(|i| {
-            let chunk = slab(data, chunk_len, i);
-            let chunk_mask = mask_grid.as_ref().map(|mg| {
-                let mg = slab(mg, chunk_len, i);
-                MaskMap::from_flags(mg.shape().clone(), mg.as_slice().to_vec())
+    let workers = resolve_threads(threads, n_chunks);
+    let blobs: Vec<Vec<u8>> = if workers <= 1 {
+        // Serial path: one arena amortizes the scratch buffers across slabs.
+        let mut arena = ScratchArena::new();
+        let mut blobs = Vec::with_capacity(n_chunks);
+        for i in 0..n_chunks {
+            blobs.push(compress_one_chunk(
+                data,
+                mask_grid.as_ref(),
+                eb,
+                config,
+                chunk_len,
+                i,
+                &mut arena,
+            )?);
+        }
+        blobs
+    } else {
+        // Slab cost is proportional to element count; only the tail slab
+        // differs, and LPT places it so no worker idles behind it.
+        let costs: Vec<f64> = (0..n_chunks)
+            .map(|i| chunk_len.min(dims[0] - i * chunk_len) as f64)
+            .collect();
+        let groups = assign_lpt(&costs, workers);
+        let mut results: Vec<(usize, Result<Vec<u8>, ClizError>)> =
+            std::thread::scope(|s| {
+                let handles: Vec<_> = groups
+                    .iter()
+                    .map(|group| {
+                        let mask_grid = mask_grid.as_ref();
+                        s.spawn(move || {
+                            let mut arena = ScratchArena::new();
+                            group
+                                .iter()
+                                .map(|&i| {
+                                    let blob = compress_one_chunk(
+                                        data, mask_grid, eb, config, chunk_len, i,
+                                        &mut arena,
+                                    );
+                                    (i, blob)
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().unwrap_or_default())
+                    .collect()
             });
-            // The per-chunk config must validate against the chunk shape
-            // (periodicity along axis 0 may not fit a slab).
-            let mut chunk_config = config.clone();
-            if chunk_config.validate(chunk.shape()).is_err() {
-                // Degrade gracefully: drop the offending periodicity.
-                chunk_config.periodicity = crate::config::Periodicity::None;
-                chunk_config.validate(chunk.shape())?;
-            }
-            compress(&chunk, chunk_mask.as_ref(), eb, &chunk_config)
-        })
-        .collect::<Result<_, ClizError>>()?;
+        // A panicked worker yields no results; that shows up here as a
+        // short list rather than silently missing chunks.
+        if results.len() != n_chunks {
+            return Err(ClizError::Backend("compression worker failed".into()));
+        }
+        results.sort_by_key(|r| r.0);
+        results
+            .into_iter()
+            .map(|(_, blob)| blob)
+            .collect::<Result<_, ClizError>>()?
+    };
 
+    Ok(assemble_container(&dims, chunk_len, &blobs))
+}
+
+/// Compresses slab `i` as one independent container. Shared by the serial
+/// loop, the worker pool, and nothing else — the slab extraction and the
+/// graceful periodicity degrade must stay identical across worker counts.
+fn compress_one_chunk(
+    data: &Grid<f32>,
+    mask_grid: Option<&Grid<bool>>,
+    eb: ErrorBound,
+    config: &PipelineConfig,
+    chunk_len: usize,
+    i: usize,
+    arena: &mut ScratchArena,
+) -> Result<Vec<u8>, ClizError> {
+    let chunk = slab(data, chunk_len, i);
+    let chunk_mask = mask_grid.map(|mg| {
+        let mg = slab(mg, chunk_len, i);
+        MaskMap::from_flags(mg.shape().clone(), mg.as_slice().to_vec())
+    });
+    // The per-chunk config must validate against the chunk shape
+    // (periodicity along axis 0 may not fit a slab).
+    let mut chunk_config = config.clone();
+    if chunk_config.validate(chunk.shape()).is_err() {
+        // Degrade gracefully: drop the offending periodicity.
+        chunk_config.periodicity = crate::config::Periodicity::None;
+        chunk_config.validate(chunk.shape())?;
+    }
+    compress_with_stats_arena(&chunk, chunk_mask.as_ref(), eb, &chunk_config, arena)
+        .map(|(bytes, _)| bytes)
+}
+
+/// Writes the CLZC header, offset table and chunk blobs.
+fn assemble_container(dims: &[usize], chunk_len: usize, blobs: &[Vec<u8>]) -> Vec<u8> {
+    let n_chunks = blobs.len();
     let mut w = ByteWriter::new();
     w.u32(MAGIC);
     w.u8(dims.len() as u8);
-    for &d in &dims {
+    for &d in dims {
         w.u64(d as u64);
     }
     w.u64(chunk_len as u64);
@@ -112,14 +224,54 @@ pub fn compress_chunked(
     let header_len = w.len() + (n_chunks + 1) * 8;
     let mut offset = header_len as u64;
     w.u64(offset);
-    for b in &blobs {
+    for b in blobs {
         offset += b.len() as u64;
         w.u64(offset);
     }
-    for b in &blobs {
+    for b in blobs {
         w.raw(b);
     }
-    Ok(w.finish())
+    w.finish()
+}
+
+/// Frozen pre-optimization chunked compressor: a plain serial loop that
+/// allocates everything fresh per slab via [`compress_alloc_baseline`]
+/// (plain-mode configs only). Byte-identical container to
+/// [`compress_chunked`]; kept as the serial timing baseline for
+/// `BENCH_pipeline.json` and as a differential oracle. Do not "optimize"
+/// this function — its allocation profile *is* its purpose.
+#[doc(hidden)]
+pub fn compress_chunked_alloc_baseline(
+    data: &Grid<f32>,
+    mask: Option<&MaskMap>,
+    bound: ErrorBound,
+    config: &PipelineConfig,
+    chunk_len: usize,
+) -> Result<Vec<u8>, ClizError> {
+    if chunk_len == 0 {
+        return Err(ClizError::BadConfig("chunk length must be positive"));
+    }
+    config.validate(data.shape())?;
+    if let Some(m) = mask {
+        if m.shape() != data.shape() {
+            return Err(ClizError::BadConfig("mask shape mismatch"));
+        }
+    }
+    let (mn, mx) = valid_min_max(data, mask);
+    let eb = ErrorBound::Abs(bound.resolve(mn, mx));
+    let dims = data.shape().dims().to_vec();
+    let n_chunks = chunk_count(dims[0], chunk_len);
+    let mask_grid = mask.map(|m| Grid::from_vec(m.shape().clone(), m.as_slice().to_vec()));
+    let mut blobs = Vec::with_capacity(n_chunks);
+    for i in 0..n_chunks {
+        let chunk = slab(data, chunk_len, i);
+        let chunk_mask = mask_grid.as_ref().map(|mg| {
+            let mg = slab(mg, chunk_len, i);
+            MaskMap::from_flags(mg.shape().clone(), mg.as_slice().to_vec())
+        });
+        blobs.push(compress_alloc_baseline(&chunk, chunk_mask.as_ref(), eb, config)?);
+    }
+    Ok(assemble_container(&dims, chunk_len, &blobs))
 }
 
 /// Parsed chunked-container header.
@@ -217,6 +369,21 @@ pub fn decompress_chunked(
     bytes: &[u8],
     mask: Option<&MaskMap>,
 ) -> Result<Grid<f32>, ClizError> {
+    decompress_chunked_with_threads(bytes, mask, 0)
+}
+
+/// [`decompress_chunked`] with an explicit worker count (`0` = host
+/// parallelism, `1` = serial). Chunk 0 is always decoded on the calling
+/// thread first: the header dims are untrusted until a decoded chunk
+/// corroborates them, so the full-grid allocation — and any worker spawn —
+/// waits for that check. The remaining chunks are LPT-assigned to workers
+/// by compressed blob size and each worker writes its disjoint slabs of the
+/// output in place; the decoded grid is identical for every worker count.
+pub fn decompress_chunked_with_threads(
+    bytes: &[u8],
+    mask: Option<&MaskMap>,
+    threads: usize,
+) -> Result<Grid<f32>, ClizError> {
     let header = read_header(bytes)?;
     // `read_header` enforces these invariants at the parse boundary, but
     // the chunk-placement arithmetic below must not depend on a parser far
@@ -232,33 +399,154 @@ pub fn decompress_chunked(
     {
         return Err(ClizError::Corrupt("bad chunk header"));
     }
+    let mask_grid = match mask {
+        Some(m) => {
+            if m.shape().dims() != header.dims.as_slice() {
+                return Err(ClizError::MaskRequired);
+            }
+            Some(Grid::from_vec(m.shape().clone(), m.as_slice().to_vec()))
+        }
+        None => None,
+    };
     let shape = Shape::new(&header.dims);
     let slab_stride: usize = header.dims[1..].iter().product();
-    // The header dims are untrusted until the first decoded chunk
-    // corroborates them, so the full-grid allocation waits for that check —
-    // a flipped dimension byte must surface as Corrupt, not as a giant
-    // allocation.
-    let mut out: Vec<f32> = Vec::new();
-    for i in 0..header.n_chunks {
-        let chunk = decompress_chunk(bytes, i, mask)?;
-        // A corrupt chunk container can claim any shape; verify it against
-        // the slab geometry before placing it, so a lying chunk surfaces as
-        // an error rather than scrambled output.
+
+    // A flipped dimension byte must surface as Corrupt, not as a giant
+    // allocation: decode chunk 0 serially and verify its shape against the
+    // claimed geometry before committing to the full-grid buffer.
+    let mut arena = ScratchArena::new();
+    let first = decode_one_chunk(bytes, &header, mask_grid.as_ref(), 0, &mut arena)?;
+    let mut out = vec![0.0f32; shape.len()];
+    let split = first.len().min(out.len());
+    let (first_dst, mut rest) = out.split_at_mut(split);
+    if first_dst.len() != first.len() {
+        return Err(ClizError::Corrupt("chunk does not fit the grid"));
+    }
+    first_dst.copy_from_slice(first.as_slice());
+
+    // Carve the remaining output into per-chunk disjoint slices. The chunks
+    // tile axis 0 contiguously, so successive splits cover the whole grid;
+    // a slab that would overrun the buffer surfaces as Corrupt here.
+    let mut jobs: Vec<Option<(usize, &mut [f32])>> = Vec::with_capacity(header.n_chunks);
+    for i in 1..header.n_chunks {
         let start_row = i * header.chunk_len;
-        let mut expected = header.dims.clone();
-        expected[0] = header.chunk_len.min(header.dims[0] - start_row);
-        if chunk.shape().dims() != expected.as_slice() {
-            return Err(ClizError::Corrupt("chunk shape mismatch"));
+        let rows = header.chunk_len.min(header.dims[0].saturating_sub(start_row));
+        let len = rows * slab_stride;
+        if len == 0 || rest.len() < len {
+            return Err(ClizError::Corrupt("chunk does not fit the grid"));
         }
-        if i == 0 {
-            out = vec![0.0f32; shape.len()];
+        let (dst, tail) = rest.split_at_mut(len);
+        rest = tail;
+        jobs.push(Some((i, dst)));
+    }
+    if !rest.is_empty() {
+        return Err(ClizError::Corrupt("chunk does not fit the grid"));
+    }
+
+    let workers = resolve_threads(threads, jobs.len());
+    if workers <= 1 {
+        for job in jobs.into_iter().flatten() {
+            let (i, dst) = job;
+            place_chunk(bytes, &header, mask_grid.as_ref(), i, dst, &mut arena)?;
         }
-        let start = start_row * slab_stride;
-        out.get_mut(start..start + chunk.len())
-            .ok_or(ClizError::Corrupt("chunk does not fit the grid"))?
-            .copy_from_slice(chunk.as_slice());
+    } else {
+        // Compressed blob size is the best available proxy for decode cost.
+        let costs: Vec<f64> = jobs
+            .iter()
+            .flatten()
+            .map(|(i, _)| {
+                let start = header.offsets.get(*i).copied().unwrap_or(0);
+                let end = header.offsets.get(i + 1).copied().unwrap_or(start);
+                end.saturating_sub(start) as f64
+            })
+            .collect();
+        let groups = assign_lpt(&costs, workers);
+        let outcomes: Vec<Result<(), ClizError>> = std::thread::scope(|s| {
+            let header = &header;
+            let mask_grid = mask_grid.as_ref();
+            let handles: Vec<_> = groups
+                .iter()
+                .map(|group| {
+                    // Move each group's slices out of the shared job list;
+                    // assign_lpt partitions indices exactly once, so every
+                    // job is taken by exactly one worker.
+                    let work: Vec<(usize, &mut [f32])> = group
+                        .iter()
+                        .filter_map(|&j| jobs.get_mut(j).and_then(Option::take))
+                        .collect();
+                    s.spawn(move || -> Result<(), ClizError> {
+                        let mut arena = ScratchArena::new();
+                        for (i, dst) in work {
+                            place_chunk(bytes, header, mask_grid, i, dst, &mut arena)?;
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or(Err(ClizError::Backend(
+                        "decompression worker failed".into(),
+                    )))
+                })
+                .collect()
+        });
+        for outcome in outcomes {
+            outcome?;
+        }
     }
     Ok(Grid::from_vec(shape, out))
+}
+
+/// Decodes chunk `i` against the already-validated header, deriving the
+/// chunk's mask slice from the full-grid mask.
+fn decode_one_chunk(
+    bytes: &[u8],
+    header: &ChunkedHeader,
+    mask_grid: Option<&Grid<bool>>,
+    i: usize,
+    arena: &mut ScratchArena,
+) -> Result<Grid<f32>, ClizError> {
+    let start = header.offsets.get(i).copied().ok_or(ClizError::Truncated)?;
+    let end = header
+        .offsets
+        .get(i + 1)
+        .copied()
+        .ok_or(ClizError::Truncated)?;
+    let blob = bytes.get(start..end).ok_or(ClizError::Truncated)?;
+    let chunk_mask = mask_grid.map(|mg| {
+        let s = slab(mg, header.chunk_len, i);
+        MaskMap::from_flags(s.shape().clone(), s.into_vec())
+    });
+    let chunk = decompress_arena(blob, chunk_mask.as_ref(), arena)?;
+    // A corrupt chunk container can claim any shape; verify it against the
+    // slab geometry before the caller places it, so a lying chunk surfaces
+    // as an error rather than scrambled output.
+    let start_row = i * header.chunk_len;
+    let mut expected = header.dims.clone();
+    expected[0] = header.chunk_len.min(header.dims[0].saturating_sub(start_row));
+    if chunk.shape().dims() != expected.as_slice() {
+        return Err(ClizError::Corrupt("chunk shape mismatch"));
+    }
+    Ok(chunk)
+}
+
+/// Decodes chunk `i` and copies it into its output slab.
+fn place_chunk(
+    bytes: &[u8],
+    header: &ChunkedHeader,
+    mask_grid: Option<&Grid<bool>>,
+    i: usize,
+    dst: &mut [f32],
+    arena: &mut ScratchArena,
+) -> Result<(), ClizError> {
+    let chunk = decode_one_chunk(bytes, header, mask_grid, i, arena)?;
+    if dst.len() != chunk.len() {
+        return Err(ClizError::Corrupt("chunk does not fit the grid"));
+    }
+    dst.copy_from_slice(chunk.as_slice());
+    Ok(())
 }
 
 #[cfg(test)]
@@ -384,6 +672,51 @@ mod tests {
         assert!(decompress_chunk(&bytes, 99, None).is_err());
         assert!(read_header(&bytes[..10]).is_err());
         assert!(read_header(b"garbage.....").is_err());
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_bytes() {
+        // 19 rows with chunk_len 4 leaves a 3-row tail slab — the uneven
+        // case LPT exists for.
+        let g = smooth(&[19, 12, 10]);
+        let cfg = PipelineConfig::default_for(3);
+        let eb = ErrorBound::Abs(1e-3);
+        let serial = compress_chunked_with_threads(&g, None, eb, &cfg, 4, 1).unwrap();
+        for threads in [2, 3, 8] {
+            let par = compress_chunked_with_threads(&g, None, eb, &cfg, 4, threads).unwrap();
+            assert_eq!(serial, par, "container diverged at {threads} threads");
+        }
+        let baseline = compress_chunked_alloc_baseline(&g, None, eb, &cfg, 4).unwrap();
+        assert_eq!(serial, baseline, "alloc baseline diverged");
+
+        let reference = decompress_chunked(&serial, None).unwrap();
+        for threads in [1, 2, 5] {
+            let out = decompress_chunked_with_threads(&serial, None, threads).unwrap();
+            assert_eq!(out, reference, "decode diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn masked_parallel_matches_serial() {
+        let mut g = smooth(&[13, 9]);
+        let mut valid = vec![true; g.len()];
+        for i in 0..g.len() {
+            if i % 5 == 0 {
+                g.as_mut_slice()[i] = 1e32;
+                valid[i] = false;
+            }
+        }
+        let mask = MaskMap::from_flags(g.shape().clone(), valid);
+        let cfg = PipelineConfig::default_for(2);
+        let eb = ErrorBound::Abs(1e-3);
+        let serial =
+            compress_chunked_with_threads(&g, Some(&mask), eb, &cfg, 5, 1).unwrap();
+        let par = compress_chunked_with_threads(&g, Some(&mask), eb, &cfg, 5, 4).unwrap();
+        assert_eq!(serial, par);
+        assert_eq!(
+            decompress_chunked_with_threads(&serial, Some(&mask), 4).unwrap(),
+            decompress_chunked_with_threads(&serial, Some(&mask), 1).unwrap(),
+        );
     }
 
     #[test]

@@ -26,7 +26,8 @@ use crate::bytesio::{ByteReader, ByteWriter};
 use crate::config::{Periodicity, PipelineConfig};
 use crate::error::ClizError;
 use crate::periodic::{add_template, build_template, subtract_template, template_mask};
-use crate::pipeline::{compress_plain, decompress_plain, PlainStats};
+use crate::pipeline::{compress_plain_alloc_baseline, compress_plain_with, decompress_plain_with, PlainStats};
+use crate::scratch::ScratchArena;
 use cliz_grid::{Grid, MaskMap, Shape};
 use cliz_quant::ErrorBound;
 
@@ -103,6 +104,21 @@ pub fn compress_with_stats(
     bound: ErrorBound,
     config: &PipelineConfig,
 ) -> Result<(Vec<u8>, CompressStats), ClizError> {
+    let mut arena = ScratchArena::new();
+    compress_with_stats_arena(data, mask, bound, config, &mut arena)
+}
+
+/// [`compress_with_stats`] with caller-supplied scratch buffers, for loops
+/// that compress many fields or slabs back to back (the chunked worker pool
+/// gives each worker one arena). Output bytes and stats are identical to the
+/// fresh-allocation path.
+pub fn compress_with_stats_arena(
+    data: &Grid<f32>,
+    mask: Option<&MaskMap>,
+    bound: ErrorBound,
+    config: &PipelineConfig,
+    arena: &mut ScratchArena,
+) -> Result<(Vec<u8>, CompressStats), ClizError> {
     config.validate(data.shape())?;
     if let Some(m) = mask {
         if m.shape() != data.shape() {
@@ -151,11 +167,12 @@ pub fn compress_with_stats(
             // Template: per-phase mean, compressed as a nested container.
             let template = build_template(data, effective_mask, time_axis, period);
             let tmask = effective_mask.map(|m| template_mask(m, time_axis, period));
-            let (t_bytes, t_stats) = compress_with_stats(
+            let (t_bytes, t_stats) = compress_with_stats_arena(
                 &template,
                 tmask.as_ref(),
                 ErrorBound::Abs(template_eb(eb_abs, config.template_eb_factor)),
                 &inner_config,
+                arena,
             )?;
             // The residual is taken against what the decoder will actually
             // see, so the user bound rides entirely on the residual stage —
@@ -163,16 +180,17 @@ pub fn compress_with_stats(
             // (data − template at encode, residual + template at decode),
             // each bounded by half a ULP of the operand magnitude. Without
             // this the reconstruction can land a fraction of a ULP past eb.
-            let template_recon = decompress(&t_bytes, tmask.as_ref())?;
+            let template_recon = decompress_arena(&t_bytes, tmask.as_ref(), arena)?;
             let residual =
                 subtract_template(data, &template_recon, effective_mask, time_axis);
             let vmax = mn.abs().max(mx.abs()) as f64 + eb_abs;
             let eb_res = residual_eb(eb_abs, vmax);
-            let (r_bytes, r_stats) = compress_with_stats(
+            let (r_bytes, r_stats) = compress_with_stats_arena(
                 &residual,
                 effective_mask,
                 ErrorBound::Abs(eb_res),
                 &inner_config,
+                arena,
             )?;
             w.block(&t_bytes);
             w.block(&r_bytes);
@@ -183,7 +201,7 @@ pub fn compress_with_stats(
         Periodicity::None => {
             w.u8(MODE_PLAIN);
             let plain: PlainStats =
-                compress_plain(data, effective_mask, eb_abs, config, &mut w)?;
+                compress_plain_with(data, effective_mask, eb_abs, config, &mut w, arena)?;
             stats.escapes = plain.escapes;
             stats.classification_used = plain.classification_used;
         }
@@ -214,9 +232,70 @@ fn residual_eb(eb_abs: f64, vmax: f64) -> f64 {
     (eb_abs - slack).max(eb_abs * 0.5)
 }
 
+/// Frozen pre-optimization compressor: identical container bytes to
+/// [`compress`], produced via [`compress_plain_alloc_baseline`] (the
+/// allocate-everything pipeline). Plain mode only — periodic configs return
+/// `BadConfig`, since the baseline exists to benchmark and differentially
+/// test the hot plain path, not to duplicate the periodic recursion.
+///
+/// Do not "optimize" this function — its allocation profile *is* its
+/// purpose: the benchmark harness measures the zero-copy path against it,
+/// and the differential tests assert byte identity against it.
+#[doc(hidden)]
+pub fn compress_alloc_baseline(
+    data: &Grid<f32>,
+    mask: Option<&MaskMap>,
+    bound: ErrorBound,
+    config: &PipelineConfig,
+) -> Result<Vec<u8>, ClizError> {
+    config.validate(data.shape())?;
+    if let Some(m) = mask {
+        if m.shape() != data.shape() {
+            return Err(ClizError::BadConfig("mask shape mismatch"));
+        }
+    }
+    if !matches!(config.periodicity, Periodicity::None) {
+        return Err(ClizError::BadConfig(
+            "alloc baseline covers plain mode only",
+        ));
+    }
+    let effective_mask = match mask {
+        Some(m) if config.use_mask && !m.is_all_valid() => Some(m),
+        _ => None,
+    };
+    let (mn, mx) = valid_min_max(data, mask);
+    let eb_abs = bound.resolve(mn, mx);
+    let fill = representative_fill(data, effective_mask);
+
+    let mut w = ByteWriter::new();
+    w.u32(MAGIC);
+    w.u8(VERSION);
+    w.u8(data.shape().ndim() as u8);
+    for &d in data.shape().dims() {
+        w.u64(d as u64);
+    }
+    w.f64(eb_abs);
+    w.f32(fill);
+    w.u8(effective_mask.is_some() as u8);
+    w.u8(MODE_PLAIN);
+    compress_plain_alloc_baseline(data, effective_mask, eb_abs, config, &mut w)?;
+    Ok(w.finish())
+}
+
 /// Decompresses a CLIZ container. Streams compressed with a mask require the
 /// same mask here.
 pub fn decompress(bytes: &[u8], mask: Option<&MaskMap>) -> Result<Grid<f32>, ClizError> {
+    let mut arena = ScratchArena::new();
+    decompress_arena(bytes, mask, &mut arena)
+}
+
+/// [`decompress`] with caller-supplied scratch buffers; same output, fewer
+/// allocations when decoding many containers (or chunked slabs) in a loop.
+pub fn decompress_arena(
+    bytes: &[u8],
+    mask: Option<&MaskMap>,
+    arena: &mut ScratchArena,
+) -> Result<Grid<f32>, ClizError> {
     let mut r = ByteReader::new(bytes);
     if r.u32()? != MAGIC {
         return Err(ClizError::BadMagic);
@@ -264,7 +343,7 @@ pub fn decompress(bytes: &[u8], mask: Option<&MaskMap>) -> Result<Grid<f32>, Cli
     };
 
     match r.u8()? {
-        MODE_PLAIN => decompress_plain(&mut r, &dims, eb_abs, mask, fill),
+        MODE_PLAIN => decompress_plain_with(&mut r, &dims, eb_abs, mask, fill, arena),
         MODE_PERIODIC => {
             let time_axis = r.u8()? as usize;
             let period = r.u32()? as usize;
@@ -274,8 +353,8 @@ pub fn decompress(bytes: &[u8], mask: Option<&MaskMap>) -> Result<Grid<f32>, Cli
             let t_bytes = r.block()?;
             let r_bytes = r.block()?;
             let tmask = mask.map(|m| template_mask(m, time_axis, period));
-            let template = decompress(t_bytes, tmask.as_ref())?;
-            let residual = decompress(r_bytes, mask)?;
+            let template = decompress_arena(t_bytes, tmask.as_ref(), arena)?;
+            let residual = decompress_arena(r_bytes, mask, arena)?;
             if template.shape() != &crate::periodic::template_shape(&shape, time_axis, period)
                 || residual.shape() != &shape
             {

@@ -47,12 +47,20 @@ pub mod config;
 pub mod error;
 pub mod periodic;
 pub mod pipeline;
+pub mod scratch;
 pub mod stream;
 
 pub use autotune::{autotune, autotune_fast, TuneResult, TuneSpec};
 pub use cliz_grid::cast;
-pub use chunked::{compress_chunked, decompress_chunk, decompress_chunked};
+pub use chunked::{
+    compress_chunked, compress_chunked_with_threads, decompress_chunk, decompress_chunked,
+    decompress_chunked_with_threads,
+};
+pub use scratch::ScratchArena;
 pub use stream::{ChunkedReader, ChunkedWriter};
-pub use compressor::{compress, compress_with_stats, decompress, valid_min_max, CompressStats};
+pub use compressor::{
+    compress, compress_with_stats, compress_with_stats_arena, decompress, decompress_arena,
+    valid_min_max, CompressStats,
+};
 pub use config::{PipelineConfig, Periodicity};
 pub use error::ClizError;

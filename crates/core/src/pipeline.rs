@@ -7,6 +7,7 @@
 use crate::bytesio::{ByteReader, ByteWriter};
 use crate::config::PipelineConfig;
 use crate::error::ClizError;
+use crate::scratch::ScratchArena;
 use cliz_entropy::{huffman, multi_decode, multi_encode};
 use cliz_grid::{fuse_shape, Grid, MaskMap};
 use cliz_predict::{predict_quantize, reconstruct, Fitting, InterpParams};
@@ -61,38 +62,64 @@ pub fn compress_plain(
     config: &PipelineConfig,
     out: &mut ByteWriter,
 ) -> Result<PlainStats, ClizError> {
-    let shape = data.shape();
-    let ndim = shape.ndim();
+    let mut arena = ScratchArena::new();
+    compress_plain_with(data, mask, eb_abs, config, out, &mut arena)
+}
 
-    // 1. Physical permutation (data and mask travel together).
+/// [`compress_plain`] with caller-supplied scratch buffers.
+///
+/// The zero-copy hot path: an identity permutation borrows the input grid
+/// (and mask) instead of cloning it, the working/symbol buffers come from
+/// `arena` and go back to it before returning, and unmasked data feeds the
+/// entropy coder straight from the symbol grid with no gather pass. Output
+/// bytes are identical to [`compress_plain`] — the arena only changes where
+/// the intermediate buffers live, never what is written.
+pub fn compress_plain_with(
+    data: &Grid<f32>,
+    mask: Option<&MaskMap>,
+    eb_abs: f64,
+    config: &PipelineConfig,
+    out: &mut ByteWriter,
+    arena: &mut ScratchArena,
+) -> Result<PlainStats, ClizError> {
+    // 1. Physical permutation (data and mask travel together). The identity
+    //    permutation is the common tuned outcome and must not copy: borrow
+    //    the caller's grid, materialize only a genuinely permuted layout.
     let identity = config.permutation.iter().enumerate().all(|(i, &p)| i == p);
-    let working = if identity {
-        data.clone()
-    } else {
-        data.permuted(&config.permutation)
+    let permuted_storage: Option<Grid<f32>> =
+        (!identity).then(|| data.permuted(&config.permutation));
+    let working: &Grid<f32> = permuted_storage.as_ref().unwrap_or(data);
+    let mask_active = match mask {
+        Some(m) => config.use_mask && !m.is_all_valid(),
+        None => false,
     };
-    let wmask: Option<MaskMap> = match mask {
-        Some(m) if config.use_mask && !m.is_all_valid() => Some(if identity {
-            m.clone()
-        } else {
-            m.permuted(&config.permutation)
-        }),
+    let wmask_storage: Option<MaskMap> = match mask {
+        Some(m) if mask_active && !identity => Some(m.permuted(&config.permutation)),
         _ => None,
     };
-    let mask_slice = wmask.as_ref().map(|m| m.as_slice());
+    let wmask: Option<&MaskMap> = if mask_active {
+        wmask_storage.as_ref().or(mask)
+    } else {
+        None
+    };
+    let mask_slice = wmask.map(|m| m.as_slice());
 
     // 2. Fusion: pure reshape of the working layout.
     let fused = fuse_shape(working.shape(), config.fusion);
     let dims = fused.dims().to_vec();
 
-    // 3. Predict + quantize into a raster-order symbol grid.
+    // 3. Predict + quantize into a raster-order symbol grid. The prediction
+    //    buffer must be a mutable copy (the predictor overwrites it with the
+    //    reconstruction), but its backing store is recycled across calls.
     let quantizer = LinearQuantizer::new(eb_abs);
     let params = match mask_slice {
         Some(m) => InterpParams::with_mask(config.fitting, m),
         None => InterpParams::new(config.fitting),
     };
-    let mut buf = working.as_slice().to_vec();
-    let mut symbols = vec![0u32; buf.len()];
+    let mut buf = arena.take_f32();
+    buf.extend_from_slice(working.as_slice());
+    let mut symbols = arena.take_u32();
+    symbols.resize(buf.len(), 0);
     let escapes = predict_quantize(&mut buf, &dims, &params, &quantizer, &mut symbols);
 
     // 4. Optional classification (may auto-disable).
@@ -111,22 +138,29 @@ pub fn compress_plain(
         }
     }
 
-    // 5. Drop masked positions and entropy-code the rest.
-    let valid_symbols: Vec<u32> = match mask_slice {
-        Some(m) => symbols
-            .iter()
-            .zip(m)
-            .filter(|&(_, &v)| v)
-            .map(|(&s, _)| s)
-            .collect(),
-        None => symbols.clone(),
+    // 5. Entropy-code the valid symbols. Without a mask every symbol is
+    //    valid, so the coder reads the symbol grid in place — the gather
+    //    pass (and its full-size allocation) only runs for masked data.
+    let mut gathered = arena.take_u32();
+    let valid_symbols: &[u32] = match mask_slice {
+        Some(m) => {
+            gathered.extend(
+                symbols
+                    .iter()
+                    .zip(m)
+                    .filter(|&(_, &v)| v)
+                    .map(|(&s, _)| s),
+            );
+            &gathered
+        }
+        None => &symbols,
     };
     let stream = match &class {
         Some(c) => {
             let groups = c.group_sequence(symbols.len(), mask_slice);
-            multi_encode(&valid_symbols, &groups, 2)
+            multi_encode(valid_symbols, &groups, 2)
         }
-        None => huffman::encode_stream(&valid_symbols),
+        None => huffman::encode_stream(valid_symbols),
     };
 
     // 6. Literals for escapes, in raster order over valid positions.
@@ -158,7 +192,118 @@ pub fn compress_plain(
     out.u8(class.is_some() as u8);
     out.u64(escapes as u64);
     out.block(&packed);
-    let _ = ndim;
+
+    arena.recycle_f32(buf);
+    arena.recycle_u32(symbols);
+    arena.recycle_u32(gathered);
+
+    Ok(PlainStats {
+        escapes,
+        classification_used: class.is_some(),
+        payload_bytes: packed.len(),
+    })
+}
+
+/// Frozen pre-optimization reference implementation of [`compress_plain`]:
+/// clones the grid even for identity permutations, allocates every scratch
+/// buffer fresh, and always gathers valid symbols. Kept verbatim as (a) the
+/// differential oracle the parallel/arena tests compare bytes against and
+/// (b) the serial baseline `BENCH_pipeline.json` measures speedups over. Do
+/// not "optimize" this function — its allocation profile *is* its purpose.
+#[doc(hidden)]
+pub fn compress_plain_alloc_baseline(
+    data: &Grid<f32>,
+    mask: Option<&MaskMap>,
+    eb_abs: f64,
+    config: &PipelineConfig,
+    out: &mut ByteWriter,
+) -> Result<PlainStats, ClizError> {
+    let identity = config.permutation.iter().enumerate().all(|(i, &p)| i == p);
+    let working = if identity {
+        data.clone()
+    } else {
+        data.permuted(&config.permutation)
+    };
+    let wmask: Option<MaskMap> = match mask {
+        Some(m) if config.use_mask && !m.is_all_valid() => Some(if identity {
+            m.clone()
+        } else {
+            m.permuted(&config.permutation)
+        }),
+        _ => None,
+    };
+    let mask_slice = wmask.as_ref().map(|m| m.as_slice());
+
+    let fused = fuse_shape(working.shape(), config.fusion);
+    let dims = fused.dims().to_vec();
+
+    let quantizer = LinearQuantizer::new(eb_abs);
+    let params = match mask_slice {
+        Some(m) => InterpParams::with_mask(config.fitting, m),
+        None => InterpParams::new(config.fitting),
+    };
+    let mut buf = working.as_slice().to_vec();
+    let mut symbols = vec![0u32; buf.len()];
+    let escapes = predict_quantize(&mut buf, &dims, &params, &quantizer, &mut symbols);
+
+    let mut class: Option<Classification> = None;
+    if config.classification {
+        if let Some(h_len) = classification_plane(&dims) {
+            let spec = ClassifySpec {
+                lambda: config.lambda,
+                ..ClassifySpec::default()
+            };
+            let c = classify(&symbols, h_len, mask_slice, spec);
+            if !c.is_trivial() {
+                apply_shifts(&mut symbols, &c, mask_slice);
+                class = Some(c);
+            }
+        }
+    }
+
+    let valid_symbols: Vec<u32> = match mask_slice {
+        Some(m) => symbols
+            .iter()
+            .zip(m)
+            .filter(|&(_, &v)| v)
+            .map(|(&s, _)| s)
+            .collect(),
+        None => symbols.clone(),
+    };
+    let stream = match &class {
+        Some(c) => {
+            let groups = c.group_sequence(symbols.len(), mask_slice);
+            multi_encode(&valid_symbols, &groups, 2)
+        }
+        None => huffman::encode_stream(&valid_symbols),
+    };
+
+    let mut literals = Vec::with_capacity(escapes * 4);
+    for (i, (&s, &v)) in symbols.iter().zip(&buf).enumerate() {
+        if s == ESCAPE && mask_slice.is_none_or(|m| m[i]) {
+            literals.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    debug_assert_eq!(literals.len(), escapes * 4);
+
+    let mut payload = ByteWriter::new();
+    match &class {
+        Some(c) => payload.block(&c.marker_bytes()),
+        None => payload.block(&[]),
+    }
+    payload.block(&stream);
+    payload.raw(&literals);
+    let packed = cliz_lossless::compress(&payload.finish());
+
+    for &p in &config.permutation {
+        out.u8(p as u8);
+    }
+    out.u8(config.fusion.start as u8);
+    out.u8(config.fusion.len as u8);
+    out.u8(fitting_to_u8(config.fitting));
+    out.u8(class.is_some() as u8);
+    out.u64(escapes as u64);
+    out.block(&packed);
 
     Ok(PlainStats {
         escapes,
@@ -175,6 +320,21 @@ pub fn decompress_plain(
     eb_abs: f64,
     mask: Option<&MaskMap>,
     fill_value: f32,
+) -> Result<Grid<f32>, ClizError> {
+    let mut arena = ScratchArena::new();
+    decompress_plain_with(r, dims, eb_abs, mask, fill_value, &mut arena)
+}
+
+/// [`decompress_plain`] with caller-supplied scratch buffers: the scatter
+/// symbol grid and literal vector are recycled through `arena` (the output
+/// grid itself is necessarily a fresh allocation — it leaves the function).
+pub fn decompress_plain_with(
+    r: &mut ByteReader,
+    dims: &[usize],
+    eb_abs: f64,
+    mask: Option<&MaskMap>,
+    fill_value: f32,
+    arena: &mut ScratchArena,
 ) -> Result<Grid<f32>, ClizError> {
     let ndim = dims.len();
     let mut perm = Vec::with_capacity(ndim);
@@ -270,7 +430,8 @@ pub fn decompress_plain(
 
     // Scatter to the full grid (placeholder bins at masked positions).
     let zero_sym = cliz_quant::bin_to_symbol(0);
-    let mut symbols = vec![zero_sym; total];
+    let mut symbols = arena.take_u32();
+    symbols.resize(total, zero_sym);
     {
         let mut it = valid_symbols.into_iter();
         for (i, s) in symbols.iter_mut().enumerate() {
@@ -291,11 +452,13 @@ pub fn decompress_plain(
         return Err(ClizError::Corrupt("symbol exceeds quantizer radius"));
     }
 
-    // Literals.
+    // Literals. (Error paths below drop the scratch buffers instead of
+    // recycling them — a cold path missing the pool is fine, a hot path
+    // littered with recycle calls is not.)
     if pr.remaining() < escapes.saturating_mul(4) {
         return Err(ClizError::Truncated);
     }
-    let mut literals = Vec::with_capacity(escapes);
+    let mut literals = arena.take_f32();
     for _ in 0..escapes {
         literals.push(pr.f32()?);
     }
@@ -318,6 +481,8 @@ pub fn decompress_plain(
         &mut buf, &fdims, &params, &quantizer, &symbols, &literals, fill_value,
     )
     .map_err(|_| ClizError::Corrupt("literal/escape mismatch"))?;
+    arena.recycle_u32(symbols);
+    arena.recycle_f32(literals);
 
     // Un-fuse (reshape) and un-permute back to the original layout.
     let working = Grid::from_vec(permuted_shape, buf);

@@ -1,0 +1,92 @@
+//! Reusable scratch buffers for the hot compression/decompression path.
+//!
+//! One `compress_plain` call needs a working copy of the field, a symbol
+//! grid of the same extent, and (for masked data) a gathered valid-symbol
+//! vector — three large allocations that the slab loop of
+//! [`crate::chunked`] used to pay *per slab*. A [`ScratchArena`] keeps the
+//! backing `Vec`s alive between calls: callers take a cleared buffer, use
+//! it, and hand it back, so steady-state compression of a chunked container
+//! touches the allocator only while the arena warms up.
+//!
+//! The arena is deliberately dumb: plain `Vec` recycling, no size classes,
+//! no interior mutability. Each worker thread of the chunked pool owns its
+//! own arena (`ScratchArena` is `Send` but not shared), which keeps the hot
+//! path free of locks and the output bytes trivially deterministic.
+
+/// A pool of reusable `f32`/`u32` buffers. See the module docs.
+///
+/// Buffers returned by `take_*` are empty (`len == 0`) but retain the
+/// capacity of whatever call recycled them; `recycle_*` returns a buffer to
+/// the pool. Dropping the arena drops every pooled buffer.
+#[derive(Debug, Default)]
+pub struct ScratchArena {
+    f32_pool: Vec<Vec<f32>>,
+    u32_pool: Vec<Vec<u32>>,
+}
+
+impl ScratchArena {
+    /// An empty arena. The first `take_*` calls allocate fresh buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes an empty `f32` buffer from the pool (or a fresh one).
+    pub fn take_f32(&mut self) -> Vec<f32> {
+        let mut v = self.f32_pool.pop().unwrap_or_default();
+        v.clear();
+        v
+    }
+
+    /// Takes an empty `u32` buffer from the pool (or a fresh one).
+    pub fn take_u32(&mut self) -> Vec<u32> {
+        let mut v = self.u32_pool.pop().unwrap_or_default();
+        v.clear();
+        v
+    }
+
+    /// Returns a buffer to the pool for later reuse.
+    pub fn recycle_f32(&mut self, v: Vec<f32>) {
+        self.f32_pool.push(v);
+    }
+
+    /// Returns a buffer to the pool for later reuse.
+    pub fn recycle_u32(&mut self, v: Vec<u32>) {
+        self.u32_pool.push(v);
+    }
+
+    /// Number of buffers currently pooled, `(f32, u32)` — test/diagnostic
+    /// introspection only.
+    pub fn pooled(&self) -> (usize, usize) {
+        (self.f32_pool.len(), self.u32_pool.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_are_recycled_with_capacity() {
+        let mut arena = ScratchArena::new();
+        let mut b = arena.take_f32();
+        b.resize(1024, 1.5);
+        let cap = b.capacity();
+        arena.recycle_f32(b);
+        assert_eq!(arena.pooled(), (1, 0));
+        let b2 = arena.take_f32();
+        assert!(b2.is_empty(), "recycled buffer must come back cleared");
+        assert!(b2.capacity() >= cap, "capacity must survive recycling");
+        assert_eq!(arena.pooled(), (0, 0));
+    }
+
+    #[test]
+    fn pools_are_typed_independently() {
+        let mut arena = ScratchArena::new();
+        arena.recycle_u32(vec![1, 2, 3]);
+        assert_eq!(arena.pooled(), (0, 1));
+        assert!(arena.take_f32().is_empty());
+        assert_eq!(arena.pooled(), (0, 1), "f32 take must not drain u32 pool");
+        assert!(arena.take_u32().is_empty());
+        assert_eq!(arena.pooled(), (0, 0));
+    }
+}

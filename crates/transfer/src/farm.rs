@@ -78,19 +78,42 @@ pub fn schedule_lpt(durations: &[f64], cores: usize) -> f64 {
     if cores == 0 {
         return f64::INFINITY;
     }
-    let mut sorted: Vec<f64> = durations.to_vec();
-    sorted.sort_by(|a, b| b.total_cmp(a));
-    let mut load = vec![0.0f64; cores.min(durations.len())];
-    for d in sorted {
+    assign_lpt(durations, cores)
+        .into_iter()
+        .map(|group| group.into_iter().map(|i| durations[i]).sum::<f64>())
+        .fold(0.0, f64::max)
+}
+
+/// Longest-processing-time-first *assignment* on `cores` identical machines:
+/// returns one job-index group per core (at most `cores` groups, fewer when
+/// there are fewer jobs), such that greedily placing the longest remaining
+/// job on the least-loaded core yields the [`schedule_lpt`] makespan.
+///
+/// This is the scheduling primitive the chunked-compression worker pool uses
+/// to balance uneven tail slabs: estimated per-slab costs go in, per-worker
+/// slab lists come out. Groups keep their jobs in LPT placement order;
+/// `cores == 0` yields no groups.
+pub fn assign_lpt(durations: &[f64], cores: usize) -> Vec<Vec<usize>> {
+    if durations.is_empty() || cores == 0 {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..durations.len()).collect();
+    // Longest first; ties broken by index so the assignment is deterministic.
+    order.sort_by(|&a, &b| durations[b].total_cmp(&durations[a]).then(a.cmp(&b)));
+    let n_groups = cores.min(durations.len());
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); n_groups];
+    let mut load = vec![0.0f64; n_groups];
+    for job in order {
         let i = load
             .iter()
             .enumerate()
             .min_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .unwrap_or(0);
-        load[i] += d;
+        groups[i].push(job);
+        load[i] += durations[job];
     }
-    load.into_iter().fold(0.0, f64::max)
+    groups
 }
 
 #[cfg(test)]
@@ -153,6 +176,43 @@ mod tests {
         assert_eq!(report.compressed_sizes.iter().sum::<u64>(), 2100);
         assert!(report.wall_seconds >= 0.0);
         assert_eq!(report.per_file_seconds.len(), 6);
+    }
+
+    #[test]
+    fn assign_lpt_partitions_all_jobs_exactly_once() {
+        let d: Vec<f64> = (0..17).map(|i| ((i * 7) % 5) as f64 + 0.5).collect();
+        let groups = assign_lpt(&d, 4);
+        assert_eq!(groups.len(), 4);
+        let mut seen: Vec<usize> = groups.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..17).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn assign_lpt_matches_schedule_lpt_makespan() {
+        let d = [3.0, 3.0, 2.0, 2.0, 2.0];
+        let groups = assign_lpt(&d, 2);
+        let makespan = groups
+            .iter()
+            .map(|g| g.iter().map(|&i| d[i]).sum::<f64>())
+            .fold(0.0, f64::max);
+        assert!((makespan - schedule_lpt(&d, 2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assign_lpt_degenerate_inputs() {
+        assert!(assign_lpt(&[], 4).is_empty());
+        assert!(assign_lpt(&[1.0], 0).is_empty());
+        // More cores than jobs: one group per job, no empty groups.
+        let groups = assign_lpt(&[2.0, 1.0], 8);
+        assert_eq!(groups.len(), 2);
+        assert!(groups.iter().all(|g| g.len() == 1));
+    }
+
+    #[test]
+    fn assign_lpt_is_deterministic_on_ties() {
+        let d = [1.0; 6];
+        assert_eq!(assign_lpt(&d, 3), assign_lpt(&d, 3));
     }
 
     #[test]

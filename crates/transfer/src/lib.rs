@@ -13,5 +13,5 @@
 pub mod farm;
 pub mod link;
 
-pub use farm::{measure_farm, schedule_lpt, FarmReport};
+pub use farm::{assign_lpt, measure_farm, schedule_lpt, FarmReport};
 pub use link::{TransferReport, WanLink};
