@@ -1,0 +1,247 @@
+//! Random-access chunk store benchmark: cold vs warm region reads, cache
+//! hit rates across region sizes, and a concurrent-query identity gate.
+//!
+//! A synthetic field is packed into an in-memory CZS store, then queried:
+//!
+//! 1. **cold** — fresh reader per region size, so every intersected chunk
+//!    is decompressed (decode count == intersection set, asserted);
+//! 2. **warm** — the same region re-read on the same reader, served
+//!    entirely from the decoded-chunk LRU cache (zero new decodes,
+//!    asserted);
+//! 3. **full-decode comparison** — `read_all` wall time, showing what the
+//!    region read avoids;
+//! 4. **concurrent** — `threads` scoped readers issue overlapping region
+//!    queries against one shared reader; every result is asserted
+//!    byte-identical to a serial read and the decode count must equal the
+//!    union of intersected chunks (no stampede). Divergence exits non-zero
+//!    — CI runs `--quick` as a smoke test of exactly that invariant.
+//!
+//! ```sh
+//! cargo run -p cliz-bench --release --bin store_bench [--quick|--full]
+//! # writes BENCH_store.json into the current directory
+//! ```
+//!
+//! See docs/PERFORMANCE.md ("Random-access store") for how to read the
+//! output.
+
+use cliz::grid::{Grid, Shape};
+use cliz::quant::ErrorBound;
+use cliz::store::{pack_store, ChunkStoreReader, Dataset};
+use cliz::PipelineConfig;
+use cliz_bench::Args;
+use std::time::Instant;
+
+const EB: f64 = 1e-3;
+
+fn smooth(dims: &[usize]) -> Grid<f32> {
+    Grid::from_fn(Shape::new(dims), |c| {
+        let mut v = 0.0f64;
+        for (k, &x) in c.iter().enumerate() {
+            v += ((x as f64) * 0.07 * (k + 1) as f64).sin() * 5.0;
+        }
+        v as f32
+    })
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Row ranges for a region covering `frac` of axis 0, centred.
+fn centred_rows(dim0: usize, frac: f64) -> std::ops::Range<usize> {
+    let len = ((dim0 as f64 * frac) as usize).max(1).min(dim0);
+    let start = (dim0 - len) / 2;
+    start..start + len
+}
+
+fn main() {
+    let args = Args::parse();
+    let dims: Vec<usize> = if args.quick {
+        vec![48, 24, 32]
+    } else if args.full {
+        vec![512, 192, 256]
+    } else {
+        vec![192, 96, 128]
+    };
+    let chunk_len = dims[0].div_ceil(16).max(1);
+    let n_chunks = dims[0].div_ceil(chunk_len);
+    // At least 4 scoped readers even on small hosts — the identity gate is
+    // about interleaving, which oversubscription exercises just as well.
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).clamp(4, 8);
+    let mb = (dims.iter().product::<usize>() * 4) as f64 / 1e6;
+
+    let data = smooth(&dims);
+    let ds = Dataset::new("T", data, None);
+    let config = PipelineConfig::default_for(dims.len());
+    let t0 = Instant::now();
+    let bytes = pack_store(&ds, ErrorBound::Abs(EB), &config, chunk_len, 0).expect("pack");
+    let pack_s = t0.elapsed().as_secs_f64();
+    println!(
+        "packed {dims:?} ({mb:.1} MB) into {n_chunks} chunks of {chunk_len} rows: \
+         {} bytes in {pack_s:.2}s",
+        bytes.len()
+    );
+
+    let mut diverged = false;
+
+    // --- cold vs warm across region sizes ---
+    let fracs = [0.05f64, 0.25, 0.5, 1.0];
+    let mut region_json = Vec::new();
+    for &frac in &fracs {
+        let rows = centred_rows(dims[0], frac);
+        let ranges = vec![rows.clone(), 0..dims[1], 0..dims[2]];
+        let reader = ChunkStoreReader::from_bytes(bytes.clone()).expect("open");
+        let expected = (rows.end - 1) / chunk_len - rows.start / chunk_len + 1;
+
+        let t0 = Instant::now();
+        let cold = reader.read_region(&ranges).expect("cold read");
+        let cold_s = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            reader.decode_count() as usize,
+            expected,
+            "cold decode count != intersection set"
+        );
+
+        let t0 = Instant::now();
+        let warm = reader.read_region(&ranges).expect("warm read");
+        let warm_s = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            reader.decode_count() as usize,
+            expected,
+            "warm read decoded new chunks"
+        );
+        if cold != warm {
+            eprintln!("DIVERGENCE: warm region read != cold ({frac})");
+            diverged = true;
+        }
+        let stats = reader.stats();
+        let lookups = stats.cache.hits + stats.cache.misses;
+        let hit_rate = if lookups == 0 {
+            0.0
+        } else {
+            stats.cache.hits as f64 / lookups as f64
+        };
+        let region_mb = (cold.len() * 4) as f64 / 1e6;
+        println!(
+            "  region {:>4.0}% ({expected:>2} of {n_chunks} chunks, {region_mb:>6.1} MB)  \
+             cold {:>8.1} MB/s   warm {:>8.1} MB/s   hit rate {:.2}",
+            frac * 100.0,
+            region_mb / cold_s,
+            region_mb / warm_s,
+            hit_rate
+        );
+        region_json.push(format!(
+            "{{\"rows_fraction\":{},\"rows\":[{},{}],\"chunks_intersected\":{expected},\
+             \"region_mb\":{},\"cold_s\":{},\"cold_mb_s\":{},\"warm_s\":{},\
+             \"warm_mb_s\":{},\"cache_hit_rate\":{},\"decodes\":{}}}",
+            json_f64(frac),
+            rows.start,
+            rows.end,
+            json_f64(region_mb),
+            json_f64(cold_s),
+            json_f64(region_mb / cold_s),
+            json_f64(warm_s),
+            json_f64(region_mb / warm_s),
+            json_f64(hit_rate),
+            reader.decode_count(),
+        ));
+    }
+
+    // --- full decode for scale ---
+    let reader = ChunkStoreReader::from_bytes(bytes.clone()).expect("open");
+    let t0 = Instant::now();
+    let full = reader.read_all().expect("read_all");
+    let full_s = t0.elapsed().as_secs_f64();
+    println!("  full decode: {:.1} MB/s", mb / full_s);
+
+    // --- concurrent overlapping queries against one shared reader ---
+    let regions: Vec<Vec<std::ops::Range<usize>>> = (0..threads)
+        .map(|i| {
+            let span = dims[0] / 2;
+            let start = (i * (dims[0] - span)) / threads.max(1);
+            vec![start..start + span, 0..dims[1], 0..dims[2]]
+        })
+        .collect();
+    let serial: Vec<Grid<f32>> = regions
+        .iter()
+        .map(|r| full.block(&[r[0].start, 0, 0], &[r[0].len(), dims[1], dims[2]]))
+        .collect();
+    let shared = ChunkStoreReader::from_bytes(bytes.clone()).expect("open");
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = regions
+            .iter()
+            .map(|r| {
+                let shared = &shared;
+                s.spawn(move || shared.read_region(r).expect("concurrent read"))
+            })
+            .collect();
+        for (h, want) in handles.into_iter().zip(&serial) {
+            if &h.join().expect("join") != want {
+                eprintln!("DIVERGENCE: concurrent region read != serial");
+                diverged = true;
+            }
+        }
+    });
+    let conc_s = t0.elapsed().as_secs_f64();
+    // Union of all row spans = chunks intersecting [first_start, last_end).
+    let first = regions
+        .iter()
+        .map(|r| r[0].start)
+        .min()
+        .unwrap_or(0);
+    let last = regions.iter().map(|r| r[0].end).max().unwrap_or(dims[0]);
+    let union = (last - 1) / chunk_len - first / chunk_len + 1;
+    let conc_stats = shared.stats();
+    if conc_stats.decodes as usize != union {
+        eprintln!(
+            "DIVERGENCE: concurrent decode count {} != union of intersections {union}",
+            conc_stats.decodes
+        );
+        diverged = true;
+    }
+    let conc_lookups = conc_stats.cache.hits + conc_stats.cache.misses;
+    println!(
+        "  concurrent x{threads}: {:.3}s, decoded {} of {n_chunks} chunks (union {union}), \
+         {} cache hits / {} lookups",
+        conc_s, conc_stats.decodes, conc_stats.cache.hits, conc_lookups
+    );
+
+    let tier = if args.quick {
+        "quick"
+    } else if args.full {
+        "full"
+    } else {
+        "scaled"
+    };
+    let json = format!(
+        "{{\"schema\":\"cliz-store-bench-v1\",\"tier\":\"{tier}\",\"dims\":{dims:?},\
+         \"mb\":{},\"chunk_len\":{chunk_len},\"n_chunks\":{n_chunks},\
+         \"store_bytes\":{},\"pack_s\":{},\"full_decode_s\":{},\"full_decode_mb_s\":{},\
+         \"regions\":[{}],\
+         \"concurrent\":{{\"threads\":{threads},\"wall_s\":{},\"decodes\":{},\
+         \"union_chunks\":{union},\"cache_hits\":{},\"cache_lookups\":{conc_lookups},\
+         \"identical\":{}}}}}\n",
+        json_f64(mb),
+        bytes.len(),
+        json_f64(pack_s),
+        json_f64(full_s),
+        json_f64(mb / full_s),
+        region_json.join(","),
+        json_f64(conc_s),
+        conc_stats.decodes,
+        conc_stats.cache.hits,
+        !diverged,
+    );
+    std::fs::write("BENCH_store.json", &json).expect("write BENCH_store.json");
+    println!("\nwrote BENCH_store.json");
+
+    if diverged {
+        eprintln!("FAIL: store invariants violated");
+        std::process::exit(1);
+    }
+}

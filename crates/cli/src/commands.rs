@@ -172,16 +172,7 @@ pub fn compress(p: &Parsed) -> Result<(), CliError> {
     let out = p.required("out")?;
     let ds = cliz_store::load(Path::new(path))?;
 
-    let bound = match (p.option("abs"), p.option("rel")) {
-        (Some(a), None) => cliz::quant::ErrorBound::Abs(
-            a.parse().map_err(|_| CliError::new("bad --abs"))?,
-        ),
-        (None, rel) => {
-            let r: f64 = rel.unwrap_or("1e-3").parse().map_err(|_| CliError::new("bad --rel"))?;
-            cliz::rel_bound_on_valid(&ds.data, ds.mask.as_ref(), r)
-        }
-        (Some(_), Some(_)) => return Err(CliError::new("--abs and --rel are exclusive")),
-    };
+    let bound = parse_bound(p, &ds)?;
 
     let chunk: Option<usize> = match p.option("chunk") {
         None => None,
@@ -333,6 +324,145 @@ pub fn slab(p: &Parsed) -> Result<(), CliError> {
     ds.set_attr("slab_index", index.to_string());
     cliz_store::save(Path::new(out), &ds)?;
     println!("extracted slab {index} of {path} -> {out}");
+    Ok(())
+}
+
+/// Parses the shared `--abs X | --rel E` bound options against a dataset's
+/// valid value range (default `--rel 1e-3`).
+fn parse_bound(p: &Parsed, ds: &Dataset) -> Result<cliz::quant::ErrorBound, CliError> {
+    match (p.option("abs"), p.option("rel")) {
+        (Some(a), None) => Ok(cliz::quant::ErrorBound::Abs(
+            a.parse().map_err(|_| CliError::new("bad --abs"))?,
+        )),
+        (None, rel) => {
+            let r: f64 = rel
+                .unwrap_or("1e-3")
+                .parse()
+                .map_err(|_| CliError::new("bad --rel"))?;
+            Ok(cliz::rel_bound_on_valid(&ds.data, ds.mask.as_ref(), r))
+        }
+        (Some(_), Some(_)) => Err(CliError::new("--abs and --rel are exclusive")),
+    }
+}
+
+/// `cliz pack-store <file.caf> -o file.czs --chunk ROWS [--rel E | --abs X]
+/// [--config F] [--threads N]` — build a CZS random-access chunk store.
+pub fn pack_store(p: &Parsed) -> Result<(), CliError> {
+    let path = p.positional(0, "input file")?;
+    let out = p.required("out")?;
+    let chunk: usize = p
+        .required("chunk")?
+        .parse()
+        .map_err(|_| CliError::new("bad --chunk"))?;
+    let threads: usize = p.parse_option("threads", 0usize)?;
+    let ds = cliz_store::load(Path::new(path))?;
+    let bound = parse_bound(p, &ds)?;
+    let config = match p.option("config") {
+        None => PipelineConfig::default_for(ds.data.shape().ndim()),
+        Some(f) => PipelineConfig::from_config_string(&std::fs::read_to_string(f)?)?,
+    };
+
+    let t0 = std::time::Instant::now();
+    let bytes = cliz_store::pack_store(&ds, bound, &config, chunk, threads)?;
+    std::fs::write(out, &bytes)?;
+    let original = ds.data.len() * 4;
+    let n_chunks = ds.data.shape().dims().first().map_or(1, |&d| d.div_ceil(chunk));
+    println!(
+        "packed {} -> {} ({} chunks of {} rows, {} -> {} bytes, ratio {:.2}x) in {:.2}s",
+        path,
+        out,
+        n_chunks,
+        chunk,
+        original,
+        bytes.len(),
+        original as f64 / bytes.len() as f64,
+        t0.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
+/// Parses a `--region` spec (`start:end` per dimension, `:` = full extent,
+/// bare `i` = one slice) against the store's extents.
+fn parse_region(text: &str, dims: &[usize]) -> Result<Vec<std::ops::Range<usize>>, CliError> {
+    let parts: Vec<&str> = text.split(',').collect();
+    if parts.len() != dims.len() {
+        return Err(CliError::new(format!(
+            "--region has {} ranges but the dataset has {} dims",
+            parts.len(),
+            dims.len()
+        )));
+    }
+    let mut ranges = Vec::with_capacity(dims.len());
+    for (part, &extent) in parts.iter().zip(dims) {
+        let part = part.trim();
+        let range = match part.split_once(':') {
+            Some((lo, hi)) => {
+                let start: usize = if lo.is_empty() {
+                    0
+                } else {
+                    lo.parse()
+                        .map_err(|_| CliError::new(format!("bad range '{part}'")))?
+                };
+                let end: usize = if hi.is_empty() {
+                    extent
+                } else {
+                    hi.parse()
+                        .map_err(|_| CliError::new(format!("bad range '{part}'")))?
+                };
+                start..end
+            }
+            None => {
+                let i: usize = part
+                    .parse()
+                    .map_err(|_| CliError::new(format!("bad range '{part}'")))?;
+                i..i.saturating_add(1)
+            }
+        };
+        ranges.push(range);
+    }
+    Ok(ranges)
+}
+
+/// `cliz query <file.czs> --region SPEC [-o region.caf]` — decode just one
+/// region of a chunk store.
+pub fn query(p: &Parsed) -> Result<(), CliError> {
+    let path = p.positional(0, "store file")?;
+    let spec = p.required("region")?;
+    let reader = cliz_store::ChunkStoreReader::open(Path::new(path))?;
+    let ranges = parse_region(spec, reader.dims())?;
+
+    let t0 = std::time::Instant::now();
+    let region = reader.read_region(&ranges)?;
+    let secs = t0.elapsed().as_secs_f64();
+    let stats = reader.stats();
+    println!(
+        "region {} of {} ({}): decoded {} of {} chunks in {:.3}s",
+        region.shape(),
+        reader.name(),
+        path,
+        stats.decodes,
+        reader.n_chunks(),
+        secs
+    );
+    println!(
+        "cache: {} hits / {} misses, {} bytes resident",
+        stats.cache.hits, stats.cache.misses, stats.cache.resident_bytes
+    );
+    match p.option("out") {
+        Some(out) => {
+            let mut ds = Dataset::new(format!("{}[region]", reader.name()), region, None);
+            ds.dim_names = reader.dim_names().to_vec();
+            ds.attrs = reader.attrs().to_vec();
+            ds.set_attr("region", spec.to_string());
+            cliz_store::save(Path::new(out), &ds)?;
+            println!("wrote {out}");
+        }
+        None => {
+            if let Some((mn, mx)) = region.finite_min_max() {
+                println!("range: [{mn}, {mx}]");
+            }
+        }
+    }
     Ok(())
 }
 

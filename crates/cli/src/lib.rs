@@ -7,6 +7,8 @@
 //! cliz compress <file.caf> -o file.cz [--rel 1e-3 | --abs X]
 //!               [--config model.clizcfg] [--compressor cliz|sz3|sz2|zfp|sperr|qoz]
 //! cliz decompress <file.cz> -o out.caf [--mask-from orig.caf]
+//! cliz pack-store <file.caf> -o file.czs --chunk ROWS [--rel 1e-3 | --abs X]
+//! cliz query <file.czs> --region 120:240,:,: [-o region.caf]
 //! cliz eval <orig.caf> <recon.caf>
 //! ```
 //!
@@ -32,6 +34,8 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         "compress" => commands::compress(&parsed),
         "decompress" => commands::decompress(&parsed),
         "slab" => commands::slab(&parsed),
+        "pack-store" => commands::pack_store(&parsed),
+        "query" => commands::query(&parsed),
         "eval" => commands::eval(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
@@ -57,7 +61,18 @@ USAGE:
                 [--chunk ROWS [--threads N]]   (N=0 means all host cores)
   cliz decompress <file.cz> -o out.caf [--mask-from orig.caf] [--threads N]
   cliz slab <file.cz> --index N -o slab.caf [--mask-from orig.caf]
+  cliz pack-store <file.caf> -o file.czs --chunk ROWS
+                  [--rel 1e-3 | --abs X] [--config model.clizcfg] [--threads N]
+  cliz query <file.czs> --region SPEC [-o region.caf]
   cliz eval <orig.caf> <recon.caf>
+
+REGION SPEC: one range per dimension, comma-separated. Each range is
+half-open `start:end`, `:` for the full extent, `start:` / `:end` for
+open ends, or a bare index `i` for a single slice. Examples:
+  --region 120:240,:,:        times 120..240, whole globe
+  --region 0:1,40:80,100:200  one timestep, a lat/lon window
+Only the chunks the region intersects are decompressed; `query` reports
+how many chunks were decoded and the cache hit rate.
 
 KINDS: ssh, cesm-t, relhum, soilliq, salt, tsfc, hurricane-t"
 }

@@ -122,10 +122,14 @@ pub mod periodic {
 /// Rayon-parallel batch compression across independent fields.
 pub mod parallel;
 
-/// CAF dataset files (re-exported for applications using the CLI's format).
+/// Storage layer: CAF dataset files and the CZS random-access chunk store
+/// (region queries, decoded-chunk LRU cache, concurrent readers).
 pub mod store {
     pub use cliz_store::*;
 }
+
+pub use cliz_core::{decompress_chunk_arena, read_header, ChunkIndex, ChunkedHeader};
+pub use cliz_store::{pack_store, ChunkStoreReader};
 
 /// Common imports for applications.
 pub mod prelude {

@@ -274,6 +274,93 @@ pub fn compress_chunked_alloc_baseline(
     Ok(assemble_container(&dims, chunk_len, &blobs))
 }
 
+/// Slab geometry of a chunked container: which rows each chunk covers and
+/// which chunks a row range intersects. Pure arithmetic over dimensions that
+/// were validated at construction — the random-access store layer
+/// (`cliz-store`) builds its region queries on top of this so the
+/// intersection math lives next to the slab-split definition it mirrors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChunkIndex {
+    dim0: usize,
+    chunk_len: usize,
+    slab_stride: usize,
+    n_chunks: usize,
+}
+
+impl ChunkIndex {
+    /// Builds the index for a grid of `dims` split into `chunk_len`-row
+    /// slabs along axis 0. Rejects empty/zero geometry and products that
+    /// overflow, so every method below is plain unchecked arithmetic over
+    /// values this constructor bounded.
+    pub fn new(dims: &[usize], chunk_len: usize) -> Result<Self, ClizError> {
+        if dims.is_empty() {
+            return Err(ClizError::BadConfig("chunk index needs at least one dim"));
+        }
+        if chunk_len == 0 {
+            return Err(ClizError::BadConfig("chunk length must be positive"));
+        }
+        if dims.iter().any(|&d| d == 0) {
+            return Err(ClizError::BadConfig("zero dimension"));
+        }
+        let slab_stride = dims[1..]
+            .iter()
+            .try_fold(1usize, |a, &d| a.checked_mul(d))
+            .ok_or(ClizError::Corrupt("dimension product overflows"))?;
+        if dims[0]
+            .checked_mul(slab_stride)
+            .map_or(true, |t| t > isize::MAX as usize / 4)
+        {
+            return Err(ClizError::Corrupt("dimension product overflows"));
+        }
+        Ok(Self {
+            dim0: dims[0],
+            chunk_len,
+            slab_stride,
+            n_chunks: chunk_count(dims[0], chunk_len),
+        })
+    }
+
+    /// Number of slabs along axis 0.
+    pub fn n_chunks(&self) -> usize {
+        self.n_chunks
+    }
+
+    /// Slab thickness along axis 0 (the tail slab may be thinner).
+    pub fn chunk_len(&self) -> usize {
+        self.chunk_len
+    }
+
+    /// Elements per full row of axis 0 (product of the trailing dims).
+    pub fn slab_stride(&self) -> usize {
+        self.slab_stride
+    }
+
+    /// The axis-0 row range chunk `i` covers, or `None` past the end.
+    pub fn rows(&self, i: usize) -> Option<std::ops::Range<usize>> {
+        if i >= self.n_chunks {
+            return None;
+        }
+        let start = i * self.chunk_len;
+        Some(start..(start + self.chunk_len).min(self.dim0))
+    }
+
+    /// Element count of chunk `i`, or `None` past the end.
+    pub fn elems(&self, i: usize) -> Option<usize> {
+        self.rows(i).map(|r| r.len() * self.slab_stride)
+    }
+
+    /// The (half-open) range of chunk indices whose rows intersect
+    /// `rows`; empty ranges (or ranges past the end) intersect nothing.
+    pub fn intersecting(&self, rows: &std::ops::Range<usize>) -> std::ops::Range<usize> {
+        if rows.start >= rows.end || rows.start >= self.dim0 {
+            return 0..0;
+        }
+        let first = rows.start / self.chunk_len;
+        let last = (rows.end.min(self.dim0) - 1) / self.chunk_len;
+        first..(last + 1).min(self.n_chunks)
+    }
+}
+
 /// Parsed chunked-container header.
 #[derive(Clone, Debug)]
 pub struct ChunkedHeader {
@@ -282,6 +369,13 @@ pub struct ChunkedHeader {
     pub n_chunks: usize,
     /// Byte offsets of each chunk (plus the end sentinel).
     pub offsets: Vec<usize>,
+}
+
+impl ChunkedHeader {
+    /// The slab geometry this header describes.
+    pub fn index(&self) -> Result<ChunkIndex, ClizError> {
+        ChunkIndex::new(&self.dims, self.chunk_len)
+    }
 }
 
 /// Reads just the header (cheap; no decompression).
@@ -415,7 +509,7 @@ pub fn decompress_chunked_with_threads(
     // allocation: decode chunk 0 serially and verify its shape against the
     // claimed geometry before committing to the full-grid buffer.
     let mut arena = ScratchArena::new();
-    let first = decode_one_chunk(bytes, &header, mask_grid.as_ref(), 0, &mut arena)?;
+    let first = decompress_chunk_arena(bytes, &header, mask_grid.as_ref(), 0, &mut arena)?;
     let mut out = vec![0.0f32; shape.len()];
     let split = first.len().min(out.len());
     let (first_dst, mut rest) = out.split_at_mut(split);
@@ -499,9 +593,14 @@ pub fn decompress_chunked_with_threads(
     Ok(Grid::from_vec(shape, out))
 }
 
-/// Decodes chunk `i` against the already-validated header, deriving the
-/// chunk's mask slice from the full-grid mask.
-fn decode_one_chunk(
+/// Decodes chunk `i` against an already-validated header, deriving the
+/// chunk's mask slice from the full-grid mask and reusing `arena`'s scratch
+/// buffers. This is the random-access decode surface the `cliz-store`
+/// region reader drives: callers parse the header once with
+/// [`read_header`] and then decode only the chunks a query touches. The
+/// decoded slab's shape is verified against the slab geometry before it is
+/// returned, so a lying chunk container surfaces as `Corrupt`.
+pub fn decompress_chunk_arena(
     bytes: &[u8],
     header: &ChunkedHeader,
     mask_grid: Option<&Grid<bool>>,
@@ -541,7 +640,7 @@ fn place_chunk(
     dst: &mut [f32],
     arena: &mut ScratchArena,
 ) -> Result<(), ClizError> {
-    let chunk = decode_one_chunk(bytes, header, mask_grid, i, arena)?;
+    let chunk = decompress_chunk_arena(bytes, header, mask_grid, i, arena)?;
     if dst.len() != chunk.len() {
         return Err(ClizError::Corrupt("chunk does not fit the grid"));
     }

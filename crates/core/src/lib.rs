@@ -53,8 +53,8 @@ pub mod stream;
 pub use autotune::{autotune, autotune_fast, TuneResult, TuneSpec};
 pub use cliz_grid::cast;
 pub use chunked::{
-    compress_chunked, compress_chunked_with_threads, decompress_chunk, decompress_chunked,
-    decompress_chunked_with_threads,
+    compress_chunked, compress_chunked_with_threads, decompress_chunk, decompress_chunk_arena,
+    decompress_chunked, decompress_chunked_with_threads, read_header, ChunkIndex, ChunkedHeader,
 };
 pub use scratch::ScratchArena;
 pub use stream::{ChunkedReader, ChunkedWriter};

@@ -1,0 +1,232 @@
+//! Decoded-chunk LRU cache with a byte budget.
+//!
+//! Decoded slabs are shared as `Arc<Grid<f32>>`, so an eviction never
+//! invalidates a grid a reader is still holding — it only drops the cache's
+//! reference. Recency is a monotonic tick stamped on every touch; eviction
+//! removes the least-recently-used entry until the byte budget is met (the
+//! most recent insert is always kept, even if it alone exceeds the budget,
+//! so oversized chunks still flow through the cache instead of thrashing).
+//!
+//! All counters are atomics and the map is behind one mutex, so the cache
+//! is safe to share across reader threads. Lock poisoning is absorbed: the
+//! map only ever holds complete entries, so continuing after a peer panic
+//! cannot observe a torn state.
+
+use cliz_grid::Grid;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Point-in-time cache counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries dropped to satisfy the byte budget.
+    pub evictions: u64,
+    /// Decoded bytes currently resident.
+    pub resident_bytes: usize,
+    /// Entries currently resident.
+    pub resident_entries: usize,
+}
+
+struct Entry {
+    grid: Arc<Grid<f32>>,
+    bytes: usize,
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<usize, Entry>,
+    bytes: usize,
+    tick: u64,
+}
+
+/// Byte-budgeted LRU over decoded chunks, keyed by chunk index.
+pub struct ChunkCache {
+    inner: Mutex<Inner>,
+    budget: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ChunkCache {
+    /// Creates a cache that holds at most `budget_bytes` of decoded data.
+    /// A budget of zero still caches the most recent chunk (see module
+    /// docs); use a reader without warm reads if no caching is wanted.
+    pub fn new(budget_bytes: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                bytes: 0,
+                tick: 0,
+            }),
+            budget: budget_bytes,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Looks up `chunk`, recording a hit or miss and refreshing recency.
+    pub fn get(&self, chunk: usize) -> Option<Arc<Grid<f32>>> {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&chunk) {
+            Some(e) => {
+                e.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&e.grid))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Looks up `chunk` without touching the hit/miss counters. Used for
+    /// the double-check after taking a per-chunk decode lock, so one
+    /// logical request never counts twice.
+    pub fn peek(&self, chunk: usize) -> Option<Arc<Grid<f32>>> {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.get_mut(&chunk).map(|e| {
+            e.last_used = tick;
+            Arc::clone(&e.grid)
+        })
+    }
+
+    /// Inserts a decoded chunk, evicting least-recently-used entries until
+    /// the byte budget is satisfied. The entry just inserted is never its
+    /// own eviction victim.
+    pub fn insert(&self, chunk: usize, grid: Arc<Grid<f32>>) {
+        let cost = grid.len().saturating_mul(std::mem::size_of::<f32>());
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(old) = inner.map.insert(
+            chunk,
+            Entry {
+                grid,
+                bytes: cost,
+                last_used: tick,
+            },
+        ) {
+            // Replacing an entry (e.g. two racing decoders): net the bytes.
+            inner.bytes = inner.bytes.saturating_sub(old.bytes);
+        }
+        inner.bytes = inner.bytes.saturating_add(cost);
+        while inner.bytes > self.budget && inner.map.len() > 1 {
+            let victim = inner
+                .map
+                .iter()
+                .filter(|(&k, _)| k != chunk)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&k, _)| k);
+            match victim {
+                Some(k) => {
+                    if let Some(e) = inner.map.remove(&k) {
+                        inner.bytes = inner.bytes.saturating_sub(e.bytes);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Snapshot of the counters and residency.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.lock();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident_bytes: inner.bytes,
+            resident_entries: inner.map.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cliz_grid::Shape;
+
+    fn grid_of(n: usize, fill: f32) -> Arc<Grid<f32>> {
+        Arc::new(Grid::filled(Shape::new(&[n]), fill))
+    }
+
+    #[test]
+    fn hit_miss_and_recency() {
+        let cache = ChunkCache::new(1 << 20);
+        assert!(cache.get(0).is_none());
+        cache.insert(0, grid_of(8, 1.0));
+        assert!(cache.get(0).is_some());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(s.resident_entries, 1);
+        assert_eq!(s.resident_bytes, 32);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_within_budget() {
+        // Budget fits exactly two 16-element (64-byte) grids.
+        let cache = ChunkCache::new(128);
+        cache.insert(0, grid_of(16, 0.0));
+        cache.insert(1, grid_of(16, 1.0));
+        assert!(cache.get(0).is_some()); // 0 is now more recent than 1
+        cache.insert(2, grid_of(16, 2.0)); // must evict 1
+        assert!(cache.get(1).is_none());
+        assert!(cache.get(0).is_some());
+        assert!(cache.get(2).is_some());
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert!(s.resident_bytes <= 128);
+    }
+
+    #[test]
+    fn oversized_entry_keeps_only_itself() {
+        let cache = ChunkCache::new(16);
+        cache.insert(0, grid_of(4, 0.0));
+        cache.insert(1, grid_of(64, 1.0)); // 256 bytes alone
+        let s = cache.stats();
+        assert_eq!(s.resident_entries, 1);
+        assert!(cache.get(1).is_some());
+    }
+
+    #[test]
+    fn eviction_does_not_invalidate_shared_arcs() {
+        let cache = ChunkCache::new(64);
+        cache.insert(0, grid_of(16, 7.0));
+        let held = cache.get(0).expect("resident");
+        cache.insert(1, grid_of(16, 8.0)); // evicts 0
+        assert!(cache.get(0).is_none());
+        assert_eq!(held.as_slice()[0], 7.0);
+    }
+
+    #[test]
+    fn peek_does_not_count() {
+        let cache = ChunkCache::new(1 << 20);
+        cache.insert(3, grid_of(4, 0.0));
+        assert!(cache.peek(3).is_some());
+        assert!(cache.peek(4).is_none());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (0, 0));
+    }
+}

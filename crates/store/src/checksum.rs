@@ -1,0 +1,55 @@
+//! CRC32 (IEEE 802.3, reflected polynomial `0xEDB88320`) for the chunk
+//! store index. Chosen over a fancier hash because it is table-driven, has
+//! no dependencies, and matches what `cksum`/zlib report — a chunk's stored
+//! checksum can be cross-checked with standard tooling.
+
+/// Byte-wise lookup table, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut n = 0usize;
+    while n < 256 {
+        let mut c = n as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 == 1 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[n] = c;
+        n += 1;
+    }
+    table
+};
+
+/// CRC32 of `bytes` (initial value all-ones, final complement — the zlib
+/// convention).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard zlib test vectors.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn sensitive_to_every_byte() {
+        let base = crc32(b"chunk payload bytes");
+        let mut v = b"chunk payload bytes".to_vec();
+        for i in 0..v.len() {
+            v[i] ^= 0x01;
+            assert_ne!(crc32(&v), base, "flip at {i} undetected");
+            v[i] ^= 0x01;
+        }
+    }
+}

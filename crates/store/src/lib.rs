@@ -1,361 +1,51 @@
-//! CAF — a minimal self-describing **C**limate **A**rray **F**ile format.
+//! Storage layer for CliZ: self-describing array files and a random-access
+//! chunk store.
 //!
-//! The paper's future work is integrating CliZ into HDF5/NetCDF. Neither is
-//! available offline, so this crate provides the NetCDF-flavoured substrate
-//! the `cliz` CLI needs: named dimensions, string attributes, one f32
-//! variable, and an optional bit-packed validity mask, all in one
-//! little-endian file.
+//! Two on-disk formats live here:
 //!
-//! ```text
-//! magic   u32   "CAF1"
-//! version u8    1
-//! name    string            variable name (e.g. "SSH")
-//! nattrs  u16   then nattrs × (key string, value string)
-//! ndim    u8    then ndim × (dim-name string, extent u64)
-//! dtype   u8    0 = f32
-//! flags   u8    bit0 = mask present
-//! data    len·4 bytes of f32 LE
-//! [mask]  ceil(len/8) bytes, bit-packed (LSB-first within each byte)
+//! * **CAF** ([`caf`]) — the uncompressed NetCDF-flavoured substrate the
+//!   `cliz` CLI reads and writes: named dimensions, string attributes, one
+//!   f32 variable, and an optional bit-packed validity mask.
+//! * **CZS** ([`format`]) — the *indexed chunk store*: the same dataset
+//!   metadata plus a per-slab index (offset, length, CRC32) over a CLZC
+//!   chunked-compression payload, so any slab is seekable without scanning
+//!   the stream. [`pack_store`] builds one; [`ChunkStoreReader`] serves
+//!   region queries against it, decoding only the chunks a query touches
+//!   and sharing decoded slabs between concurrent readers through a
+//!   byte-budgeted LRU cache ([`ChunkCache`]).
+//!
+//! See `docs/STORE.md` for the format layout, the index invariants, and the
+//! cache/concurrency model.
+//!
 //! ```
+//! use cliz_store::{pack_store, ChunkStoreReader, Dataset};
+//! use cliz_core::config::PipelineConfig;
+//! use cliz_grid::{Grid, Shape};
+//! use cliz_quant::ErrorBound;
 //!
-//! Strings are `u16` length + UTF-8 bytes. Conventional attributes the CLI
-//! understands: `time_axis` (decimal axis index) and `period` (cycle length).
+//! let data = Grid::from_fn(Shape::new(&[16, 12]), |c| (c[0] + c[1]) as f32);
+//! let ds = Dataset::new("T", data, None);
+//! let bytes = pack_store(
+//!     &ds, ErrorBound::Abs(1e-3), &PipelineConfig::default_for(2), 4, 1,
+//! ).unwrap();
+//! let reader = ChunkStoreReader::from_bytes(bytes).unwrap();
+//! // Rows 5..7 live in chunk 1 only: one chunk decoded, not four.
+//! let region = reader.read_region(&[5..7, 0..12]).unwrap();
+//! assert_eq!(region.shape().dims(), &[2, 12]);
+//! assert_eq!(reader.decode_count(), 1);
+//! ```
 
-use cliz_grid::{Grid, MaskMap, Shape};
-use std::io::{Read, Write};
-use std::path::Path;
+pub mod caf;
+pub mod cache;
+pub mod checksum;
+pub mod error;
+pub mod format;
+pub mod pack;
+pub mod reader;
 
-const MAGIC: u32 = 0x4341_4631; // "CAF1"
-const VERSION: u8 = 1;
-const DTYPE_F32: u8 = 0;
-
-/// A named climate variable with metadata, as stored in a CAF file.
-#[derive(Clone, Debug, PartialEq)]
-pub struct Dataset {
-    pub name: String,
-    /// One name per dimension ("lat", "lon", "time", …).
-    pub dim_names: Vec<String>,
-    /// Free-form attributes; `time_axis`/`period` are conventional.
-    pub attrs: Vec<(String, String)>,
-    pub data: Grid<f32>,
-    pub mask: Option<MaskMap>,
-}
-
-impl Dataset {
-    /// Builds a dataset with auto-generated dimension names (`dim0`, …).
-    pub fn new(name: impl Into<String>, data: Grid<f32>, mask: Option<MaskMap>) -> Self {
-        let dim_names = (0..data.shape().ndim()).map(|d| format!("dim{d}")).collect();
-        Self {
-            name: name.into(),
-            dim_names,
-            attrs: Vec::new(),
-            data,
-            mask,
-        }
-    }
-
-    /// Attribute lookup.
-    pub fn attr(&self, key: &str) -> Option<&str> {
-        self.attrs
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v.as_str())
-    }
-
-    /// Sets (or replaces) an attribute.
-    pub fn set_attr(&mut self, key: impl Into<String>, value: impl Into<String>) {
-        let key = key.into();
-        let value = value.into();
-        if let Some(slot) = self.attrs.iter_mut().find(|(k, _)| *k == key) {
-            slot.1 = value;
-        } else {
-            self.attrs.push((key, value));
-        }
-    }
-
-    /// The conventional `time_axis` attribute, parsed.
-    pub fn time_axis(&self) -> Option<usize> {
-        self.attr("time_axis").and_then(|v| v.parse().ok())
-    }
-
-    /// The conventional `period` attribute, parsed.
-    pub fn period(&self) -> Option<usize> {
-        self.attr("period").and_then(|v| v.parse().ok())
-    }
-}
-
-/// Read/write failure.
-#[derive(Debug)]
-pub enum StoreError {
-    Io(std::io::Error),
-    BadMagic,
-    UnsupportedVersion(u8),
-    Corrupt(&'static str),
-}
-
-impl std::fmt::Display for StoreError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            StoreError::Io(e) => write!(f, "caf: io error: {e}"),
-            StoreError::BadMagic => write!(f, "caf: not a CAF file"),
-            StoreError::UnsupportedVersion(v) => write!(f, "caf: unsupported version {v}"),
-            StoreError::Corrupt(w) => write!(f, "caf: corrupt file ({w})"),
-        }
-    }
-}
-
-impl std::error::Error for StoreError {}
-
-impl From<std::io::Error> for StoreError {
-    fn from(e: std::io::Error) -> Self {
-        StoreError::Io(e)
-    }
-}
-
-fn write_string(w: &mut impl Write, s: &str) -> std::io::Result<()> {
-    let bytes = s.as_bytes();
-    assert!(bytes.len() <= u16::MAX as usize, "string too long for CAF");
-    w.write_all(&(bytes.len() as u16).to_le_bytes())?;
-    w.write_all(bytes)
-}
-
-fn read_string(r: &mut impl Read) -> Result<String, StoreError> {
-    let mut len = [0u8; 2];
-    r.read_exact(&mut len)?;
-    let len = u16::from_le_bytes(len) as usize;
-    let mut buf = vec![0u8; len];
-    r.read_exact(&mut buf)?;
-    String::from_utf8(buf).map_err(|_| StoreError::Corrupt("non-UTF8 string"))
-}
-
-/// Serializes a dataset to any writer.
-pub fn write_caf(w: &mut impl Write, ds: &Dataset) -> Result<(), StoreError> {
-    assert_eq!(
-        ds.dim_names.len(),
-        ds.data.shape().ndim(),
-        "dimension-name arity mismatch"
-    );
-    if let Some(m) = &ds.mask {
-        assert_eq!(m.shape(), ds.data.shape(), "mask shape mismatch");
-    }
-    w.write_all(&MAGIC.to_le_bytes())?;
-    w.write_all(&[VERSION])?;
-    write_string(w, &ds.name)?;
-    w.write_all(&(ds.attrs.len() as u16).to_le_bytes())?;
-    for (k, v) in &ds.attrs {
-        write_string(w, k)?;
-        write_string(w, v)?;
-    }
-    w.write_all(&[ds.data.shape().ndim() as u8])?;
-    for (name, &extent) in ds.dim_names.iter().zip(ds.data.shape().dims()) {
-        write_string(w, name)?;
-        w.write_all(&(extent as u64).to_le_bytes())?;
-    }
-    w.write_all(&[DTYPE_F32])?;
-    w.write_all(&[u8::from(ds.mask.is_some())])?;
-    // Bulk data: one contiguous write of the LE bytes.
-    let mut bytes = Vec::with_capacity(ds.data.len() * 4);
-    for &v in ds.data.as_slice() {
-        bytes.extend_from_slice(&v.to_le_bytes());
-    }
-    w.write_all(&bytes)?;
-    if let Some(m) = &ds.mask {
-        w.write_all(&m.pack_bits())?;
-    }
-    Ok(())
-}
-
-/// Deserializes a dataset from any reader.
-pub fn read_caf(r: &mut impl Read) -> Result<Dataset, StoreError> {
-    let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
-    if u32::from_le_bytes(magic) != MAGIC {
-        return Err(StoreError::BadMagic);
-    }
-    let mut version = [0u8; 1];
-    r.read_exact(&mut version)?;
-    if version[0] != VERSION {
-        return Err(StoreError::UnsupportedVersion(version[0]));
-    }
-    let name = read_string(r)?;
-    let mut nattrs = [0u8; 2];
-    r.read_exact(&mut nattrs)?;
-    let nattrs = u16::from_le_bytes(nattrs) as usize;
-    let mut attrs = Vec::with_capacity(nattrs);
-    for _ in 0..nattrs {
-        let k = read_string(r)?;
-        let v = read_string(r)?;
-        attrs.push((k, v));
-    }
-    let mut ndim = [0u8; 1];
-    r.read_exact(&mut ndim)?;
-    let ndim = ndim[0] as usize;
-    if ndim == 0 || ndim > cliz_grid::shape::MAX_DIMS {
-        return Err(StoreError::Corrupt("bad rank"));
-    }
-    let mut dim_names = Vec::with_capacity(ndim);
-    let mut dims = Vec::with_capacity(ndim);
-    for _ in 0..ndim {
-        dim_names.push(read_string(r)?);
-        let mut extent = [0u8; 8];
-        r.read_exact(&mut extent)?;
-        let e = u64::from_le_bytes(extent) as usize;
-        if e == 0 {
-            return Err(StoreError::Corrupt("zero extent"));
-        }
-        dims.push(e);
-    }
-    let total = dims
-        .iter()
-        .try_fold(1usize, |a, &d| a.checked_mul(d))
-        .filter(|&t| t <= 1 << 36)
-        .ok_or(StoreError::Corrupt("implausible size"))?;
-    let mut dtype = [0u8; 1];
-    r.read_exact(&mut dtype)?;
-    if dtype[0] != DTYPE_F32 {
-        return Err(StoreError::Corrupt("unsupported dtype"));
-    }
-    let mut flags = [0u8; 1];
-    r.read_exact(&mut flags)?;
-    let has_mask = flags[0] & 1 == 1;
-
-    let mut bytes = vec![0u8; total * 4];
-    r.read_exact(&mut bytes)?;
-    let values: Vec<f32> = bytes
-        .chunks_exact(4)
-        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-        .collect();
-    let shape = Shape::new(&dims);
-    let data = Grid::from_vec(shape.clone(), values);
-    let mask = if has_mask {
-        let mut packed = vec![0u8; total.div_ceil(8)];
-        r.read_exact(&mut packed)?;
-        Some(MaskMap::unpack_bits(shape, &packed))
-    } else {
-        None
-    };
-    Ok(Dataset {
-        name,
-        dim_names,
-        attrs,
-        data,
-        mask,
-    })
-}
-
-/// Convenience: write to a filesystem path.
-pub fn save(path: &Path, ds: &Dataset) -> Result<(), StoreError> {
-    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-    write_caf(&mut f, ds)
-}
-
-/// Convenience: read from a filesystem path.
-pub fn load(path: &Path) -> Result<Dataset, StoreError> {
-    let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
-    read_caf(&mut f)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn sample() -> Dataset {
-        let data = Grid::from_fn(Shape::new(&[4, 6]), |c| (c[0] * 6 + c[1]) as f32 * 0.5);
-        let mask = MaskMap::from_flags(
-            data.shape().clone(),
-            (0..24).map(|i| i % 5 != 0).collect(),
-        );
-        let mut ds = Dataset::new("SSH", data, Some(mask));
-        ds.dim_names = vec!["lat".into(), "lon".into()];
-        ds.set_attr("units", "m");
-        ds.set_attr("time_axis", "1");
-        ds.set_attr("period", "12");
-        ds
-    }
-
-    #[test]
-    fn roundtrip_with_mask_and_attrs() {
-        let ds = sample();
-        let mut buf = Vec::new();
-        write_caf(&mut buf, &ds).unwrap();
-        let back = read_caf(&mut buf.as_slice()).unwrap();
-        assert_eq!(back, ds);
-        assert_eq!(back.attr("units"), Some("m"));
-        assert_eq!(back.time_axis(), Some(1));
-        assert_eq!(back.period(), Some(12));
-    }
-
-    #[test]
-    fn roundtrip_without_mask() {
-        let data = Grid::filled(Shape::new(&[3, 3, 3]), 1.5f32);
-        let ds = Dataset::new("T", data, None);
-        let mut buf = Vec::new();
-        write_caf(&mut buf, &ds).unwrap();
-        let back = read_caf(&mut buf.as_slice()).unwrap();
-        assert_eq!(back, ds);
-        assert!(back.mask.is_none());
-        assert_eq!(back.dim_names, vec!["dim0", "dim1", "dim2"]);
-    }
-
-    #[test]
-    fn set_attr_replaces() {
-        let mut ds = sample();
-        ds.set_attr("units", "cm");
-        assert_eq!(ds.attr("units"), Some("cm"));
-        assert_eq!(ds.attrs.iter().filter(|(k, _)| k == "units").count(), 1);
-    }
-
-    #[test]
-    fn bad_magic_rejected() {
-        let err = read_caf(&mut &b"NOTCAF??"[..]).unwrap_err();
-        assert!(matches!(err, StoreError::BadMagic));
-    }
-
-    #[test]
-    fn truncation_rejected() {
-        let ds = sample();
-        let mut buf = Vec::new();
-        write_caf(&mut buf, &ds).unwrap();
-        for cut in [3usize, 10, buf.len() / 2, buf.len() - 1] {
-            assert!(read_caf(&mut &buf[..cut]).is_err(), "cut {cut}");
-        }
-    }
-
-    #[test]
-    fn nan_and_fill_values_survive() {
-        let data = Grid::from_vec(
-            Shape::new(&[3]),
-            vec![f32::NAN, 9.96921e36, -0.0],
-        );
-        let ds = Dataset::new("weird", data, None);
-        let mut buf = Vec::new();
-        write_caf(&mut buf, &ds).unwrap();
-        let back = read_caf(&mut buf.as_slice()).unwrap();
-        assert!(back.data.as_slice()[0].is_nan());
-        assert_eq!(back.data.as_slice()[1], 9.96921e36);
-        assert_eq!(back.data.as_slice()[2].to_bits(), (-0.0f32).to_bits());
-    }
-
-    #[test]
-    fn implausible_header_rejected() {
-        // Handcraft a header claiming a gigantic grid.
-        let mut buf = Vec::new();
-        buf.extend_from_slice(&MAGIC.to_le_bytes());
-        buf.push(VERSION);
-        buf.extend_from_slice(&1u16.to_le_bytes()); // name len 1
-        buf.push(b'x');
-        buf.extend_from_slice(&0u16.to_le_bytes()); // no attrs
-        buf.push(2); // ndim
-        for _ in 0..2 {
-            buf.extend_from_slice(&1u16.to_le_bytes());
-            buf.push(b'd');
-            buf.extend_from_slice(&(u64::MAX / 2).to_le_bytes());
-        }
-        buf.push(DTYPE_F32);
-        buf.push(0);
-        assert!(matches!(
-            read_caf(&mut buf.as_slice()),
-            Err(StoreError::Corrupt(_))
-        ));
-    }
-}
+pub use caf::{load, read_caf, save, write_caf, Dataset};
+pub use cache::{CacheStats, ChunkCache};
+pub use error::StoreError;
+pub use format::{IndexEntry, StoreIndex};
+pub use pack::{pack_store, pack_store_to, save_store};
+pub use reader::{ChunkStoreReader, StoreStats};

@@ -1,0 +1,155 @@
+//! Building CZS stores: compress a [`Dataset`] into a CLZC payload and wrap
+//! it with the per-slab index the random-access reader needs.
+
+use crate::caf::Dataset;
+use crate::checksum::crc32;
+use crate::error::StoreError;
+use crate::format::{self, IndexEntry};
+use cliz_core::config::PipelineConfig;
+use cliz_core::{compress_chunked_with_threads, read_header};
+use cliz_quant::ErrorBound;
+use std::io::Write;
+use std::path::Path;
+
+/// Compresses `ds` into an in-memory CZS store.
+///
+/// The payload is one CLZC container (slabs of `chunk_len` rows along axis
+/// 0, compressed with `threads` workers; `0` means all cores). The store
+/// index is derived from the container's own offset table, with a CRC32 per
+/// chunk so the reader can verify integrity before decoding.
+pub fn pack_store(
+    ds: &Dataset,
+    bound: ErrorBound,
+    config: &PipelineConfig,
+    chunk_len: usize,
+    threads: usize,
+) -> Result<Vec<u8>, StoreError> {
+    let mut out = Vec::new();
+    pack_store_to(&mut out, ds, bound, config, chunk_len, threads)?;
+    Ok(out)
+}
+
+/// [`pack_store`] writing to an arbitrary sink.
+pub fn pack_store_to(
+    w: &mut impl Write,
+    ds: &Dataset,
+    bound: ErrorBound,
+    config: &PipelineConfig,
+    chunk_len: usize,
+    threads: usize,
+) -> Result<(), StoreError> {
+    ds.validate()?;
+    let blob = compress_chunked_with_threads(
+        &ds.data,
+        ds.mask.as_ref(),
+        bound,
+        config,
+        chunk_len,
+        threads,
+    )?;
+    let header = read_header(&blob)?;
+    let n_chunks = header.n_chunks;
+    if header.offsets.len() != n_chunks.saturating_add(1) {
+        return Err(StoreError::Corrupt("offset table length mismatch"));
+    }
+    let mut entries = Vec::with_capacity(n_chunks);
+    for i in 0..n_chunks {
+        let start = header
+            .offsets
+            .get(i)
+            .copied()
+            .ok_or(StoreError::Corrupt("offset table too short"))?;
+        let end = header
+            .offsets
+            .get(i + 1)
+            .copied()
+            .ok_or(StoreError::Corrupt("offset table too short"))?;
+        if start > end || end > blob.len() {
+            return Err(StoreError::Corrupt("offset table not monotonic"));
+        }
+        let chunk = blob
+            .get(start..end)
+            .ok_or(StoreError::Corrupt("offset past container end"))?;
+        entries.push(IndexEntry {
+            offset: start,
+            len: end - start,
+            checksum: crc32(chunk),
+        });
+    }
+    let index = format::index_for(ds, chunk_len, entries);
+    format::write_store(w, &index, ds.mask.as_ref(), &blob)
+}
+
+/// Packs `ds` and writes the store to `path`.
+pub fn save_store(
+    path: impl AsRef<Path>,
+    ds: &Dataset,
+    bound: ErrorBound,
+    config: &PipelineConfig,
+    chunk_len: usize,
+    threads: usize,
+) -> Result<(), StoreError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    pack_store_to(&mut w, ds, bound, config, chunk_len, threads)?;
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::parse_store;
+    use cliz_grid::{Grid, MaskMap, Shape};
+
+    fn smooth(dims: &[usize]) -> Grid<f32> {
+        Grid::from_fn(Shape::new(dims), |c| {
+            let mut v = 0.0f64;
+            for (k, &x) in c.iter().enumerate() {
+                v += ((x as f64) * 0.17 * (k + 1) as f64).sin() * 2.0;
+            }
+            v as f32
+        })
+    }
+
+    #[test]
+    fn packed_store_parses_and_index_matches_container() {
+        let ds = Dataset::new("tas", smooth(&[14, 9]), None);
+        let cfg = PipelineConfig::default_for(2);
+        let out = pack_store(&ds, ErrorBound::Abs(1e-3), &cfg, 4, 1).unwrap();
+        let parsed = parse_store(&out).unwrap();
+        assert_eq!(parsed.index.dims, vec![14, 9]);
+        assert_eq!(parsed.index.entries.len(), 4); // ceil(14/4)
+        let container = &out[parsed.payload.clone()];
+        let header = read_header(container).unwrap();
+        for (i, e) in parsed.index.entries.iter().enumerate() {
+            assert_eq!(e.offset, header.offsets[i]);
+            assert_eq!(e.offset + e.len, header.offsets[i + 1]);
+            assert_eq!(e.checksum, crc32(&container[e.offset..e.offset + e.len]));
+        }
+    }
+
+    #[test]
+    fn masked_pack_sets_flag_and_stores_bits() {
+        let g = smooth(&[8, 6]);
+        let valid: Vec<bool> = (0..48).map(|i| i % 5 != 0).collect();
+        let mask = MaskMap::from_flags(Shape::new(&[8, 6]), valid);
+        let ds = Dataset::new("sst", g, Some(mask.clone()));
+        let cfg = PipelineConfig::default_for(2);
+        let out = pack_store(&ds, ErrorBound::Abs(1e-3), &cfg, 3, 1).unwrap();
+        let parsed = parse_store(&out).unwrap();
+        assert!(parsed.index.has_mask);
+        assert_eq!(parsed.mask.unwrap().as_slice(), mask.as_slice());
+    }
+
+    #[test]
+    fn invalid_dataset_is_an_error_not_a_panic() {
+        let mut ds = Dataset::new("x", smooth(&[6, 4]), None);
+        ds.dim_names.pop();
+        let cfg = PipelineConfig::default_for(2);
+        assert!(matches!(
+            pack_store(&ds, ErrorBound::Abs(1e-3), &cfg, 2, 1),
+            Err(StoreError::Invalid(_))
+        ));
+    }
+}

@@ -1,0 +1,451 @@
+//! Random-access reads over a CZS store.
+//!
+//! [`ChunkStoreReader`] owns the store bytes and serves region queries by
+//! decoding only the slabs a query intersects. It is `Sync`: concurrent
+//! readers share one decoded-chunk LRU cache, and a per-chunk decode lock
+//! guarantees a cold chunk is decompressed exactly once no matter how many
+//! threads race for it (no decode stampede):
+//!
+//! 1. probe the cache (lock-free of the decode path; records hit/miss);
+//! 2. on miss, take that chunk's decode mutex;
+//! 3. re-probe quietly — a racing thread may have decoded while we waited;
+//! 4. verify the chunk's CRC32, decode into a pooled [`ScratchArena`], and
+//!    publish the `Arc` into the cache.
+//!
+//! The decode counter counts step 4 only, so tests can assert that a query
+//! touched exactly the chunks its row range intersects and nothing else.
+
+use crate::cache::{CacheStats, ChunkCache};
+use crate::checksum::crc32;
+use crate::error::StoreError;
+use crate::format::{parse_store, StoreIndex};
+use cliz_core::{decompress_chunk_arena, read_header, ChunkIndex, ChunkedHeader, ScratchArena};
+use cliz_grid::{Grid, MaskMap, Shape};
+use std::ops::Range;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Default decoded-chunk cache budget: 64 MiB.
+pub const DEFAULT_CACHE_BUDGET: usize = 64 << 20;
+
+/// Reader-level counters: decodes actually performed plus cache counters.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreStats {
+    /// Chunks decompressed (cache misses that did real work).
+    pub decodes: u64,
+    pub cache: CacheStats,
+}
+
+/// Concurrent random-access reader over an in-memory CZS store.
+pub struct ChunkStoreReader {
+    raw: Vec<u8>,
+    index: StoreIndex,
+    payload: Range<usize>,
+    header: ChunkedHeader,
+    geometry: ChunkIndex,
+    mask: Option<MaskMap>,
+    /// Mask flags as a grid, the shape `decompress_chunk_arena` slices
+    /// per-slab mask views from.
+    mask_grid: Option<Grid<bool>>,
+    cache: ChunkCache,
+    /// One decode lock per chunk; holders are decoding that chunk.
+    locks: Vec<Mutex<()>>,
+    /// Pool of scratch arenas so concurrent decodes reuse buffers without
+    /// a shared bottleneck.
+    arenas: Mutex<Vec<ScratchArena>>,
+    decodes: AtomicU64,
+}
+
+// The whole point of the reader: shared across scoped threads.
+const _: () = {
+    const fn require_sync<T: Sync + Send>() {}
+    require_sync::<ChunkStoreReader>()
+};
+
+impl ChunkStoreReader {
+    /// Opens a store from bytes with the [`DEFAULT_CACHE_BUDGET`].
+    pub fn from_bytes(raw: Vec<u8>) -> Result<Self, StoreError> {
+        Self::with_cache_budget(raw, DEFAULT_CACHE_BUDGET)
+    }
+
+    /// Opens a store file with the [`DEFAULT_CACHE_BUDGET`].
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Self::from_bytes(std::fs::read(path)?)
+    }
+
+    /// Opens a store from bytes with an explicit cache byte budget.
+    ///
+    /// Open-time validation parses both headers and cross-checks the store
+    /// index against the CLZC container's own offset table, so a store
+    /// whose index lies about chunk locations is rejected before any
+    /// region query runs. Chunk CRCs are verified lazily, per decode.
+    pub fn with_cache_budget(raw: Vec<u8>, budget: usize) -> Result<Self, StoreError> {
+        let parsed = parse_store(&raw)?;
+        let container = raw
+            .get(parsed.payload.clone())
+            .ok_or(StoreError::Corrupt("payload range out of bounds"))?;
+        let header = read_header(container)?;
+        let index = parsed.index;
+        if header.dims != index.dims {
+            return Err(StoreError::Corrupt("container dims disagree with index"));
+        }
+        if header.chunk_len != index.chunk_len {
+            return Err(StoreError::Corrupt(
+                "container chunk length disagrees with index",
+            ));
+        }
+        if header.n_chunks != index.entries.len() {
+            return Err(StoreError::Corrupt(
+                "container chunk count disagrees with index",
+            ));
+        }
+        for (i, e) in index.entries.iter().enumerate() {
+            let start = header.offsets.get(i).copied();
+            let end = header.offsets.get(i + 1).copied();
+            if start != Some(e.offset) || end != e.offset.checked_add(e.len) {
+                return Err(StoreError::Corrupt("index disagrees with offset table"));
+            }
+        }
+        let geometry = header.index()?;
+        let mask_grid = parsed
+            .mask
+            .as_ref()
+            .map(|m| Grid::from_vec(m.shape().clone(), m.as_slice().to_vec()));
+        let n = index.entries.len();
+        Ok(Self {
+            index,
+            payload: parsed.payload,
+            header,
+            geometry,
+            mask: parsed.mask,
+            mask_grid,
+            cache: ChunkCache::new(budget),
+            locks: (0..n).map(|_| Mutex::new(())).collect(),
+            arenas: Mutex::new(Vec::new()),
+            decodes: AtomicU64::new(0),
+            raw,
+        })
+    }
+
+    /// Variable name.
+    pub fn name(&self) -> &str {
+        &self.index.name
+    }
+
+    /// Dataset extents, slowest axis first.
+    pub fn dims(&self) -> &[usize] {
+        &self.index.dims
+    }
+
+    /// Dimension names, parallel to [`dims`](Self::dims).
+    pub fn dim_names(&self) -> &[String] {
+        &self.index.dim_names
+    }
+
+    /// String attributes in file order.
+    pub fn attrs(&self) -> &[(String, String)] {
+        &self.index.attrs
+    }
+
+    /// Slab thickness along axis 0.
+    pub fn chunk_len(&self) -> usize {
+        self.index.chunk_len
+    }
+
+    /// Number of slabs in the store.
+    pub fn n_chunks(&self) -> usize {
+        self.index.entries.len()
+    }
+
+    /// The validity mask, if the dataset has one.
+    pub fn mask(&self) -> Option<&MaskMap> {
+        self.mask.as_ref()
+    }
+
+    /// Chunks decompressed so far (not counting cache hits).
+    pub fn decode_count(&self) -> u64 {
+        self.decodes.load(Ordering::Relaxed)
+    }
+
+    /// Reader and cache counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            decodes: self.decode_count(),
+            cache: self.cache.stats(),
+        }
+    }
+
+    fn container(&self) -> &[u8] {
+        // Validated at open; an empty slice here would mean `raw` shrank,
+        // which nothing does.
+        self.raw.get(self.payload.clone()).unwrap_or(&[])
+    }
+
+    fn lock_arena(&self) -> MutexGuard<'_, Vec<ScratchArena>> {
+        self.arenas.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Returns decoded chunk `i`, from cache when resident. On a cold
+    /// chunk the CRC32 is verified against the store index before the
+    /// codec sees a byte.
+    pub fn chunk(&self, i: usize) -> Result<Arc<Grid<f32>>, StoreError> {
+        let lock = self
+            .locks
+            .get(i)
+            .ok_or(StoreError::BadRegion("chunk index out of range"))?;
+        if let Some(g) = self.cache.get(i) {
+            return Ok(g);
+        }
+        let _decode_guard = lock.lock().unwrap_or_else(PoisonError::into_inner);
+        // A racing thread may have published while we waited on the lock.
+        if let Some(g) = self.cache.peek(i) {
+            return Ok(g);
+        }
+        let entry = self
+            .index
+            .entries
+            .get(i)
+            .copied()
+            .ok_or(StoreError::Corrupt("index entry missing"))?;
+        let end = entry
+            .offset
+            .checked_add(entry.len)
+            .ok_or(StoreError::Corrupt("index entry overflows"))?;
+        let blob = self
+            .container()
+            .get(entry.offset..end)
+            .ok_or(StoreError::Corrupt("index entry past payload end"))?;
+        if crc32(blob) != entry.checksum {
+            return Err(StoreError::Checksum { chunk: i });
+        }
+        let mut arena = self.lock_arena().pop().unwrap_or_default();
+        let decoded = decompress_chunk_arena(
+            self.container(),
+            &self.header,
+            self.mask_grid.as_ref(),
+            i,
+            &mut arena,
+        );
+        self.lock_arena().push(arena);
+        let grid = Arc::new(decoded?);
+        self.decodes.fetch_add(1, Ordering::Relaxed);
+        self.cache.insert(i, Arc::clone(&grid));
+        Ok(grid)
+    }
+
+    /// Reads the axis-aligned region `ranges` (one half-open range per
+    /// dimension), decoding only the slabs whose rows intersect
+    /// `ranges[0]`. Returns a grid shaped by the range lengths.
+    pub fn read_region(&self, ranges: &[Range<usize>]) -> Result<Grid<f32>, StoreError> {
+        let dims = self.dims().to_vec();
+        if ranges.len() != dims.len() {
+            return Err(StoreError::BadRegion("rank mismatch"));
+        }
+        for (r, &d) in ranges.iter().zip(&dims) {
+            if r.start >= r.end {
+                return Err(StoreError::BadRegion("empty range"));
+            }
+            if r.end > d {
+                return Err(StoreError::BadRegion("range exceeds extent"));
+            }
+        }
+        let lens: Vec<usize> = ranges.iter().map(Range::len).collect();
+        let trailing: usize = lens.iter().skip(1).product();
+        let full_trailing = ranges
+            .iter()
+            .zip(&dims)
+            .skip(1)
+            .all(|(r, &d)| r.start == 0 && r.end == d);
+        let mut out = vec![0f32; lens.iter().product()];
+
+        let row0 = ranges
+            .first()
+            .cloned()
+            .ok_or(StoreError::BadRegion("rank mismatch"))?;
+        for ci in self.geometry.intersecting(&row0) {
+            let rows = self
+                .geometry
+                .rows(ci)
+                .ok_or(StoreError::Corrupt("chunk geometry out of range"))?;
+            let isect = row0.start.max(rows.start)..row0.end.min(rows.end);
+            let chunk = self.chunk(ci)?;
+            let dst_start = (isect.start - row0.start) * trailing;
+            let dst = out
+                .get_mut(dst_start..dst_start + isect.len() * trailing)
+                .ok_or(StoreError::Corrupt("region assembly out of bounds"))?;
+            if full_trailing {
+                // Trailing dims are read whole: the chunk's contribution is
+                // one contiguous run of rows.
+                let src_start = (isect.start - rows.start) * self.geometry.slab_stride();
+                let src = chunk
+                    .as_slice()
+                    .get(src_start..src_start + isect.len() * trailing)
+                    .ok_or(StoreError::Corrupt("chunk shorter than its geometry"))?;
+                dst.copy_from_slice(src);
+            } else {
+                let mut start = vec![isect.start - rows.start];
+                let mut size = vec![isect.len()];
+                for (r, l) in ranges.iter().zip(&lens).skip(1) {
+                    start.push(r.start);
+                    size.push(*l);
+                }
+                let block = chunk.block(&start, &size);
+                dst.copy_from_slice(block.as_slice());
+            }
+        }
+        Ok(Grid::from_vec(Shape::new(&lens), out))
+    }
+
+    /// Decodes the entire dataset (a region query over every extent).
+    pub fn read_all(&self) -> Result<Grid<f32>, StoreError> {
+        let ranges: Vec<Range<usize>> = self.dims().iter().map(|&d| 0..d).collect();
+        self.read_region(&ranges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::caf::Dataset;
+    use crate::pack::pack_store;
+    use cliz_core::config::PipelineConfig;
+    use cliz_quant::ErrorBound;
+
+    fn smooth(dims: &[usize]) -> Grid<f32> {
+        Grid::from_fn(Shape::new(dims), |c| {
+            let mut v = 0.0f64;
+            for (k, &x) in c.iter().enumerate() {
+                v += ((x as f64) * 0.23 * (k + 1) as f64).sin() * 4.0;
+            }
+            v as f32
+        })
+    }
+
+    fn store_bytes(dims: &[usize], chunk_len: usize) -> (Dataset, Vec<u8>) {
+        let ds = Dataset::new("tas", smooth(dims), None);
+        let cfg = PipelineConfig::default_for(dims.len());
+        let bytes = pack_store(&ds, ErrorBound::Abs(1e-3), &cfg, chunk_len, 1).unwrap();
+        (ds, bytes)
+    }
+
+    #[test]
+    fn region_matches_full_decode() {
+        let (_, bytes) = store_bytes(&[20, 10, 6], 5);
+        let reader = ChunkStoreReader::from_bytes(bytes).unwrap();
+        let full = reader.read_all().unwrap();
+        let region = reader.read_region(&[7..14, 2..9, 1..5]).unwrap();
+        assert_eq!(region.shape().dims(), &[7, 7, 4]);
+        for t in 0..7 {
+            for y in 0..7 {
+                for x in 0..4 {
+                    assert_eq!(
+                        region.get(&[t, y, x]),
+                        full.get(&[t + 7, y + 2, x + 1]),
+                        "mismatch at [{t},{y},{x}]"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decode_counter_tracks_only_intersected_chunks() {
+        let (_, bytes) = store_bytes(&[20, 8], 5); // 4 chunks of 5 rows
+        let reader = ChunkStoreReader::from_bytes(bytes).unwrap();
+        // Rows 6..9 live entirely in chunk 1.
+        reader.read_region(&[6..9, 0..8]).unwrap();
+        assert_eq!(reader.decode_count(), 1);
+        // Rows 4..11 span chunks 0..=2; chunk 1 is already cached.
+        reader.read_region(&[4..11, 0..8]).unwrap();
+        assert_eq!(reader.decode_count(), 3);
+        let stats = reader.stats();
+        assert_eq!(stats.cache.hits, 1);
+        assert_eq!(stats.cache.misses, 3);
+    }
+
+    #[test]
+    fn corrupt_chunk_fails_checksum_not_codec() {
+        let (_, bytes) = store_bytes(&[12, 6], 4);
+        let parsed = crate::format::parse_store(&bytes).unwrap();
+        let victim = parsed.payload.start + parsed.index.entries[1].offset + 4;
+        let mut bad = bytes.clone();
+        bad[victim] ^= 0x40;
+        let reader = ChunkStoreReader::from_bytes(bad).unwrap();
+        // Chunk 0 is untouched and decodes fine.
+        assert!(reader.read_region(&[0..4, 0..6]).is_ok());
+        // Chunk 1's CRC catches the flip before the codec runs.
+        assert!(matches!(
+            reader.read_region(&[4..8, 0..6]),
+            Err(StoreError::Checksum { chunk: 1 })
+        ));
+    }
+
+    #[test]
+    fn lying_index_rejected_at_open() {
+        let (_, bytes) = store_bytes(&[12, 6], 4);
+        let parsed = crate::format::parse_store(&bytes).unwrap();
+        // Shift chunk 1's offset/len pair while keeping the index
+        // internally contiguous: grow entry 0 by 1 byte, shrink entry 1.
+        let mut bad = bytes.clone();
+        let name_len = parsed.index.name.len();
+        let mut pos = 4 + 1 + 2 + name_len + 2;
+        for (k, v) in &parsed.index.attrs {
+            pos += 2 + k.len() + 2 + v.len();
+        }
+        pos += 1;
+        for (n, _) in parsed.index.dim_names.iter().zip(&parsed.index.dims) {
+            pos += 2 + n.len() + 8;
+        }
+        pos += 1 + 8 + 4; // flags, chunk_len, n_chunks
+        let e0_len_pos = pos + 8;
+        let e1_off_pos = pos + 20;
+        let e1_len_pos = pos + 28;
+        let bump = |b: &mut [u8], at: usize, delta: i64| {
+            let mut v = u64::from_le_bytes(b[at..at + 8].try_into().unwrap());
+            v = v.wrapping_add(delta as u64);
+            b[at..at + 8].copy_from_slice(&v.to_le_bytes());
+        };
+        bump(&mut bad, e0_len_pos, 1);
+        bump(&mut bad, e1_off_pos, 1);
+        bump(&mut bad, e1_len_pos, -1);
+        assert!(matches!(
+            ChunkStoreReader::from_bytes(bad),
+            Err(StoreError::Corrupt("index disagrees with offset table"))
+        ));
+    }
+
+    #[test]
+    fn bad_regions_are_errors() {
+        let (_, bytes) = store_bytes(&[10, 4], 4);
+        let reader = ChunkStoreReader::from_bytes(bytes).unwrap();
+        assert!(matches!(
+            reader.read_region(&[0..10]),
+            Err(StoreError::BadRegion("rank mismatch"))
+        ));
+        assert!(matches!(
+            reader.read_region(&[3..3, 0..4]),
+            Err(StoreError::BadRegion("empty range"))
+        ));
+        assert!(matches!(
+            reader.read_region(&[0..11, 0..4]),
+            Err(StoreError::BadRegion("range exceeds extent"))
+        ));
+    }
+
+    #[test]
+    fn metadata_surfaces_through_reader() {
+        let g = smooth(&[9, 5]);
+        let mut ds = Dataset::new("pr", g, None);
+        ds.attrs.push(("units".into(), "mm/day".into()));
+        let cfg = PipelineConfig::default_for(2);
+        let bytes = pack_store(&ds, ErrorBound::Abs(1e-3), &cfg, 3, 1).unwrap();
+        let reader = ChunkStoreReader::from_bytes(bytes).unwrap();
+        assert_eq!(reader.name(), "pr");
+        assert_eq!(reader.dims(), &[9, 5]);
+        assert_eq!(reader.n_chunks(), 3);
+        assert_eq!(reader.chunk_len(), 3);
+        assert_eq!(reader.attrs(), &[("units".into(), "mm/day".into())]);
+        assert!(reader.mask().is_none());
+    }
+}

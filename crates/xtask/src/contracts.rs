@@ -11,6 +11,10 @@
 //!   product function (resolved through the workspace call graph, e.g. the
 //!   `all_compressors*` rosters) whose body constructs `X`. A codec without
 //!   such a test can silently ship reconstructions that violate the bound.
+//!   The same obligation extends to the chunk-store read path
+//!   ([`STORE_ENTRY_POINTS`]): `pack_store` / `read_region` / `read_all`
+//!   re-expose reconstructed values through a second surface, so the bound
+//!   must be asserted *through the store*, not only through `decompress`.
 //! * **R8b — named helpers.** Quantizer/predictor/compressor code that
 //!   scales an error bound (`eb * …`, `eb / …`, `… * eb`) must do so inside
 //!   a function whose name mentions `eb` (`eb_step`, `residual_eb`, …).
@@ -36,6 +40,17 @@ const EB_SCOPE: &[&str] = &[
     "crates/predict/src/",
     "crates/core/src/compressor.rs",
     "crates/core/src/pipeline.rs",
+];
+
+/// Chunk-store entry points that re-expose decompressed values. Each must
+/// be reachable from a bound-asserting roundtrip test, like a `Compressor`
+/// implementor. Listed as `(defining file, fn name)`; the obligation only
+/// applies when the function is actually defined in the audited file set,
+/// so fixture runs without the store crate stay clean.
+const STORE_ENTRY_POINTS: &[(&str, &str)] = &[
+    ("crates/store/src/pack.rs", "pack_store"),
+    ("crates/store/src/reader.rs", "read_region"),
+    ("crates/store/src/reader.rs", "read_all"),
 ];
 
 /// An R8 finding, pre-suppression.
@@ -100,7 +115,23 @@ pub fn analyze(files: &[(String, String)]) -> Vec<ContractFinding> {
         }
     }
 
-    if !implementors.is_empty() {
+    // Store entry points defined in this file set carry the same coverage
+    // obligation as implementors: a bound-asserting test must reach them.
+    let mut entry_points: Vec<(String, String, usize)> = Vec::new(); // (name, file, line)
+    for ctx in ctxs.iter().filter(|c| !c.is_test) {
+        for (path, name) in STORE_ENTRY_POINTS {
+            if ctx.rel != *path {
+                continue;
+            }
+            let lines = Lines::new(&ctx.active);
+            let items = crate::items::parse_items(&ctx.active, &lines);
+            if let Some(it) = items.iter().find(|it| it.has_body && it.name == *name) {
+                entry_points.push((name.to_string(), ctx.rel.clone(), lines.line_of(it.start)));
+            }
+        }
+    }
+
+    if !implementors.is_empty() || !entry_points.is_empty() {
         // Parse items everywhere; evidence files are the bound-asserting
         // test files.
         let parsed: Vec<(String, Vec<FnItem>)> = ctxs
@@ -118,11 +149,17 @@ pub fn analyze(files: &[(String, String)]) -> Vec<ContractFinding> {
             .collect();
 
         let mut covered: HashSet<&str> = HashSet::new();
+        let mut covered_entries: HashSet<&str> = HashSet::new();
         for ctx in ctxs.iter().filter(|c| c.is_test && has_bound_assert(&c.raw)) {
             // Direct mentions in the test file itself.
             for (name, _, _) in &implementors {
                 if mentions(&ctx.raw, name) {
                     covered.insert(name.as_str());
+                }
+            }
+            for (name, _, _) in &entry_points {
+                if mentions(&ctx.raw, name) {
+                    covered_entries.insert(name.as_str());
                 }
             }
             // Mentions in product functions reachable from the test's fns.
@@ -148,6 +185,11 @@ pub fn analyze(files: &[(String, String)]) -> Vec<ContractFinding> {
                             covered.insert(name.as_str());
                         }
                     }
+                    for (name, _, _) in &entry_points {
+                        if !covered_entries.contains(name.as_str()) && mentions(body, name) {
+                            covered_entries.insert(name.as_str());
+                        }
+                    }
                 }
             }
         }
@@ -160,6 +202,19 @@ pub fn analyze(files: &[(String, String)]) -> Vec<ContractFinding> {
                     message: format!(
                         "`{name}` implements `Compressor` but no roundtrip test asserting \
                          `|x - x'| <= eb` reaches it; add it to a bound-contract test"
+                    ),
+                });
+            }
+        }
+        for (name, file, line) in &entry_points {
+            if !covered_entries.contains(name.as_str()) {
+                findings.push(ContractFinding {
+                    file: file.clone(),
+                    line: *line,
+                    message: format!(
+                        "store entry point `{name}` re-exposes reconstructed values but no \
+                         test asserting `|x - x'| <= eb` reaches it; assert the bound \
+                         through the store read path"
                     ),
                 });
             }
@@ -401,6 +456,51 @@ mod tests {
             ),
         ]);
         assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn store_entry_point_without_bound_test_is_flagged() {
+        // read_region is defined but the only test is a shape smoke test —
+        // no `.abs()` + `<=` evidence, so the entry point is uncovered.
+        let f = findings(&[
+            (
+                "crates/store/src/reader.rs",
+                "impl ChunkStoreReader {\n    pub fn read_region(&self) -> Grid<f32> {\n        self.decode()\n    }\n}\n",
+            ),
+            (
+                "tests/store_smoke.rs",
+                "#[test]\nfn shape() {\n    let g = reader.read_region();\n    assert_eq!(g.len(), 8);\n}\n",
+            ),
+        ]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].1, 2);
+        assert!(f[0].2.contains("`read_region`"), "{}", f[0].2);
+    }
+
+    #[test]
+    fn store_entry_point_reached_by_bound_test_is_clean() {
+        let f = findings(&[
+            (
+                "crates/store/src/reader.rs",
+                "impl ChunkStoreReader {\n    pub fn read_region(&self) -> Grid<f32> {\n        self.decode()\n    }\n}\n",
+            ),
+            (
+                "tests/store_bound.rs",
+                "#[test]\nfn bound() {\n    let g = reader.read_region();\n    assert!((a - b).abs() <= eb);\n}\n",
+            ),
+        ]);
+        assert_eq!(f, vec![], "{f:?}");
+    }
+
+    #[test]
+    fn absent_store_entry_points_impose_no_obligation() {
+        // Fixture sets without the store crate must stay clean even when no
+        // test mentions the entry-point names.
+        let f = findings(&[(
+            "crates/core/src/lib.rs",
+            "pub fn helper(x: f64) -> f64 {\n    x + 1.0\n}\n",
+        )]);
+        assert_eq!(f, vec![], "{f:?}");
     }
 
     #[test]

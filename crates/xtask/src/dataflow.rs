@@ -56,6 +56,8 @@ const SOURCE_SCOPE: &[&str] = &[
     "crates/core/src/chunked.rs",
     "crates/baselines/src/header.rs",
     "crates/cli/src/czfile.rs",
+    "crates/store/src/caf.rs",
+    "crates/store/src/format.rs",
 ];
 
 /// Files where hazards are reported: the container parsers, the codec
@@ -65,6 +67,7 @@ const HAZARD_SCOPE: &[&str] = &[
     "crates/baselines/src/",
     "crates/cli/src/",
     "crates/cliz/src/",
+    "crates/store/src/",
 ];
 
 /// Raw length-read primitives. Calls to these taint the binding they

@@ -75,6 +75,7 @@ const R1_SCOPE: &[&str] = &[
     "crates/core/src/pipeline.rs",
     "crates/core/src/periodic.rs",
     "crates/cli/src/czfile.rs",
+    "crates/store/src/",
 ];
 
 /// Crates whose hot paths must use checked casts (R2).

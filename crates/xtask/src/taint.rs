@@ -33,6 +33,7 @@ const SEED_SCOPES: &[&str] = &[
     "crates/cli/src/",
     "crates/core/src/autotune.rs",
     "crates/core/src/periodic.rs",
+    "crates/store/src/",
 ];
 
 /// Crates exempt from R5: the linter itself and the bench harness (dev

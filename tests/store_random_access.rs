@@ -1,0 +1,265 @@
+//! Random-access chunk store guarantees, end to end through the facade:
+//!
+//! * the decode counter equals the computed chunk-intersection set for
+//!   interior, edge, and full-grid regions, on unmasked, masked, and
+//!   periodic datasets — non-intersecting chunks are never decoded;
+//! * concurrent readers get byte-identical results to serial reads, and a
+//!   cold chunk raced by many threads is decoded exactly once;
+//! * the decoded-chunk LRU cache respects its byte budget under eviction
+//!   pressure.
+
+use cliz::prelude::*;
+use cliz::store::{pack_store, ChunkStoreReader, Dataset};
+use cliz::grid::Shape;
+use std::ops::Range;
+
+fn smooth(dims: &[usize]) -> Grid<f32> {
+    Grid::from_fn(Shape::new(dims), |c| {
+        let mut v = 0.0f64;
+        for (k, &x) in c.iter().enumerate() {
+            v += ((x as f64) * 0.19 * (k + 1) as f64).sin() * 5.0;
+        }
+        v as f32
+    })
+}
+
+fn pack(ds: &Dataset, chunk: usize) -> Vec<u8> {
+    let cfg = PipelineConfig::default_for(ds.data.shape().ndim());
+    pack_store(ds, ErrorBound::Abs(1e-3), &cfg, chunk, 1).unwrap()
+}
+
+/// Number of chunks a row range intersects, computed independently of the
+/// store's own geometry code.
+fn expected_chunks(rows: &Range<usize>, chunk: usize, dim0: usize) -> u64 {
+    if rows.start >= rows.end || rows.start >= dim0 {
+        return 0;
+    }
+    let first = rows.start / chunk;
+    let last = (rows.end.min(dim0) - 1) / chunk;
+    (last - first + 1) as u64
+}
+
+/// Region kinds to sweep per dataset: interior within one chunk, interior
+/// spanning a boundary, leading edge, trailing edge (ragged tail), full.
+fn region_kinds(dim0: usize, chunk: usize) -> Vec<Range<usize>> {
+    vec![
+        chunk + 1..chunk + 2,            // interior, single chunk
+        chunk - 1..2 * chunk + 1,        // interior, spans two boundaries
+        0..chunk.min(dim0),              // leading edge
+        dim0 - (chunk / 2).max(1)..dim0, // trailing edge (tail chunk)
+        0..dim0,                         // full grid
+    ]
+}
+
+fn check_decode_counts(ds: &Dataset, chunk: usize) {
+    let bytes = pack(ds, chunk);
+    let dims = ds.data.shape().dims().to_vec();
+    let reference = ChunkStoreReader::from_bytes(bytes.clone())
+        .unwrap()
+        .read_all()
+        .unwrap();
+    for rows in region_kinds(dims[0], chunk) {
+        let reader = ChunkStoreReader::from_bytes(bytes.clone()).unwrap();
+        let mut ranges: Vec<Range<usize>> = vec![rows.clone()];
+        for &d in &dims[1..] {
+            ranges.push(0..d);
+        }
+        let region = reader.read_region(&ranges).unwrap();
+        assert_eq!(
+            reader.decode_count(),
+            expected_chunks(&rows, chunk, dims[0]),
+            "decode count for rows {rows:?} (chunk {chunk}, dim0 {})",
+            dims[0]
+        );
+        let mut origin = vec![rows.start];
+        origin.extend(std::iter::repeat(0).take(dims.len() - 1));
+        let mut size = vec![rows.len()];
+        size.extend_from_slice(&dims[1..]);
+        assert_eq!(
+            reference.block(&origin, &size),
+            region,
+            "region values for rows {rows:?}"
+        );
+    }
+}
+
+#[test]
+fn decode_counter_equals_intersection_unmasked() {
+    let ds = Dataset::new("T", smooth(&[40, 16, 8]), None);
+    check_decode_counts(&ds, 6);
+}
+
+#[test]
+fn decode_counter_equals_intersection_masked() {
+    // SSH carries a land mask; the mask rides inside the store, so region
+    // reads need no side channel and masked chunks still count correctly.
+    let field = cliz::data::ssh(&[40, 16, 8], 3);
+    assert!(field.mask.is_some(), "ssh generator should mask land");
+    let ds = Dataset::new("SSH", field.data, field.mask);
+    check_decode_counts(&ds, 6);
+}
+
+#[test]
+fn decode_counter_equals_intersection_periodic() {
+    // A strongly periodic field (period 12 along axis 0), the regime the
+    // paper's periodic predictor targets.
+    let g = Grid::from_fn(Shape::new(&[36, 20]), |c| {
+        ((c[0] % 12) as f32 * 0.5236).sin() * 8.0 + c[1] as f32 * 0.1
+    });
+    let ds = Dataset::new("PERIODIC", g, None);
+    check_decode_counts(&ds, 5);
+}
+
+#[test]
+fn narrow_trailing_ranges_decode_only_intersected_chunks() {
+    // Sub-selecting trailing dims exercises the block-copy assembly path;
+    // the chunk set is still driven only by the row range.
+    let ds = Dataset::new("T", smooth(&[30, 12, 10]), None);
+    let bytes = pack(&ds, 7);
+    let reader = ChunkStoreReader::from_bytes(bytes.clone()).unwrap();
+    let region = reader.read_region(&[8..16, 3..9, 2..5]).unwrap();
+    assert_eq!(reader.decode_count(), 2); // rows 8..16 hit chunks 1 and 2
+    let reference = ChunkStoreReader::from_bytes(bytes)
+        .unwrap()
+        .read_all()
+        .unwrap();
+    assert_eq!(reference.block(&[8, 3, 2], &[8, 6, 3]), region);
+}
+
+#[test]
+fn concurrent_same_region_no_decode_stampede() {
+    let ds = Dataset::new("T", smooth(&[32, 20, 12]), None);
+    let bytes = pack(&ds, 4);
+    let serial = {
+        let r = ChunkStoreReader::from_bytes(bytes.clone()).unwrap();
+        r.read_region(&[9..12, 0..20, 0..12]).unwrap()
+    };
+    let reader = ChunkStoreReader::from_bytes(bytes).unwrap();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let reader = &reader;
+                s.spawn(move || reader.read_region(&[9..12, 0..20, 0..12]).unwrap())
+            })
+            .collect();
+        for h in handles {
+            let got = h.join().unwrap();
+            assert_eq!(serial, got, "concurrent read diverged from serial");
+        }
+    });
+    // Rows 9..12 live in chunk 2 only; 8 racing threads, one decode.
+    assert_eq!(reader.decode_count(), 1, "decode stampede");
+    let stats = reader.stats();
+    assert_eq!(stats.cache.hits + stats.cache.misses, 8);
+    assert!(stats.cache.hits >= 1 || stats.cache.misses == 8);
+}
+
+#[test]
+fn concurrent_overlapping_regions_byte_identical_to_serial() {
+    let ds = Dataset::new("T", smooth(&[48, 16, 10]), None);
+    let bytes = pack(&ds, 6); // 8 chunks
+    let regions: Vec<[Range<usize>; 3]> = vec![
+        [0..10, 0..16, 0..10],
+        [5..20, 2..14, 1..9],
+        [10..30, 0..16, 0..10],
+        [18..48, 4..12, 0..10],
+        [0..48, 0..16, 0..10],
+        [40..48, 0..16, 5..10],
+        [11..13, 7..9, 3..4],
+        [23..25, 0..16, 0..10],
+    ];
+    // Serial ground truth, one fresh reader per region.
+    let serial: Vec<Grid<f32>> = regions
+        .iter()
+        .map(|r| {
+            ChunkStoreReader::from_bytes(bytes.clone())
+                .unwrap()
+                .read_region(r.as_slice())
+                .unwrap()
+        })
+        .collect();
+    let reader = ChunkStoreReader::from_bytes(bytes).unwrap();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = regions
+            .iter()
+            .map(|r| {
+                let reader = &reader;
+                s.spawn(move || reader.read_region(r.as_slice()).unwrap())
+            })
+            .collect();
+        for (h, want) in handles.into_iter().zip(&serial) {
+            assert_eq!(want, &h.join().unwrap());
+        }
+    });
+    // The union of all row ranges covers every chunk exactly once.
+    assert_eq!(reader.decode_count(), 8);
+}
+
+#[test]
+fn lru_cache_respects_byte_budget_under_pressure() {
+    // [48, 10] rows of 10 f32s, chunks of 8 rows: 6 chunks, 320 bytes of
+    // decoded data each. Budget two chunks' worth.
+    let ds = Dataset::new("T", smooth(&[48, 10]), None);
+    let cfg = PipelineConfig::default_for(2);
+    let bytes = pack_store(&ds, ErrorBound::Abs(1e-3), &cfg, 8, 1).unwrap();
+    let reader = ChunkStoreReader::with_cache_budget(bytes, 640).unwrap();
+    for c in 0..6 {
+        reader.read_region(&[c * 8..(c + 1) * 8, 0..10]).unwrap();
+        let stats = reader.stats();
+        assert!(
+            stats.cache.resident_bytes <= 640,
+            "budget exceeded after chunk {c}: {} bytes",
+            stats.cache.resident_bytes
+        );
+        assert!(stats.cache.resident_entries <= 2);
+    }
+    let stats = reader.stats();
+    assert_eq!(stats.decodes, 6);
+    assert!(stats.cache.evictions >= 4, "expected eviction pressure");
+    // The most recent chunk is still warm; the first was evicted long ago.
+    reader.read_region(&[40..48, 0..10]).unwrap();
+    assert_eq!(reader.stats().decodes, 6, "warm chunk re-decoded");
+    reader.read_region(&[0..8, 0..10]).unwrap();
+    assert_eq!(reader.stats().decodes, 7, "evicted chunk not re-decoded");
+}
+
+#[test]
+fn masked_store_roundtrips_mask_and_attrs() {
+    let field = cliz::data::ssh(&[24, 16, 8], 9);
+    let mut ds = Dataset::new("SSH", field.data, field.mask);
+    ds.set_attr("units", "m");
+    let bytes = pack(&ds, 5);
+    let reader = ChunkStoreReader::from_bytes(bytes).unwrap();
+    let mask = reader.mask().expect("mask must ride in the store");
+    assert_eq!(mask.as_slice(), ds.mask.as_ref().unwrap().as_slice());
+    assert!(reader
+        .attrs()
+        .iter()
+        .any(|(k, v)| k == "units" && v == "m"));
+    // Full read equals the chunked decompressor driven directly.
+    let full = reader.read_all().unwrap();
+    assert_eq!(full.shape().dims(), &[24, 16, 8]);
+}
+
+#[test]
+fn store_read_path_preserves_error_bound() {
+    // The |x - x'| <= eb contract must hold through the store surface, not
+    // only through decompress(): pack, then read a boundary-spanning region
+    // and the full grid, and check every value against the original.
+    let eb = 1e-3f32;
+    let original = smooth(&[30, 14, 10]);
+    let ds = Dataset::new("T", original.clone(), None);
+    let bytes = pack(&ds, 7);
+    let reader = ChunkStoreReader::from_bytes(bytes).unwrap();
+
+    let region = reader.read_region(&[5..23, 0..14, 0..10]).unwrap();
+    let want = original.block(&[5, 0, 0], &[18, 14, 10]);
+    for (a, b) in want.as_slice().iter().zip(region.as_slice()) {
+        assert!((a - b).abs() <= eb + 1e-6, "region: |{a} - {b}| > {eb}");
+    }
+
+    let full = reader.read_all().unwrap();
+    for (a, b) in original.as_slice().iter().zip(full.as_slice()) {
+        assert!((a - b).abs() <= eb + 1e-6, "full: |{a} - {b}| > {eb}");
+    }
+}
