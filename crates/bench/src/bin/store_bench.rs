@@ -173,17 +173,36 @@ fn main() {
     let shared = ChunkStoreReader::from_bytes(bytes.clone()).expect("open");
     let t0 = Instant::now();
     std::thread::scope(|s| {
+        // Each reader returns its Result through the join handle instead of
+        // expecting inside the thread, so one failing region reports which
+        // reader and row span broke instead of tearing down the scope.
         let handles: Vec<_> = regions
             .iter()
-            .map(|r| {
+            .enumerate()
+            .map(|(i, r)| {
                 let shared = &shared;
-                s.spawn(move || shared.read_region(r).expect("concurrent read"))
+                (i, r, s.spawn(move || shared.read_region(r)))
             })
             .collect();
-        for (h, want) in handles.into_iter().zip(&serial) {
-            if &h.join().expect("join") != want {
-                eprintln!("DIVERGENCE: concurrent region read != serial");
-                diverged = true;
+        for ((i, r, h), want) in handles.into_iter().zip(&serial) {
+            match h.join() {
+                Ok(Ok(got)) => {
+                    if &got != want {
+                        eprintln!(
+                            "DIVERGENCE: reader {i} (rows {:?}): concurrent read != serial",
+                            r[0]
+                        );
+                        diverged = true;
+                    }
+                }
+                Ok(Err(e)) => {
+                    eprintln!("DIVERGENCE: reader {i} (rows {:?}) failed: {e}", r[0]);
+                    diverged = true;
+                }
+                Err(_) => {
+                    eprintln!("DIVERGENCE: reader {i} (rows {:?}) panicked", r[0]);
+                    diverged = true;
+                }
             }
         }
     });

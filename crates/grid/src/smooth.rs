@@ -61,12 +61,10 @@ pub fn dimension_smoothness(data: &Grid<f32>, mask: &MaskMap) -> Vec<Smoothness>
 /// along the smoothest axes.
 pub fn smoothness_order(stats: &[Smoothness]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..stats.len()).collect();
-    order.sort_by(|&a, &b| {
-        stats[a]
-            .mean_abs_diff
-            .partial_cmp(&stats[b].mean_abs_diff)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    // total_cmp: NaN smoothness (conceivable on an all-NaN masked axis)
+    // sorts last instead of collapsing to Equal, which would make the
+    // seed order depend on the incoming index order.
+    order.sort_by(|&a, &b| stats[a].mean_abs_diff.total_cmp(&stats[b].mean_abs_diff));
     order
 }
 

@@ -1,0 +1,363 @@
+//! Token-passing scheduler and depth-first interleaving explorer.
+//!
+//! One [`Exec`] is a single execution of the model closure. Logical
+//! threads run on real OS threads but are serialized by a token
+//! (`Central::current`): a thread may only execute model code while it
+//! holds the token, and hands it over at schedule points. All scheduling
+//! decisions therefore happen in a deterministic sequence, which is what
+//! makes replay-based DFS exploration sound.
+//!
+//! The thread-local [`ctx`] links a running OS thread to its `Exec` and
+//! logical id; when it is unset, the `sync`/`thread` wrappers pass straight
+//! through to `std`. Nothing here is global to the process, so independent
+//! models (e.g. two `#[test]`s on different harness threads) cannot
+//! interfere.
+
+use std::cell::RefCell;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Logical id of the thread that calls `model`'s closure.
+pub(crate) const MAIN_THREAD: usize = 0;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum State {
+    Runnable,
+    BlockedOnMutex(usize),
+    BlockedOnJoin(usize),
+    Finished,
+}
+
+struct Central {
+    states: Vec<State>,
+    /// Thread ids whose `JoinHandle::join` completed.
+    joined: Vec<bool>,
+    /// Thread ids whose body panicked.
+    panicked: Vec<bool>,
+    /// Per-mutex logical holder.
+    holders: Vec<Option<usize>>,
+    /// The token: the one logical thread allowed to execute model code.
+    current: usize,
+    finished: usize,
+    /// Branch taken at each decision point; a prefix replays the previous
+    /// execution, the tail records fresh first-branch choices.
+    replay: Vec<usize>,
+    /// Number of branches that existed at each decision point.
+    options: Vec<usize>,
+    step: usize,
+    preemptions: usize,
+    max_preemptions: usize,
+    aborted: Option<String>,
+}
+
+/// Scheduler state for one execution of the model closure.
+pub(crate) struct Exec {
+    central: Mutex<Central>,
+    cv: Condvar,
+}
+
+/// What the explorer needs from a finished execution.
+pub(crate) struct Outcome {
+    pub(crate) aborted: Option<String>,
+    pub(crate) options: Vec<usize>,
+    pub(crate) replay: Vec<usize>,
+    pub(crate) unjoined_panic: Option<usize>,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Exec>, usize)>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn ctx() -> Option<(Arc<Exec>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_ctx(exec: Arc<Exec>, id: usize) {
+    CTX.with(|c| *c.borrow_mut() = Some((exec, id)));
+}
+
+/// Clears the calling thread's model context on drop, even on unwind, so
+/// a failed model never leaves a test-harness thread wired to a dead
+/// scheduler.
+pub(crate) struct CtxGuard;
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        CTX.with(|c| *c.borrow_mut() = None);
+    }
+}
+
+/// Schedule point for the calling thread, if it is inside a model. During
+/// unwind the token is deliberately kept: drop handlers run to completion
+/// and the token moves on at `finish`.
+pub(crate) fn sched_point() {
+    if std::thread::panicking() {
+        return;
+    }
+    if let Some((exec, me)) = ctx() {
+        exec.schedule(me);
+    }
+}
+
+fn relock(m: &Mutex<Central>) -> MutexGuard<'_, Central> {
+    // Central is poisoned whenever a model assertion fails while a
+    // scheduler call holds it; the state itself is still consistent.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Central {
+    /// Picks the next thread to run. `me_runnable` distinguishes a
+    /// voluntary yield (the caller could continue; switching away is a
+    /// preemption) from a forced block (no charge). Returns `None` when
+    /// nothing is runnable — the caller decides whether that is deadlock.
+    fn pick_next(&mut self, me: usize, me_runnable: bool) -> Option<usize> {
+        let ready: Vec<usize> = self
+            .states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == State::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if ready.is_empty() {
+            return None;
+        }
+        let out_of_budget =
+            me_runnable && self.preemptions >= self.max_preemptions && ready.contains(&me);
+        let picked = if out_of_budget || ready.len() == 1 {
+            if out_of_budget {
+                me
+            } else {
+                ready[0]
+            }
+        } else {
+            let k = self.decide(ready.len());
+            ready[k]
+        };
+        if me_runnable && picked != me {
+            self.preemptions += 1;
+        }
+        Some(picked)
+    }
+
+    /// Records (or replays) one decision with `n` branches.
+    fn decide(&mut self, n: usize) -> usize {
+        let k = match self.replay.get(self.step) {
+            // A replayed branch index always fits `n` because the decision
+            // sequence is deterministic; min() is belt and braces.
+            Some(&k) => k.min(n - 1),
+            None => {
+                self.replay.push(0);
+                0
+            }
+        };
+        self.options.push(n);
+        self.step += 1;
+        k
+    }
+
+    fn abort_check(&self) {
+        if let Some(msg) = &self.aborted {
+            panic!("loom: execution aborted ({msg})");
+        }
+    }
+}
+
+impl Exec {
+    pub(crate) fn new(replay: Vec<usize>, max_preemptions: usize) -> Arc<Self> {
+        Arc::new(Self {
+            central: Mutex::new(Central {
+                states: vec![State::Runnable],
+                joined: vec![false],
+                panicked: vec![false],
+                holders: Vec::new(),
+                current: MAIN_THREAD,
+                finished: 0,
+                replay,
+                options: Vec::new(),
+                step: 0,
+                preemptions: 0,
+                max_preemptions,
+                aborted: None,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Registers a new logical thread (caller holds the token).
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut c = relock(&self.central);
+        c.states.push(State::Runnable);
+        c.joined.push(false);
+        c.panicked.push(false);
+        c.states.len() - 1
+    }
+
+    /// Registers a mutex on first use within this execution.
+    pub(crate) fn register_mutex(&self) -> usize {
+        let mut c = relock(&self.central);
+        c.holders.push(None);
+        c.holders.len() - 1
+    }
+
+    /// A plain schedule point: possibly hand the token to another runnable
+    /// thread, then wait for it to come back.
+    pub(crate) fn schedule(&self, me: usize) {
+        let mut c = relock(&self.central);
+        c.abort_check();
+        // `me` holds the token and is runnable, so the ready set is
+        // non-empty and pick_next cannot return None.
+        let next = c.pick_next(me, true).unwrap_or(me);
+        if next == me {
+            return;
+        }
+        c.current = next;
+        self.cv.notify_all();
+        self.wait_token(c, me);
+    }
+
+    fn wait_token(&self, mut c: MutexGuard<'_, Central>, me: usize) {
+        while c.current != me {
+            c = self.cv.wait(c).unwrap_or_else(PoisonError::into_inner);
+            c.abort_check();
+        }
+    }
+
+    /// Blocks until the spawned thread `me` is first given the token.
+    pub(crate) fn wait_initial(&self, me: usize) {
+        let c = relock(&self.central);
+        self.wait_token(c, me);
+    }
+
+    /// Logically acquires mutex `mid`, blocking while another thread holds
+    /// it. The caller locks the underlying `std` mutex only after this
+    /// returns, so the OS-level lock is never contended.
+    pub(crate) fn acquire(&self, me: usize, mid: usize) {
+        self.schedule(me);
+        let mut c = relock(&self.central);
+        loop {
+            c.abort_check();
+            if c.holders[mid].is_none() {
+                c.holders[mid] = Some(me);
+                return;
+            }
+            c.states[me] = State::BlockedOnMutex(mid);
+            match c.pick_next(me, false) {
+                Some(next) => {
+                    c.current = next;
+                    self.cv.notify_all();
+                }
+                None => {
+                    return self.abort(
+                        c,
+                        format!("deadlock: every thread is blocked (thread {me} waiting on mutex {mid})"),
+                    );
+                }
+            }
+            while c.current != me {
+                c = self.cv.wait(c).unwrap_or_else(PoisonError::into_inner);
+                c.abort_check();
+            }
+        }
+    }
+
+    /// Logically releases mutex `mid` and wakes its waiters. Runs during
+    /// unwind too (guard drops), in which case the schedule point is
+    /// skipped and the token kept until `finish`.
+    pub(crate) fn release(&self, me: usize, mid: usize) {
+        {
+            let mut c = relock(&self.central);
+            if c.holders[mid] == Some(me) {
+                c.holders[mid] = None;
+            }
+            for s in c.states.iter_mut() {
+                if *s == State::BlockedOnMutex(mid) {
+                    *s = State::Runnable;
+                }
+            }
+        }
+        if !std::thread::panicking() {
+            self.schedule(me);
+        }
+    }
+
+    /// Blocks until thread `target` finishes, then records the join.
+    pub(crate) fn join_wait(&self, me: usize, target: usize) {
+        self.schedule(me);
+        let mut c = relock(&self.central);
+        c.abort_check();
+        if c.states[target] != State::Finished {
+            c.states[me] = State::BlockedOnJoin(target);
+            match c.pick_next(me, false) {
+                Some(next) => {
+                    c.current = next;
+                    self.cv.notify_all();
+                }
+                None => {
+                    return self.abort(
+                        c,
+                        format!("deadlock: thread {me} joins thread {target}, but every other thread is blocked"),
+                    );
+                }
+            }
+            while c.current != me {
+                c = self.cv.wait(c).unwrap_or_else(PoisonError::into_inner);
+                c.abort_check();
+            }
+        }
+        c.joined[target] = true;
+    }
+
+    /// Marks `me` finished, wakes its joiners, and hands the token on.
+    /// Never panics: it runs on unwinding threads.
+    pub(crate) fn finish(&self, me: usize, panicked: bool) {
+        let mut c = relock(&self.central);
+        c.states[me] = State::Finished;
+        c.finished += 1;
+        c.panicked[me] = panicked;
+        for s in c.states.iter_mut() {
+            if *s == State::BlockedOnJoin(me) {
+                *s = State::Runnable;
+            }
+        }
+        if c.finished < c.states.len() {
+            match c.pick_next(me, false) {
+                Some(next) => c.current = next,
+                None => {
+                    let msg = format!(
+                        "deadlock: thread {me} finished but every remaining thread is blocked"
+                    );
+                    c.aborted.get_or_insert(msg);
+                }
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Waits until every logical thread has finished (the model driver
+    /// calls this after the closure returns).
+    pub(crate) fn wait_all(&self) {
+        let mut c = relock(&self.central);
+        while c.finished < c.states.len() {
+            c = self.cv.wait(c).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    pub(crate) fn outcome(&self) -> Outcome {
+        let c = relock(&self.central);
+        Outcome {
+            aborted: c.aborted.clone(),
+            options: c.options.clone(),
+            replay: c.replay.clone(),
+            unjoined_panic: (0..c.states.len())
+                .find(|&i| i != MAIN_THREAD && c.panicked[i] && !c.joined[i]),
+        }
+    }
+
+    /// Records the failure, wakes everyone so blocked threads can unwind,
+    /// and panics the calling thread with the message.
+    fn abort(&self, mut c: MutexGuard<'_, Central>, msg: String) {
+        c.aborted.get_or_insert(msg.clone());
+        self.cv.notify_all();
+        drop(c);
+        panic!("loom: {msg}");
+    }
+}

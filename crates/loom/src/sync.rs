@@ -1,0 +1,133 @@
+//! Model-checked stand-ins for the `std::sync` types the store uses.
+//!
+//! Inside [`crate::model`] these route every acquire, release, and atomic
+//! op through the scheduler as a schedule point; outside a model they pass
+//! straight through to `std`. `Arc` is re-exported unchanged — reference
+//! counting is not a source of interleaving bugs the store cares about.
+
+use crate::sched;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc as StdArc;
+use std::sync::{LockResult, OnceLock, PoisonError};
+
+pub use std::sync::Arc;
+
+/// Mutual exclusion with the same surface as [`std::sync::Mutex`],
+/// including poisoning: a holder's panic poisons the lock and later
+/// `lock()` calls get `Err(PoisonError)` carrying a usable guard.
+pub struct Mutex<T> {
+    cell: std::sync::Mutex<T>,
+    /// Scheduler id, assigned on first contention-relevant use. A mutex
+    /// never outlives the execution that registered it (models rebuild
+    /// their state every execution), so one slot suffices.
+    id: OnceLock<usize>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Self {
+            cell: std::sync::Mutex::new(value),
+            id: OnceLock::new(),
+        }
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let token = match sched::ctx() {
+            Some((exec, me)) if !std::thread::panicking() => {
+                let mid = *self.id.get_or_init(|| exec.register_mutex());
+                // Blocks logically until free; the std lock below is then
+                // uncontended, because only the logical holder touches it.
+                exec.acquire(me, mid);
+                Some((exec, me, mid))
+            }
+            _ => None,
+        };
+        match self.cell.lock() {
+            Ok(inner) => Ok(MutexGuard {
+                inner: Some(inner),
+                token,
+            }),
+            Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                inner: Some(poisoned.into_inner()),
+                token,
+            })),
+        }
+    }
+}
+
+/// Guard for [`Mutex`]; logically releases the lock on drop, after the
+/// underlying `std` guard is gone, so a successor's `std` lock never
+/// contends.
+pub struct MutexGuard<'a, T> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    token: Option<(StdArc<sched::Exec>, usize, usize)>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard taken only in drop")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard taken only in drop")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if let Some((exec, me, mid)) = self.token.take() {
+            exec.release(me, mid);
+        }
+    }
+}
+
+pub mod atomic {
+    //! Atomics whose every operation is a schedule point. The checker
+    //! serializes all memory accesses, so the `Ordering` argument is
+    //! accepted for API compatibility but the effective ordering is
+    //! always sequentially consistent (see the crate docs).
+
+    use crate::sched;
+    pub use std::sync::atomic::Ordering;
+
+    pub struct AtomicU64 {
+        cell: std::sync::atomic::AtomicU64,
+    }
+
+    impl AtomicU64 {
+        pub const fn new(value: u64) -> Self {
+            Self {
+                cell: std::sync::atomic::AtomicU64::new(value),
+            }
+        }
+
+        pub fn load(&self, _order: Ordering) -> u64 {
+            sched::sched_point();
+            self.cell.load(Ordering::SeqCst)
+        }
+
+        pub fn store(&self, value: u64, _order: Ordering) {
+            sched::sched_point();
+            self.cell.store(value, Ordering::SeqCst);
+        }
+
+        pub fn fetch_add(&self, value: u64, _order: Ordering) -> u64 {
+            sched::sched_point();
+            self.cell.fetch_add(value, Ordering::SeqCst)
+        }
+
+        pub fn fetch_sub(&self, value: u64, _order: Ordering) -> u64 {
+            sched::sched_point();
+            self.cell.fetch_sub(value, Ordering::SeqCst)
+        }
+
+        pub fn swap(&self, value: u64, _order: Ordering) -> u64 {
+            sched::sched_point();
+            self.cell.swap(value, Ordering::SeqCst)
+        }
+    }
+}

@@ -42,6 +42,7 @@ pub mod error;
 pub mod format;
 pub mod pack;
 pub mod reader;
+pub(crate) mod sync;
 
 pub use caf::{load, read_caf, save, write_caf, Dataset};
 pub use cache::{CacheStats, ChunkCache};

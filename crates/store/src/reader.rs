@@ -19,12 +19,12 @@ use crate::cache::{CacheStats, ChunkCache};
 use crate::checksum::crc32;
 use crate::error::StoreError;
 use crate::format::{parse_store, StoreIndex};
+use crate::sync::{lock_or_recover, AtomicU64, Mutex, MutexGuard, Ordering};
 use cliz_core::{decompress_chunk_arena, read_header, ChunkIndex, ChunkedHeader, ScratchArena};
 use cliz_grid::{Grid, MaskMap, Shape};
 use std::ops::Range;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::Arc;
 
 /// Default decoded-chunk cache budget: 64 MiB.
 pub const DEFAULT_CACHE_BUDGET: usize = 64 << 20;
@@ -183,55 +183,50 @@ impl ChunkStoreReader {
     }
 
     fn lock_arena(&self) -> MutexGuard<'_, Vec<ScratchArena>> {
-        self.arenas.lock().unwrap_or_else(PoisonError::into_inner)
+        lock_or_recover(&self.arenas)
     }
 
     /// Returns decoded chunk `i`, from cache when resident. On a cold
     /// chunk the CRC32 is verified against the store index before the
-    /// codec sees a byte.
+    /// codec sees a byte. The stampede protocol itself lives in
+    /// [`ChunkCache::get_or_decode`]; this method supplies the per-chunk
+    /// lock and the CRC-check-plus-decompress closure.
     pub fn chunk(&self, i: usize) -> Result<Arc<Grid<f32>>, StoreError> {
         let lock = self
             .locks
             .get(i)
             .ok_or(StoreError::BadRegion("chunk index out of range"))?;
-        if let Some(g) = self.cache.get(i) {
-            return Ok(g);
-        }
-        let _decode_guard = lock.lock().unwrap_or_else(PoisonError::into_inner);
-        // A racing thread may have published while we waited on the lock.
-        if let Some(g) = self.cache.peek(i) {
-            return Ok(g);
-        }
-        let entry = self
-            .index
-            .entries
-            .get(i)
-            .copied()
-            .ok_or(StoreError::Corrupt("index entry missing"))?;
-        let end = entry
-            .offset
-            .checked_add(entry.len)
-            .ok_or(StoreError::Corrupt("index entry overflows"))?;
-        let blob = self
-            .container()
-            .get(entry.offset..end)
-            .ok_or(StoreError::Corrupt("index entry past payload end"))?;
-        if crc32(blob) != entry.checksum {
-            return Err(StoreError::Checksum { chunk: i });
-        }
-        let mut arena = self.lock_arena().pop().unwrap_or_default();
-        let decoded = decompress_chunk_arena(
-            self.container(),
-            &self.header,
-            self.mask_grid.as_ref(),
-            i,
-            &mut arena,
-        );
-        self.lock_arena().push(arena);
-        let grid = Arc::new(decoded?);
-        self.decodes.fetch_add(1, Ordering::Relaxed);
-        self.cache.insert(i, Arc::clone(&grid));
-        Ok(grid)
+        self.cache.get_or_decode(i, lock, || {
+            let entry = self
+                .index
+                .entries
+                .get(i)
+                .copied()
+                .ok_or(StoreError::Corrupt("index entry missing"))?;
+            let end = entry
+                .offset
+                .checked_add(entry.len)
+                .ok_or(StoreError::Corrupt("index entry overflows"))?;
+            let blob = self
+                .container()
+                .get(entry.offset..end)
+                .ok_or(StoreError::Corrupt("index entry past payload end"))?;
+            if crc32(blob) != entry.checksum {
+                return Err(StoreError::Checksum { chunk: i });
+            }
+            let mut arena = self.lock_arena().pop().unwrap_or_default();
+            let decoded = decompress_chunk_arena(
+                self.container(),
+                &self.header,
+                self.mask_grid.as_ref(),
+                i,
+                &mut arena,
+            );
+            self.lock_arena().push(arena);
+            let grid = Arc::new(decoded?);
+            self.decodes.fetch_add(1, Ordering::Relaxed);
+            Ok(grid)
+        })
     }
 
     /// Reads the axis-aligned region `ranges` (one half-open range per

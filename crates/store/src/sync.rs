@@ -1,0 +1,41 @@
+//! Synchronization primitives for the store, switchable to model checking.
+//!
+//! The store's concurrent path (the decoded-chunk cache and the reader's
+//! stampede protocol) imports its primitives from this module instead of
+//! `std::sync`, so a build with `--cfg loom` swaps in the `cliz-loom`
+//! model checker's instrumented equivalents and the loom tests in
+//! `tests/loom_models.rs` explore thread interleavings over the *real*
+//! cache code, not a re-implementation. A normal build re-exports the
+//! `std` types unchanged, so there is no runtime cost.
+//!
+//! This module is also the single home of the store's lock-poisoning
+//! policy: [`lock_or_recover`]. Every mutex in the store protects state
+//! that is consistent between statements (the cache map only ever holds
+//! complete entries; the arena pool only complete arenas), so a peer
+//! thread's panic cannot leave torn data behind and the right response to
+//! poison is to keep going with the inner value.
+
+#[cfg(loom)]
+pub(crate) use loom::sync::atomic::{AtomicU64, Ordering};
+#[cfg(loom)]
+pub(crate) use loom::sync::{Mutex, MutexGuard};
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(not(loom))]
+pub(crate) use std::sync::{Mutex, MutexGuard};
+
+/// Locks `m`, absorbing poison.
+///
+/// A poisoned mutex means a peer thread panicked while holding the guard.
+/// The store's invariant is that every critical section leaves its
+/// protected state complete (entries are inserted whole, arenas pushed
+/// whole), so recovery is always sound here — which is why this helper,
+/// and not ad-hoc `unwrap_or_else(PoisonError::into_inner)` at each call
+/// site, is the only poison handling in the crate.
+pub(crate) fn lock_or_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}

@@ -1,0 +1,111 @@
+//! Model-checked interleaving tests for the store's concurrency core.
+//!
+//! Built and run only with `RUSTFLAGS="--cfg loom"` (see the loom CI job
+//! and `docs/CONCURRENCY.md`); a normal build compiles this file to an
+//! empty crate. Under `--cfg loom`, `cliz-store`'s `src/sync.rs` swaps its
+//! `std::sync` primitives for the `cliz-loom` checker's instrumented ones,
+//! so these models explore every bounded interleaving of the *production*
+//! [`ChunkCache`] code — the LRU bookkeeping and the stampede protocol in
+//! `get_or_decode` — not a test double.
+#![cfg(loom)]
+
+use cliz_grid::{Grid, Shape};
+use cliz_store::ChunkCache;
+use loom::sync::atomic::{AtomicU64, Ordering};
+use loom::sync::{Arc, Mutex};
+use loom::thread;
+
+fn grid_of(n: usize, fill: f32) -> Arc<Grid<f32>> {
+    Arc::new(Grid::filled(Shape::new(&[n]), fill))
+}
+
+/// The headline stampede property: two threads racing for the same cold
+/// chunk perform exactly one decode in every schedule, both observe the
+/// published grid, and each logical request is counted exactly once.
+#[test]
+fn raced_cold_chunk_decodes_exactly_once() {
+    loom::model(|| {
+        let cache = Arc::new(ChunkCache::new(1 << 16));
+        let lock = Arc::new(Mutex::new(()));
+        let decodes = Arc::new(AtomicU64::new(0));
+        let request = |cache: Arc<ChunkCache>, lock: Arc<Mutex<()>>, decodes: Arc<AtomicU64>| {
+            let grid = cache
+                .get_or_decode(0, &lock, || {
+                    decodes.fetch_add(1, Ordering::Relaxed);
+                    Ok::<_, ()>(grid_of(8, 3.5))
+                })
+                .expect("decode closure never fails");
+            assert_eq!(grid.as_slice()[0], 3.5);
+        };
+        let (c2, l2, d2) = (Arc::clone(&cache), Arc::clone(&lock), Arc::clone(&decodes));
+        let peer = thread::spawn(move || request(c2, l2, d2));
+        request(Arc::clone(&cache), Arc::clone(&lock), Arc::clone(&decodes));
+        peer.join().unwrap();
+        assert_eq!(
+            decodes.load(Ordering::Relaxed),
+            1,
+            "stampede: a cold chunk was decoded more than once"
+        );
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, 2, "each request counts exactly once");
+        assert_eq!((s.resident_entries, s.resident_bytes), (1, 32));
+    });
+}
+
+/// Soundness of the quiet re-check: a failed decode publishes nothing, the
+/// next request under the same lock really retries, and a resident chunk
+/// is never decoded again.
+#[test]
+fn failed_decode_is_not_published() {
+    loom::model(|| {
+        let cache = ChunkCache::new(1 << 16);
+        let lock = Mutex::new(());
+        let r = cache.get_or_decode(0, &lock, || Err::<Arc<Grid<f32>>, &str>("bad crc"));
+        assert_eq!(r.unwrap_err(), "bad crc");
+        let calls = std::cell::Cell::new(0u32);
+        let grid = cache
+            .get_or_decode(0, &lock, || {
+                calls.set(calls.get() + 1);
+                Ok::<_, &str>(grid_of(4, 1.0))
+            })
+            .expect("retry succeeds");
+        assert_eq!((calls.get(), grid.as_slice()[0]), (1, 1.0));
+        let again = cache
+            .get_or_decode(0, &lock, || {
+                calls.set(calls.get() + 1);
+                Ok::<_, &str>(grid_of(4, 2.0))
+            })
+            .expect("resident chunk");
+        assert_eq!(calls.get(), 1, "resident chunk must not decode again");
+        assert_eq!(again.as_slice()[0], 1.0);
+    });
+}
+
+/// LRU bookkeeping under racing insert/evict/get: whatever the schedule,
+/// the byte account balances against residency and the eviction counter
+/// accounts for every insert that is no longer resident.
+#[test]
+fn lru_insert_evict_get_interleavings_keep_stats_balanced() {
+    loom::model(|| {
+        // Budget fits two 32-byte entries; three distinct chunks race.
+        let cache = Arc::new(ChunkCache::new(64));
+        let c2 = Arc::clone(&cache);
+        let peer = thread::spawn(move || {
+            c2.insert(1, grid_of(8, 1.0));
+            let _ = c2.get(1);
+            c2.insert(2, grid_of(8, 2.0));
+        });
+        cache.insert(0, grid_of(8, 0.0));
+        let _ = cache.get(0);
+        peer.join().unwrap();
+        let s = cache.stats();
+        assert_eq!(s.resident_bytes, 32 * s.resident_entries);
+        assert_eq!(
+            s.resident_entries as u64 + s.evictions,
+            3,
+            "every insert is either resident or counted as an eviction"
+        );
+        assert!(s.resident_bytes <= cache.budget());
+        assert_eq!(s.hits + s.misses, 2);
+    });
+}

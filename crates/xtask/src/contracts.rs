@@ -31,8 +31,9 @@ use crate::items::FnItem;
 use crate::lexer::{self, ident_at, ident_starts_at, next_nonws, prev_nonws, Lines};
 use std::collections::{HashMap, HashSet};
 
-/// Crates whose code is never audited (the analyzer itself, benches).
-const EXEMPT: &[&str] = &["crates/xtask/", "crates/bench/"];
+/// Crates whose code is never audited (the analyzer itself, benches, the
+/// loom model checker — test-only infrastructure, not codec code).
+const EXEMPT: &[&str] = &["crates/xtask/", "crates/bench/", "crates/loom/"];
 
 /// Files where R8b (eb-scaling must live in named helpers) applies.
 const EB_SCOPE: &[&str] = &[

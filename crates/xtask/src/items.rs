@@ -11,7 +11,8 @@
 //! function that contains them.
 
 use crate::lexer::{
-    ident_at, ident_starts_at, is_ident, match_brace, next_nonws, prev_nonws, Lines,
+    ident_at, ident_ending_at, ident_starts_at, is_ident, match_brace, next_nonws, prev_nonws,
+    Lines,
 };
 
 /// A call site inside a function body. Resolution is by bare callee name
@@ -39,6 +40,12 @@ pub struct Hazard {
 #[derive(Debug)]
 pub struct FnItem {
     pub name: String,
+    /// Name of the type whose `impl` block encloses this item (`impl Foo`
+    /// and `impl Trait for Foo` both record `Foo`); `None` for free
+    /// functions. The concurrency passes use this for receiver-typed call
+    /// resolution, which is far less prone to name collisions than the
+    /// bare-name call graph.
+    pub owner: Option<String>,
     /// 1-based line of the `fn` keyword.
     pub line: usize,
     /// Byte offset of the `fn` keyword in the lexed code.
@@ -63,16 +70,101 @@ const INPUT_NAMES: &[&str] = &["bytes", "buf", "data", "input", "payload", "src"
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
 /// Keywords that can syntactically precede `(` without being a call.
-const NON_CALL_KEYWORDS: &[&str] = &[
+pub(crate) const NON_CALL_KEYWORDS: &[&str] = &[
     "if", "else", "match", "while", "for", "loop", "return", "fn", "let", "in", "as", "ref",
     "mut", "move", "unsafe", "where", "impl", "pub", "use", "mod", "struct", "enum", "trait",
     "type", "const", "static", "break", "continue", "dyn", "crate", "super", "self", "Self",
     "async", "await", "box", "yield",
 ];
 
+/// An `impl` block's byte range and the implemented type's name.
+struct ImplBlock {
+    open: usize,
+    close: usize,
+    owner: String,
+}
+
+/// Locates every `impl` *item* (not `impl Trait` in type position) and the
+/// name of the type it implements: the last type-path head identifier seen
+/// at angle-bracket depth 0 before the block brace, restarted by `for`
+/// (`impl fmt::Display for ChunkCache` records `ChunkCache`) and frozen by
+/// `where`.
+fn parse_impls(b: &[u8]) -> Vec<ImplBlock> {
+    let mut impls = Vec::new();
+    let mut i = 0usize;
+    while i < b.len() {
+        if !ident_starts_at(b, i) {
+            i += 1;
+            continue;
+        }
+        let word = ident_at(b, i);
+        let start = i;
+        i += word.len();
+        if word != "impl" {
+            continue;
+        }
+        // An impl item can only follow the start of file, a block boundary,
+        // a `;`, an attribute's `]`, or the `unsafe` keyword; anything else
+        // (`-> impl Iterator`, `(impl Fn(..))`) is `impl Trait` in type
+        // position.
+        let item_position = match prev_nonws(b, start) {
+            None => true,
+            Some((j, c)) => {
+                c == b'{'
+                    || c == b'}'
+                    || c == b';'
+                    || c == b']'
+                    || (is_ident(c) && ident_ending_at(b, j + 1) == "unsafe")
+            }
+        };
+        if !item_position {
+            continue;
+        }
+        let mut angle = 0isize;
+        let mut head: Option<String> = None;
+        let mut frozen = false;
+        let mut j = i;
+        while j < b.len() {
+            let c = b[j];
+            if ident_starts_at(b, j) {
+                let w = ident_at(b, j);
+                if angle == 0 {
+                    if w == "for" {
+                        head = None;
+                    } else if w == "where" {
+                        frozen = true;
+                    } else if !frozen {
+                        head = Some(w.to_string());
+                    }
+                }
+                j += w.len();
+                continue;
+            }
+            match c {
+                b'<' => angle += 1,
+                b'>' if j > 0 && b[j - 1] != b'-' => angle = (angle - 1).max(0),
+                b'{' | b';' => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        if j < b.len() && b[j] == b'{' {
+            if let Some(owner) = head {
+                impls.push(ImplBlock {
+                    open: j,
+                    close: match_brace(b, j),
+                    owner,
+                });
+            }
+        }
+    }
+    impls
+}
+
 /// Parses every `fn` item out of lexed, test-blanked code.
 pub fn parse_items(active: &str, lines: &Lines) -> Vec<FnItem> {
     let b = active.as_bytes();
+    let impls = parse_impls(b);
     let mut items = Vec::new();
 
     // Pass 1: locate every `fn` declaration and its body span.
@@ -121,8 +213,14 @@ pub fn parse_items(active: &str, lines: &Lines) -> Vec<FnItem> {
                 (e, e, false)
             }
         };
+        let owner = impls
+            .iter()
+            .filter(|im| im.open < start && end <= im.close)
+            .min_by_key(|im| im.close - im.open)
+            .map(|im| im.owner.clone());
         items.push(FnItem {
             name,
+            owner,
             line: lines.line_of(start),
             start,
             end,
@@ -226,6 +324,133 @@ fn scan_body(
     (calls, hazards)
 }
 
+/// A named struct field: `struct S { name: Ty }`. Tuple and unit structs
+/// are skipped — the concurrency passes only care about named lock,
+/// atomic, and counter fields.
+#[derive(Debug)]
+pub struct FieldDecl {
+    pub struct_name: String,
+    pub name: String,
+    /// The declared type, verbatim (whitespace-trimmed).
+    pub ty: String,
+    pub line: usize,
+}
+
+/// Parses every named-struct field out of lexed, test-blanked code.
+pub fn parse_fields(active: &str, lines: &Lines) -> Vec<FieldDecl> {
+    let b = active.as_bytes();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < b.len() {
+        if !ident_starts_at(b, i) {
+            i += 1;
+            continue;
+        }
+        let word = ident_at(b, i);
+        i += word.len();
+        if word != "struct" {
+            continue;
+        }
+        let Some((j, c)) = next_nonws(b, i) else {
+            continue;
+        };
+        if !is_ident(c) || c.is_ascii_digit() {
+            continue;
+        }
+        let struct_name = ident_at(b, j).to_string();
+        // Find the field block `{`, skipping generics; `(` (tuple struct)
+        // or `;` (unit struct) ends the search.
+        let mut k = j + struct_name.len();
+        let mut angle = 0isize;
+        let mut open = None;
+        while k < b.len() {
+            match b[k] {
+                b'<' => angle += 1,
+                b'>' if b[k - 1] != b'-' => angle = (angle - 1).max(0),
+                b'{' if angle == 0 => {
+                    open = Some(k);
+                    break;
+                }
+                b'(' | b';' if angle == 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        let Some(open) = open else { continue };
+        let close = match_brace(b, open);
+        // Split the body on commas at nesting depth 0; each segment is one
+        // field declaration (possibly with attributes/visibility).
+        let mut seg_start = open + 1;
+        let mut depth = 0isize;
+        let mut angle = 0isize;
+        let mut m = open + 1;
+        while m <= close && m < b.len() {
+            let c = b[m];
+            let boundary = m == close || (c == b',' && depth == 0 && angle == 0);
+            if boundary {
+                push_field(&mut fields, &struct_name, active, seg_start, m, lines);
+                seg_start = m + 1;
+            } else {
+                match c {
+                    b'(' | b'[' | b'{' => depth += 1,
+                    b')' | b']' | b'}' => depth -= 1,
+                    b'<' => angle += 1,
+                    b'>' if b[m - 1] != b'-' => angle = (angle - 1).max(0),
+                    _ => {}
+                }
+            }
+            m += 1;
+        }
+    }
+    fields
+}
+
+fn push_field(
+    fields: &mut Vec<FieldDecl>,
+    struct_name: &str,
+    active: &str,
+    seg_start: usize,
+    seg_end: usize,
+    lines: &Lines,
+) {
+    let b = active.as_bytes();
+    // First `:` outside brackets that is not part of `::` separates the
+    // field name from its type (skips `pub(in a::b)` path visibility).
+    let mut depth = 0isize;
+    let mut m = seg_start;
+    while m < seg_end {
+        match b[m] {
+            b'(' | b'[' | b'<' => depth += 1,
+            b')' | b']' => depth -= 1,
+            b'>' if b[m - 1] != b'-' => depth = (depth - 1).max(0),
+            b':' if depth == 0 => {
+                if m + 1 < b.len() && b[m + 1] == b':' {
+                    m += 2;
+                    continue;
+                }
+                let Some((p, c)) = prev_nonws(b, m) else { return };
+                if !is_ident(c) {
+                    return;
+                }
+                let name = ident_ending_at(b, p + 1).to_string();
+                let ty = active[m + 1..seg_end].trim().to_string();
+                if name.is_empty() || ty.is_empty() {
+                    return;
+                }
+                fields.push(FieldDecl {
+                    struct_name: struct_name.to_string(),
+                    name,
+                    ty,
+                    line: lines.line_of(m),
+                });
+                return;
+            }
+            _ => {}
+        }
+        m += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,5 +529,46 @@ mod tests {
         let items = parse(src);
         assert_eq!(items.len(), 1);
         assert_eq!(items[0].name, "prod");
+    }
+
+    #[test]
+    fn impl_owner_attribution() {
+        let src = "struct Cache;\nimpl Cache {\n    fn get(&self) {}\n}\n\
+                   impl std::fmt::Display for Cache {\n    fn fmt(&self) {}\n}\n\
+                   fn free() -> impl Iterator<Item = u8> { [0u8].into_iter() }\n";
+        let items = parse(src);
+        assert_eq!(items[0].name, "get");
+        assert_eq!(items[0].owner.as_deref(), Some("Cache"));
+        assert_eq!(items[1].name, "fmt");
+        assert_eq!(items[1].owner.as_deref(), Some("Cache"));
+        assert_eq!(items[2].name, "free");
+        assert_eq!(items[2].owner, None);
+    }
+
+    #[test]
+    fn generic_impl_and_where_clause_owner() {
+        let src = "impl<T: Clone> Wrapper<T> where T: Send {\n    fn peek(&self) {}\n}\n";
+        let items = parse(src);
+        assert_eq!(items[0].owner.as_deref(), Some("Wrapper"));
+    }
+
+    #[test]
+    fn struct_fields_parse_names_types_lines() {
+        let src = "pub struct Cache {\n    inner: Mutex<Inner>,\n    pub hits: AtomicU64,\n    map: HashMap<usize, Entry>,\n}\nstruct Unit;\nstruct Tup(u8, u8);\n";
+        let lexed = lexer::strip(src);
+        let lines = Lines::new(&lexed.code);
+        let fields = parse_fields(&lexed.code, &lines);
+        let got: Vec<(&str, &str, &str, usize)> = fields
+            .iter()
+            .map(|f| (f.struct_name.as_str(), f.name.as_str(), f.ty.as_str(), f.line))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("Cache", "inner", "Mutex<Inner>", 2),
+                ("Cache", "hits", "AtomicU64", 3),
+                ("Cache", "map", "HashMap<usize, Entry>", 4),
+            ]
+        );
     }
 }

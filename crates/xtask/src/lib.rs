@@ -13,9 +13,11 @@
 //!   items and call/hazard sites, [`callgraph`] links call sites to every
 //!   same-named function, [`taint`] runs the R5 panic-reachability pass
 //!   from decode-tainted entry points, [`dataflow`] runs the R7
-//!   length-provenance pass, and [`contracts`] runs the R8 error-bound
+//!   length-provenance pass, [`contracts`] runs the R8 error-bound
 //!   contract audit (integration-test files are collected as coverage
-//!   evidence for R8 but are exempt from every other rule).
+//!   evidence for R8 but are exempt from every other rule), [`locks`] runs
+//!   the R9 lock-discipline pass, and [`shared`] runs the R10 shared-state
+//!   audit.
 //!
 //! [`output`] renders reports as text/JSON/SARIF and implements the
 //! `xtask-baseline.json` ratchet (findings may only shrink).
@@ -25,8 +27,10 @@ pub mod contracts;
 pub mod dataflow;
 pub mod items;
 pub mod lexer;
+pub mod locks;
 pub mod output;
 pub mod rules;
+pub mod shared;
 pub mod taint;
 
 use std::fs;
@@ -133,6 +137,16 @@ pub fn lint_sources(files: &[(String, String)]) -> Report {
     // Workspace pass: R8 error-bound contract audit (sees the test files).
     for f in contracts::analyze(files) {
         push(&mut report, "R8", f.file, f.line, f.message);
+    }
+
+    // Workspace pass: R9 lock discipline.
+    for f in locks::analyze(&product_files) {
+        push(&mut report, "R9", f.file, f.line, f.message);
+    }
+
+    // Workspace pass: R10 shared-state audit.
+    for f in shared::analyze(&product_files) {
+        push(&mut report, "R10", f.file, f.line, f.message);
     }
 
     report

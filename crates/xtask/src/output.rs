@@ -70,6 +70,8 @@ const RULE_DESCRIPTIONS: &[(&str, &str)] = &[
     ("R6", "bare float<->int or f64->f32 cast; use cliz_core::cast helpers"),
     ("R7", "unchecked arithmetic/slice/allocation sized by an untrusted length (dataflow pass)"),
     ("R8", "Compressor impl lacks bound-asserting roundtrip test, or eb scaled outside a named helper"),
+    ("R9", "lock-discipline hazard: guard held across expensive work, double acquisition, or lock-order cycle (workspace pass)"),
+    ("R10", "shared-state hazard: static mut, unsafe impl Send/Sync, mismatched atomic orderings, bare counter in a Sync type, or escaping interior mutability (workspace pass)"),
 ];
 
 /// Renders the report as a minimal SARIF 2.1.0 document.

@@ -35,6 +35,15 @@
 //!   reachable from a roundtrip test asserting `|x − x'| ≤ eb`, and eb
 //!   scaling must live in a named `eb` helper. Produced by the workspace
 //!   pass in [`crate::contracts`].
+//! * **R9** — lock discipline: a `MutexGuard` live across a call reaching
+//!   decode/codec/IO work, double acquisition of a lock field, or a cycle
+//!   in the pairwise lock-order graph. Produced by the workspace pass in
+//!   [`crate::locks`].
+//! * **R10** — shared-state audit: `static mut`, manual `unsafe impl
+//!   Send/Sync`, mismatched atomic orderings across paired load/store
+//!   sites, non-atomic counters in sync-shared structs, and interior
+//!   mutability escaping via `&self` returns. Produced by the workspace
+//!   pass in [`crate::shared`].
 //!
 //! Suppressions: `// xtask-allow: R1 -- reason` (covers its own line and
 //! the next), or `// xtask-allow-fn: R1 -- reason` (covers the whole next
@@ -60,7 +69,9 @@ pub struct FileReport {
     pub suppressed: usize,
 }
 
-pub const ALL_RULES: &[&str] = &["R0", "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"];
+pub const ALL_RULES: &[&str] = &[
+    "R0", "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10",
+];
 
 /// Files/dirs (workspace-relative, `/`-separated prefixes) where R1 applies:
 /// everything that parses attacker-controllable container bytes.

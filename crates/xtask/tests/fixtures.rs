@@ -289,3 +289,83 @@ fn ratchet_only_shrinks_fixed_findings_go_stale_not_green_lit() {
     assert_eq!(out.stale.len(), 1);
     assert_eq!(out.stale[0].2, 0, "stale entry reports current count 0");
 }
+
+#[test]
+fn r9_flags_held_guards_double_acquires_and_order_cycles() {
+    let files = vec![(
+        "crates/transfer/src/fixture.rs".to_string(),
+        include_str!("fixtures/r9_hazards.rs").to_string(),
+    )];
+    // line 9: guard on `state` held across `decompress_block(..)`;
+    // line 14: `state` re-acquired while its guard is still live;
+    // lines 21/28: `state`→`side` and `side`→`state` nestings both occur,
+    // so each edge of the order cycle is flagged at its acquisition site.
+    assert_eq!(
+        workspace_hits(&files),
+        vec![("R9", 9), ("R9", 14), ("R9", 21), ("R9", 28)]
+    );
+}
+
+#[test]
+fn r9_released_guards_and_canonical_order_pass() {
+    let files = vec![(
+        "crates/transfer/src/fixture.rs".to_string(),
+        include_str!("fixtures/r9_clean.rs").to_string(),
+    )];
+    // Block-scoped, dropped, and statement-temporary guards all end before
+    // the codec call; both nesting functions use the same lock order.
+    assert_eq!(workspace_hits(&files), vec![]);
+}
+
+#[test]
+fn r9_is_silent_in_exempt_crates() {
+    let files = vec![(
+        "crates/bench/src/fixture.rs".to_string(),
+        include_str!("fixtures/r9_hazards.rs").to_string(),
+    )];
+    assert_eq!(workspace_hits(&files), vec![]);
+}
+
+#[test]
+fn r10_flags_shared_state_hazards() {
+    let files = vec![(
+        "crates/transfer/src/fixture.rs".to_string(),
+        include_str!("fixtures/r10_hazards.rs").to_string(),
+    )];
+    // line 1: `static mut`; line 4: bare `count: u64` in a sync-shared
+    // struct; lines 9/10: manual `unsafe impl Send`/`Sync`; line 14:
+    // `Relaxed` fetch_add on `total` while line 18 loads it with
+    // `Acquire`; line 21: `&self` method returning `&RefCell<..>`.
+    assert_eq!(
+        workspace_hits(&files),
+        vec![
+            ("R10", 1),
+            ("R10", 4),
+            ("R10", 9),
+            ("R10", 10),
+            ("R10", 14),
+            ("R10", 21)
+        ]
+    );
+}
+
+#[test]
+fn r10_relaxed_counters_and_locked_state_pass() {
+    let files = vec![(
+        "crates/transfer/src/fixture.rs".to_string(),
+        include_str!("fixtures/r10_clean.rs").to_string(),
+    )];
+    // All-`Relaxed` statistical counters, a plain counter under the
+    // `Mutex`, and a `MutexGuard`-returning accessor are the sanctioned
+    // layouts.
+    assert_eq!(workspace_hits(&files), vec![]);
+}
+
+#[test]
+fn r10_is_silent_in_exempt_crates() {
+    let files = vec![(
+        "crates/bench/src/fixture.rs".to_string(),
+        include_str!("fixtures/r10_hazards.rs").to_string(),
+    )];
+    assert_eq!(workspace_hits(&files), vec![]);
+}

@@ -4,6 +4,6 @@ pub fn checksum(bytes: &[u8]) -> u8 {
 }
 
 pub fn tail(bytes: &[u8]) -> u8 {
-    // xtask-allow: R9 -- no such rule
+    // xtask-allow: R99 -- no such rule
     bytes[1]
 }

@@ -1,0 +1,24 @@
+pub static mut GLOBAL_SCRATCH: [u8; 4] = [0; 4];
+
+pub struct Tracker {
+    pub count: u64,
+    pub total: std::sync::atomic::AtomicU64,
+    pub cell: std::cell::RefCell<Vec<u8>>,
+}
+
+unsafe impl Send for Tracker {}
+unsafe impl Sync for Tracker {}
+
+impl Tracker {
+    pub fn bump(&self) {
+        self.total.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> u64 {
+        self.total.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    pub fn view(&self) -> &std::cell::RefCell<Vec<u8>> {
+        &self.cell
+    }
+}

@@ -1,0 +1,42 @@
+pub struct Pool {
+    slots: std::sync::Mutex<Vec<u8>>,
+    meta: std::sync::Mutex<u8>,
+}
+
+impl Pool {
+    pub fn copies_out_then_works(&self) {
+        let first = {
+            let g = self.slots.lock().unwrap();
+            g.first().copied().unwrap_or(0)
+        };
+        decompress_block(&[first]);
+    }
+
+    pub fn drops_guard_before_work(&self) {
+        let g = self.slots.lock().unwrap();
+        let n = g.len();
+        drop(g);
+        decompress_block(&[n as u8]);
+    }
+
+    pub fn statement_temporary_guard(&self) {
+        let n = self.slots.lock().unwrap().len();
+        decompress_block(&[n as u8]);
+    }
+
+    pub fn nests_in_canonical_order(&self) {
+        let a = self.slots.lock().unwrap();
+        let b = self.meta.lock().unwrap();
+        drop(b);
+        drop(a);
+    }
+
+    pub fn also_nests_in_canonical_order(&self) {
+        let a = self.slots.lock().unwrap();
+        let b = self.meta.lock().unwrap();
+        drop(b);
+        drop(a);
+    }
+}
+
+pub fn decompress_block(_bytes: &[u8]) {}

@@ -1,0 +1,34 @@
+pub struct Codec {
+    state: std::sync::Mutex<Vec<u8>>,
+    side: std::sync::Mutex<u8>,
+}
+
+impl Codec {
+    pub fn holds_across_codec_work(&self) {
+        let g = self.state.lock().unwrap();
+        decompress_block(&g);
+    }
+
+    pub fn reacquires_same_lock(&self) {
+        let a = self.state.lock().unwrap();
+        let b = self.state.lock().unwrap();
+        drop(a);
+        drop(b);
+    }
+
+    pub fn nests_state_then_side(&self) {
+        let a = self.state.lock().unwrap();
+        let b = self.side.lock().unwrap();
+        drop(b);
+        drop(a);
+    }
+
+    pub fn nests_side_then_state(&self) {
+        let b = self.side.lock().unwrap();
+        let a = self.state.lock().unwrap();
+        drop(a);
+        drop(b);
+    }
+}
+
+pub fn decompress_block(_bytes: &[u8]) {}
