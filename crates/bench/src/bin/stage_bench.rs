@@ -1,0 +1,349 @@
+//! Per-stage kernel benchmark with built-in byte-identity gates.
+//!
+//! Measures each pipeline stage in isolation, and — for the stages that
+//! were rewritten for throughput (entropy coding, zlite) — diffs the new
+//! kernels against the frozen pre-rewrite references
+//! (`cliz::entropy::reference`, `cliz::lossless::reference`) on every run:
+//!
+//! 1. **entropy encode/decode** — canonical-Huffman stream coding. The new
+//!    word-at-a-time writer must produce byte-identical streams, the packed
+//!    multi-symbol decoder must reproduce the symbols exactly, and (in the
+//!    scaled/full tiers) decode must run ≥ 3× faster than the reference;
+//! 2. **lossless compress/decompress** — the zlite container. Compressed
+//!    bytes and roundtrip output are diffed against the reference;
+//! 3. **quant classify/shift** — per-position classification and the
+//!    shift/unshift transforms (unshift must invert shift exactly);
+//! 4. **predict quantize/reconstruct** — the interpolation walk; the
+//!    decoder reconstruction must equal the encoder's in-place buffer
+//!    bit-for-bit.
+//!
+//! Any divergence (or a missed speedup gate) exits non-zero — CI runs
+//! `--quick` as a smoke test of the identity gates.
+//!
+//! ```sh
+//! cargo run -p cliz-bench --release --bin stage_bench [--quick|--full]
+//! # writes BENCH_stages.json into the current directory
+//! ```
+//!
+//! See docs/PERFORMANCE.md ("Decode kernel architecture") for how the
+//! rewritten kernels earn the speedups recorded here.
+
+use cliz::entropy::huffman::{decode_stream, encode_stream};
+use cliz::entropy::reference::{ref_decode_stream, ref_encode_stream};
+use cliz::lossless::reference::{ref_compress, ref_decompress};
+use cliz::lossless::{compress, decompress};
+use cliz::predict::{predict_quantize, reconstruct, Fitting, InterpParams};
+use cliz::quant::classify::{apply_shifts, unapply_shifts};
+use cliz::quant::{classify, ClassifySpec, LinearQuantizer, ESCAPE};
+use cliz_bench::Args;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Best-of-`reps` wall time of `f`, in seconds.
+fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Geometric-ish quantization-symbol stream: mostly small bins with a long
+/// tail, the shape the predictor actually hands the entropy stage.
+fn symbol_stream(n: usize) -> Vec<u32> {
+    let mut state = 0x2545F491_4F6CDD1Du64;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let r = ((state >> 40) as u32) | 1;
+        // leading_zeros of a 24-bit draw: geometric with ratio ~1/2.
+        out.push((r.leading_zeros() - 8).min(40));
+    }
+    // Singletons deepen the tree past the LUT so the slow path is exercised.
+    out.extend(100..108);
+    out
+}
+
+/// Byte stream shaped like a Huffman-coded residual payload: long
+/// low-entropy runs with sparse punctuation (LZ matches + literals).
+fn residual_bytes(n: usize) -> Vec<u8> {
+    let mut state = 0x9E3779B9_7F4A7C15u64;
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let run = 3 + ((state >> 48) as usize & 31);
+        let byte = ((state >> 32) & 0x7) as u8;
+        for _ in 0..run.min(n - out.len()) {
+            out.push(byte);
+        }
+        if out.len() < n {
+            out.push((state >> 56) as u8);
+        }
+    }
+    out
+}
+
+/// Smooth 3-D field, the predictor's intended input.
+fn smooth_field(dims: &[usize]) -> Vec<f32> {
+    let (a, b, c) = (dims[0], dims[1], dims[2]);
+    let mut v = Vec::with_capacity(a * b * c);
+    for i in 0..a {
+        for j in 0..b {
+            for k in 0..c {
+                let x = i as f64 / a as f64;
+                let y = j as f64 / b as f64;
+                let z = k as f64 / c as f64;
+                v.push((12.0 * (x * 2.9).sin() + 6.0 * (y * 2.1).cos() + 3.0 * z * z) as f32);
+            }
+        }
+    }
+    v
+}
+
+struct Stage {
+    name: &'static str,
+    input_mb: f64,
+    new_s: f64,
+    ref_s: Option<f64>,
+    identical: bool,
+}
+
+impl Stage {
+    fn print(&self) {
+        let new_tp = self.input_mb / self.new_s;
+        match self.ref_s {
+            Some(ref_s) => println!(
+                "  {:<22} {:>8.1} MB/s   (reference {:>7.1} MB/s, {:>5.2}x)   identical: {}",
+                self.name,
+                new_tp,
+                self.input_mb / ref_s,
+                ref_s / self.new_s,
+                self.identical
+            ),
+            None => println!(
+                "  {:<22} {:>8.1} MB/s   identical: {}",
+                self.name, new_tp, self.identical
+            ),
+        }
+    }
+
+    fn json(&self) -> String {
+        let speedup = self.ref_s.map(|r| r / self.new_s);
+        format!(
+            "{{\"stage\":\"{}\",\"input_mb\":{},\"new_s\":{},\"new_mb_s\":{},\
+             \"ref_s\":{},\"ref_mb_s\":{},\"speedup\":{},\"identical\":{}}}",
+            self.name,
+            json_f64(self.input_mb),
+            json_f64(self.new_s),
+            json_f64(self.input_mb / self.new_s),
+            self.ref_s.map_or("null".into(), json_f64),
+            self.ref_s.map_or("null".into(), |r| json_f64(self.input_mb / r)),
+            speedup.map_or("null".into(), json_f64),
+            self.identical,
+        )
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let (tier, n_syms, n_bytes, dims, reps) = if args.quick {
+        ("quick", 200_000usize, 1usize << 20, vec![16, 48, 48], 3usize)
+    } else if args.full {
+        ("full", 16_000_000, 48 << 20, vec![64, 384, 384], 5)
+    } else {
+        ("scaled", 4_000_000, 16 << 20, vec![32, 192, 192], 5)
+    };
+    println!(
+        "stage_bench ({tier}): {n_syms} symbols, {} MB bytes, {dims:?} field",
+        n_bytes >> 20
+    );
+
+    let mut stages: Vec<Stage> = Vec::new();
+    let mut diverged = false;
+    let mut check = |name: &str, ok: bool| {
+        if !ok {
+            eprintln!("DIVERGENCE: {name}");
+            diverged = true;
+        }
+    };
+
+    // --- entropy: canonical Huffman stream coding ---
+    let symbols = symbol_stream(n_syms);
+    let sym_mb = (symbols.len() * 4) as f64 / 1e6;
+
+    let enc_s = time_best(reps, || encode_stream(&symbols));
+    let ref_enc_s = time_best(reps, || ref_encode_stream(&symbols));
+    let bytes = encode_stream(&symbols);
+    check("entropy encode bytes != reference", bytes == ref_encode_stream(&symbols));
+    stages.push(Stage {
+        name: "entropy_encode",
+        input_mb: sym_mb,
+        new_s: enc_s,
+        ref_s: Some(ref_enc_s),
+        identical: bytes == ref_encode_stream(&symbols),
+    });
+
+    let dec_s = time_best(reps, || decode_stream(&bytes));
+    let ref_dec_s = time_best(reps, || ref_decode_stream(&bytes));
+    let decoded = decode_stream(&bytes);
+    let dec_ok = decoded.as_deref() == Some(&symbols[..])
+        && decoded == ref_decode_stream(&bytes);
+    check("entropy decode != original symbols / reference", dec_ok);
+    stages.push(Stage {
+        name: "entropy_decode",
+        input_mb: sym_mb,
+        new_s: dec_s,
+        ref_s: Some(ref_dec_s),
+        identical: dec_ok,
+    });
+    let decode_speedup = ref_dec_s / dec_s;
+
+    // --- lossless: zlite container ---
+    let payload = residual_bytes(n_bytes);
+    let mb = payload.len() as f64 / 1e6;
+
+    let comp_s = time_best(reps, || compress(&payload));
+    let ref_comp_s = time_best(reps, || ref_compress(&payload));
+    let packed = compress(&payload);
+    let comp_ok = packed == ref_compress(&payload);
+    check("zlite compress bytes != reference", comp_ok);
+    stages.push(Stage {
+        name: "zlite_compress",
+        input_mb: mb,
+        new_s: comp_s,
+        ref_s: Some(ref_comp_s),
+        identical: comp_ok,
+    });
+
+    let dec_s = time_best(reps, || decompress(&packed));
+    let ref_dec_s2 = time_best(reps, || ref_decompress(&packed));
+    let unpacked = decompress(&packed);
+    let unp_ok = unpacked.as_deref().ok() == Some(&payload[..])
+        && unpacked.as_deref().ok() == ref_decompress(&packed).as_deref().ok();
+    check("zlite decompress != original / reference", unp_ok);
+    stages.push(Stage {
+        name: "zlite_decompress",
+        input_mb: mb,
+        new_s: dec_s,
+        ref_s: Some(ref_dec_s2),
+        identical: unp_ok,
+    });
+
+    // --- quant: classification + shift transforms ---
+    let field = smooth_field(&dims);
+    let field_mb = (field.len() * 4) as f64 / 1e6;
+    let h_len = dims[1] * dims[2];
+    let q = LinearQuantizer::new(1e-3);
+    let params = InterpParams::new(Fitting::Cubic);
+    let mut buf = field.clone();
+    let mut symbols_grid = vec![0u32; field.len()];
+    predict_quantize(&mut buf, &dims, &params, &q, &mut symbols_grid);
+
+    let class = classify(&symbols_grid, h_len, None, ClassifySpec::default());
+    let classify_s = time_best(reps, || {
+        classify(&symbols_grid, h_len, None, ClassifySpec::default())
+    });
+    let mut shifted = symbols_grid.clone();
+    let shift_s = time_best(reps, || {
+        apply_shifts(&mut shifted, &class, None);
+        unapply_shifts(&mut shifted, &class, None);
+    });
+    let shift_ok = shifted == symbols_grid;
+    check("quant shift/unshift not an identity", shift_ok);
+    stages.push(Stage {
+        name: "quant_classify",
+        input_mb: field_mb,
+        new_s: classify_s,
+        ref_s: None,
+        identical: true,
+    });
+    stages.push(Stage {
+        name: "quant_shift_roundtrip",
+        input_mb: field_mb,
+        new_s: shift_s,
+        ref_s: None,
+        identical: shift_ok,
+    });
+
+    // --- predict: interpolation walk, both directions ---
+    let pq_s = time_best(reps, || {
+        let mut b = field.clone();
+        let mut s = vec![0u32; field.len()];
+        predict_quantize(&mut b, &dims, &params, &q, &mut s)
+    });
+    let literals: Vec<f32> = symbols_grid
+        .iter()
+        .zip(&field)
+        .filter(|&(&s, _)| s == ESCAPE)
+        .map(|(_, &v)| v)
+        .collect();
+    let mut out = vec![0.0f32; field.len()];
+    let rec_s = time_best(reps, || {
+        reconstruct(&mut out, &dims, &params, &q, &symbols_grid, &literals, 0.0)
+    });
+    reconstruct(&mut out, &dims, &params, &q, &symbols_grid, &literals, 0.0)
+        .expect("reconstruct");
+    let rec_ok = out == buf;
+    check("predict reconstruct != encoder reconstruction", rec_ok);
+    stages.push(Stage {
+        name: "predict_quantize",
+        input_mb: field_mb,
+        new_s: pq_s,
+        ref_s: None,
+        identical: true,
+    });
+    stages.push(Stage {
+        name: "predict_reconstruct",
+        input_mb: field_mb,
+        new_s: rec_s,
+        ref_s: None,
+        identical: rec_ok,
+    });
+
+    for s in &stages {
+        s.print();
+    }
+
+    // The decode-kernel overhaul this harness guards (ROADMAP item 1)
+    // promises ≥ 3× entropy decode over the frozen reference; quick-tier
+    // inputs are too small to time reliably, so the gate applies to the
+    // tiers whose JSON gets committed.
+    let gate = 3.0;
+    let gated = !args.quick;
+    println!(
+        "\nentropy decode speedup over pre-rewrite reference: {decode_speedup:.2}x \
+         (gate {gate}x, {})",
+        if gated { "enforced" } else { "quick tier: not enforced" }
+    );
+    if gated && decode_speedup < gate {
+        eprintln!("FAIL: entropy decode speedup {decode_speedup:.2}x below the {gate}x gate");
+        diverged = true;
+    }
+
+    let json = format!(
+        "{{\"schema\":\"cliz-stage-bench-v1\",\"tier\":\"{tier}\",\
+         \"symbols\":{n_syms},\"payload_bytes\":{n_bytes},\"field_dims\":{dims:?},\
+         \"entropy_decode_speedup\":{},\"speedup_gate\":{},\
+         \"stages\":[{}]}}\n",
+        json_f64(decode_speedup),
+        json_f64(gate),
+        stages.iter().map(Stage::json).collect::<Vec<_>>().join(","),
+    );
+    std::fs::write("BENCH_stages.json", &json).expect("write BENCH_stages.json");
+    println!("wrote BENCH_stages.json");
+
+    if diverged {
+        eprintln!("FAIL: stage identity/performance gates violated");
+        std::process::exit(1);
+    }
+}

@@ -1,16 +1,27 @@
-//! MSB-first bit-level writer and reader.
+//! MSB-first bit-level writer and reader, word-at-a-time.
 //!
 //! MSB-first order lets canonical Huffman decoders compare accumulated code
 //! values numerically against per-length first-code tables.
+//!
+//! Both sides buffer in a 64-bit accumulator so a `write_bits`/`read_bits`
+//! call touches memory at most once per 8 bits instead of once per bit:
+//! the writer drains whole bytes only when ≥ 8 bits are pending, and the
+//! reader refills the accumulator to ≥ 56 bits before extracting, so any
+//! `len ≤ 32` read is a single shift+mask. The byte streams are identical
+//! to the pre-rewrite byte-at-a-time implementation (frozen in
+//! [`crate::reference`] and pinned by differential tests).
 
 use cliz_grid::cast;
 
 /// Accumulates bits MSB-first into a byte vector.
+///
+/// The low `nbits` bits of `acc` are live (most recently written = least
+/// significant); bits above them are stale and masked out on drain.
 #[derive(Debug, Default)]
 pub struct BitWriter {
     out: Vec<u8>,
-    /// Bits buffered in `acc`, left-aligned count in [0, 8).
-    acc: u8,
+    acc: u64,
+    /// Live bit count, kept in [0, 8) between calls.
     nbits: u32,
 }
 
@@ -33,22 +44,13 @@ impl BitWriter {
     pub fn write_bits(&mut self, code: u32, len: u32) {
         debug_assert!(len <= 32);
         debug_assert!(u64::from(code) < (1u64 << len) || len == 32);
-        let mut remaining = len;
-        while remaining > 0 {
-            let free = 8 - self.nbits;
-            let take = free.min(remaining);
-            let shift = remaining - take;
-            let chunk = cast::low_u8((code >> shift) & ((1u32 << take) - 1));
-            // Widen before shifting: `take` may be 8 when the accumulator is
-            // empty, and `u8 << 8` is UB-adjacent (panics in debug builds).
-            self.acc = cast::low_u8((u16::from(self.acc) << take) | u16::from(chunk));
-            self.nbits += take;
-            remaining -= take;
-            if self.nbits == 8 {
-                self.out.push(self.acc);
-                self.acc = 0;
-                self.nbits = 0;
-            }
+        // At most 7 live bits + 32 new = 39, comfortably inside u64.
+        self.acc = (self.acc << len) | u64::from(code);
+        self.nbits += len;
+        while self.nbits >= 8 {
+            self.nbits -= 8;
+            // Keeps exactly the 8 live bits below the stale region.
+            self.out.push(cast::low_u8(self.acc >> self.nbits));
         }
     }
 
@@ -73,21 +75,24 @@ impl BitWriter {
     /// Flushes (zero-padding the final byte) and returns the buffer.
     pub fn finish(mut self) -> Vec<u8> {
         if self.nbits > 0 {
-            self.acc <<= 8 - self.nbits;
-            self.out.push(self.acc);
+            self.out.push(cast::low_u8(self.acc << (8 - self.nbits)));
         }
         self.out
     }
 }
 
 /// Reads bits MSB-first from a byte slice.
+///
+/// The low `nbits` bits of `acc` are live; [`BitReader::refill`] tops the
+/// accumulator up to ≥ 56 live bits (or end of data) so every extraction of
+/// up to 32 bits is branch-light.
 #[derive(Debug)]
 pub struct BitReader<'a> {
     data: &'a [u8],
-    /// Next byte to load.
+    /// Next byte to load into the accumulator.
     pos: usize,
-    /// Bits of `data[pos-1]` not yet consumed, right-aligned in `acc`.
-    acc: u8,
+    acc: u64,
+    /// Live (loaded but unconsumed) bit count, ≤ 63.
     nbits: u32,
 }
 
@@ -101,27 +106,31 @@ impl<'a> BitReader<'a> {
         }
     }
 
-    /// Reads `len` bits MSB-first. Returns `None` when the stream is
-    /// exhausted mid-read.
+    /// Tops the accumulator up to ≥ 56 live bits or end of data, one byte
+    /// per pass (≤ 7 passes, amortized over multi-bit reads).
+    #[inline]
+    fn refill(&mut self) {
+        while self.nbits < 56 {
+            let Some(&b) = self.data.get(self.pos) else {
+                return;
+            };
+            self.acc = (self.acc << 8) | u64::from(b);
+            self.pos += 1;
+            self.nbits += 8;
+        }
+    }
+
+    /// Reads `len` bits MSB-first. Returns `None` when the stream holds
+    /// fewer than `len` bits (nothing is consumed in that case).
     #[inline]
     pub fn read_bits(&mut self, len: u32) -> Option<u32> {
         debug_assert!(len <= 32);
-        let mut v: u32 = 0;
-        let mut remaining = len;
-        while remaining > 0 {
-            if self.nbits == 0 {
-                self.acc = *self.data.get(self.pos)?;
-                self.pos += 1;
-                self.nbits = 8;
-            }
-            let take = self.nbits.min(remaining);
-            let shift = self.nbits - take;
-            let chunk = (self.acc >> shift) & cast::low_u8((1u16 << take) - 1);
-            v = (v << take) | u32::from(chunk);
-            self.nbits -= take;
-            remaining -= take;
+        self.refill();
+        if self.nbits < len {
+            return None;
         }
-        Some(v)
+        self.nbits -= len;
+        Some(cast::low_u32((self.acc >> self.nbits) & ((1u64 << len) - 1)))
     }
 
     #[inline]
@@ -129,24 +138,29 @@ impl<'a> BitReader<'a> {
         self.read_bits(1).map(|b| b == 1)
     }
 
-    /// Peeks `len ≤ 16` bits without consuming, zero-padding past the end of
+    /// Peeks `len ≤ 32` bits without consuming, zero-padding past the end of
     /// the stream. Used by table-driven Huffman decoding; a padded lookup
     /// must be followed by [`BitReader::skip_bits`], which *does* fail on a
     /// truncated stream.
     #[inline]
     pub fn peek_bits(&self, len: u32) -> u32 {
-        debug_assert!(len <= 16);
-        // Assemble up to 24 valid bits starting at the cursor.
-        let mut acc: u32 = u32::from(self.acc & cast::low_u8((1u16 << self.nbits) - 1));
+        debug_assert!(len <= 32);
+        if self.nbits >= len {
+            // Fast path after a refill: one shift+mask.
+            return cast::low_u32((self.acc >> (self.nbits - len)) & ((1u64 << len) - 1));
+        }
+        // Cold path (drained accumulator or near end of stream): assemble
+        // the live bits plus upcoming bytes, zero-padding past the end.
+        let mut acc = self.acc & ((1u64 << self.nbits) - 1);
         let mut have = self.nbits;
         let mut pos = self.pos;
         while have < len {
             let byte = self.data.get(pos).copied().unwrap_or(0);
-            acc = (acc << 8) | u32::from(byte);
+            acc = (acc << 8) | u64::from(byte);
             have += 8;
             pos += 1;
         }
-        (acc >> (have - len)) & ((1u32 << len) - 1)
+        cast::low_u32((acc >> (have - len)) & ((1u64 << len) - 1))
     }
 
     /// Consumes `len` bits (already inspected via [`BitReader::peek_bits`]).
@@ -293,5 +307,60 @@ mod tests {
         assert_eq!(r.bit_pos(), 5);
         r.read_bits(5);
         assert_eq!(r.bit_pos(), 10);
+    }
+
+    #[test]
+    fn wide_peek_matches_reads() {
+        // peek_bits now admits the full 32-bit width the reader supports.
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_u32(0xCAFE_F00D);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        r.read_bits(3).unwrap();
+        assert_eq!(r.peek_bits(32), 0xCAFE_F00D);
+        assert_eq!(r.read_u32(), Some(0xCAFE_F00D));
+    }
+
+    #[test]
+    fn long_stream_matches_reference() {
+        // Differential pin against the frozen byte-at-a-time implementation:
+        // identical bytes out, identical values and positions back in.
+        let widths = [1u32, 3, 7, 8, 11, 13, 16, 21, 27, 32];
+        let mut w = BitWriter::new();
+        let mut rw = crate::reference::RefBitWriter::new();
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let mut expect = Vec::new();
+        for i in 0..10_000usize {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let len = widths[i % widths.len()];
+            let v = ((state >> 32) as u32) & (((1u64 << len) - 1) as u32);
+            w.write_bits(v, len);
+            rw.write_bits(v, len);
+            expect.push((v, len));
+        }
+        let bytes = w.finish();
+        assert_eq!(bytes, rw.finish(), "writer streams diverge");
+        let mut r = BitReader::new(&bytes);
+        let mut rr = crate::reference::RefBitReader::new(&bytes);
+        for &(v, len) in &expect {
+            assert_eq!(r.read_bits(len), Some(v));
+            assert_eq!(rr.read_bits(len), Some(v));
+            assert_eq!(r.bit_pos(), rr.bit_pos());
+        }
+    }
+
+    #[test]
+    fn failed_read_near_end_then_smaller_read() {
+        // 12 bits in the stream: a 16-bit read must fail without losing the
+        // ability to read the 12 real bits afterwards.
+        let mut w = BitWriter::new();
+        w.write_bits(0xABC, 12);
+        let bytes = w.finish(); // two bytes, 4 pad bits
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(17), None);
+        assert_eq!(r.read_bits(12), Some(0xABC));
     }
 }

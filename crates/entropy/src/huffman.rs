@@ -141,6 +141,18 @@ impl HuffmanEncoder {
         Self::from_frequencies(&freqs)
     }
 
+    /// Per-symbol code lengths (frozen-reference plumbing).
+    #[inline]
+    pub(crate) fn lens(&self) -> &[u8] {
+        &self.lens
+    }
+
+    /// Per-symbol canonical codes (frozen-reference plumbing).
+    #[inline]
+    pub(crate) fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
     /// Code length (bits) for `symbol`, 0 when the symbol is unused.
     #[inline]
     pub fn code_len(&self, symbol: u32) -> u32 {
@@ -195,10 +207,27 @@ impl HuffmanEncoder {
 }
 
 /// Primary decode-table width: codes up to this many bits resolve with one
-/// table lookup; longer codes fall back to the canonical bit-by-bit walk.
+/// table lookup; longer codes fall back to the canonical peek-based walk.
 /// Quantization-bin streams are dominated by 1-6-bit codes, so 11 bits
 /// covers essentially every symbol.
 const LUT_BITS: u32 = 11;
+
+/// Symbols per packed-table entry. Quantization-bin streams concentrate on
+/// 1-3-bit codes, so one 11-bit window routinely holds 4 complete codes —
+/// one lookup then emits 4 symbols and advances once.
+const PACK_SYMS: usize = 4;
+
+/// One multi-symbol decode-table entry: the complete codes found at the
+/// start of an 11-bit window, in order.
+#[derive(Clone, Copy, Debug, Default)]
+struct Pack {
+    /// Decoded symbols (first `count` are valid).
+    syms: [u32; PACK_SYMS],
+    /// `ends[i]` = cumulative bits consumed through `syms[i]`.
+    ends: [u8; PACK_SYMS],
+    /// Number of complete symbols in the window; 0 = fall back.
+    count: u8,
+}
 
 /// Canonical Huffman decoder, reconstructed from a serialized table.
 #[derive(Clone, Debug)]
@@ -214,6 +243,8 @@ pub struct HuffmanDecoder {
     max_len: u32,
     /// Primary lookup: prefix → (symbol, code length); length 0 = fall back.
     lut: Vec<(u32, u8)>,
+    /// Multi-symbol lookup: prefix → up to [`PACK_SYMS`] symbols + advance.
+    pack: Vec<Pack>,
 }
 
 impl HuffmanDecoder {
@@ -308,6 +339,25 @@ impl HuffmanDecoder {
                 code += 1;
             }
         }
+        // Multi-symbol packed table: for every 11-bit window, greedily
+        // resolve complete codes through the single-symbol LUT. A code is
+        // accepted only when it fits entirely inside the window's remaining
+        // bits, so every packed symbol comes from real (never padded) input.
+        let mut pack = vec![Pack::default(); 1 << LUT_BITS];
+        for (p, entry) in pack.iter_mut().enumerate() {
+            let mut pos = 0u32;
+            while (entry.count as usize) < PACK_SYMS {
+                let sub = (p << pos) & ((1usize << LUT_BITS) - 1);
+                let (sym, len) = lut[sub];
+                if len == 0 || u32::from(len) > LUT_BITS - pos {
+                    break;
+                }
+                entry.syms[entry.count as usize] = sym;
+                pos += u32::from(len);
+                entry.ends[entry.count as usize] = cast::low_u8(pos);
+                entry.count += 1;
+            }
+        }
         Some(Self {
             sorted_symbols: order,
             first_code,
@@ -315,6 +365,7 @@ impl HuffmanDecoder {
             count,
             max_len,
             lut,
+            pack,
         })
     }
 
@@ -329,27 +380,101 @@ impl HuffmanDecoder {
             r.skip_bits(u32::from(len))?;
             return Some(symbol);
         }
-        // Slow path: canonical walk for long codes.
-        let mut code = 0u32;
-        for l in 1..=self.max_len as usize {
-            code = (code << 1) | r.read_bits(1)?;
-            let delta = code.wrapping_sub(self.first_code[l]);
-            if delta < self.count[l] {
-                return Some(self.sorted_symbols[(self.first_index[l] + delta) as usize]);
+        // Slow path: peek the whole max-length window once and walk the
+        // per-length first-code tables without touching the stream, then
+        // consume exactly the matched length. Codes ≤ LUT_BITS always hit
+        // the LUT, so the walk starts past it. A match fabricated from
+        // zero-padding fails in skip_bits, exactly like the fast path.
+        let window = r.peek_bits(self.max_len);
+        for l in (LUT_BITS + 1)..=self.max_len {
+            let code = window >> (self.max_len - l);
+            let delta = code.wrapping_sub(self.first_code[l as usize]);
+            if delta < self.count[l as usize] {
+                r.skip_bits(l)?;
+                return Some(self.sorted_symbols[(self.first_index[l as usize] + delta) as usize]);
             }
         }
         None
     }
 
-    /// Decodes exactly `n` symbols. `n` may come from an untrusted header,
-    /// so the pre-allocation is capped; each symbol consumes ≥ 1 payload
-    /// bit, so a lying count errors out before growth matters.
+    /// Decodes exactly `n` symbols. `n` may come from an untrusted header:
+    /// every symbol consumes ≥ 1 payload bit, so an honest `n` can never
+    /// exceed the bits left in the stream — lying counts are rejected up
+    /// front, which also bounds the output allocation at 32× the input.
+    ///
+    /// Hot loop: one packed-table lookup emits up to [`PACK_SYMS`] symbols
+    /// with a single unconditional [`PACK_SYMS`]-lane store (no per-entry
+    /// length branch — lanes past `count` are rewritten by the next
+    /// iteration, which is why the loop keeps a full entry of slack below
+    /// `n`). The packed path runs only while all [`LUT_BITS`] peeked bits
+    /// are real (no end-of-stream padding), so the consumed bit count is
+    /// identical to symbol-at-a-time decoding — pinned by the differential
+    /// tests against [`crate::reference`].
     pub fn decode_all(&self, r: &mut BitReader, n: usize) -> Option<Vec<u32>> {
-        let mut out = Vec::with_capacity(n.min(1 << 20));
-        for _ in 0..n {
-            out.push(self.decode_symbol(r)?);
+        if n > r.bits_remaining() {
+            return None;
+        }
+        let mut out = vec![0u32; n];
+        let mut pos = 0usize;
+        while pos + PACK_SYMS <= n && r.bits_remaining() >= LUT_BITS as usize {
+            let e = &self.pack[r.peek_bits(LUT_BITS) as usize];
+            if e.count == 0 {
+                // Long code (or corrupt prefix): resolve one symbol and
+                // re-enter the packed loop.
+                out[pos] = self.decode_symbol(r)?;
+                pos += 1;
+                continue;
+            }
+            out[pos..pos + PACK_SYMS].copy_from_slice(&e.syms);
+            pos += e.count as usize;
+            r.skip_bits(u32::from(e.ends[e.count as usize - 1]))?;
+        }
+        while pos < n {
+            out[pos] = self.decode_symbol(r)?;
+            pos += 1;
         }
         Some(out)
+    }
+
+    /// Decodes symbols, appending each to `out` as a raw byte while it is
+    /// `< stop` (so `stop` must be ≤ 256); returns the first symbol ≥
+    /// `stop`, which is also consumed. `None` on truncated/corrupt input.
+    ///
+    /// This is the deflate-style literal-run hot path: packed entries emit
+    /// several literal bytes per table lookup, and the in-entry scan stops
+    /// exactly at the first non-literal so length/distance extra bits that
+    /// follow it stay aligned.
+    pub fn decode_literal_run(
+        &self,
+        r: &mut BitReader,
+        stop: u32,
+        out: &mut Vec<u8>,
+    ) -> Option<u32> {
+        debug_assert!(stop <= 256);
+        loop {
+            if r.bits_remaining() >= LUT_BITS as usize {
+                let e = &self.pack[r.peek_bits(LUT_BITS) as usize];
+                if e.count > 0 {
+                    let mut take = 0usize;
+                    while take < e.count as usize && e.syms[take] < stop {
+                        out.push(cast::low_u8(e.syms[take]));
+                        take += 1;
+                    }
+                    if take < e.count as usize {
+                        // Non-literal inside the entry: consume through it.
+                        r.skip_bits(u32::from(e.ends[take]))?;
+                        return Some(e.syms[take]);
+                    }
+                    r.skip_bits(u32::from(e.ends[e.count as usize - 1]))?;
+                    continue;
+                }
+            }
+            let sym = self.decode_symbol(r)?;
+            if sym >= stop {
+                return Some(sym);
+            }
+            out.push(cast::low_u8(sym));
+        }
     }
 }
 
@@ -483,5 +608,103 @@ mod tests {
         // Truncate mid-table.
         bytes.truncate(4);
         assert_eq!(decode_stream(&bytes), None);
+    }
+
+    /// A geometric symbol distribution plus a handful of once-only symbols
+    /// forces code lengths past LUT_BITS, so long streams exercise the
+    /// packed loop, the single-symbol LUT, *and* the peek-based slow path.
+    fn deep_tree_symbols() -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..20_000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // 24-bit draw → geometric via leading zeros: P(sym = k) ≈ 2^-(k+1).
+            let r = ((state >> 40) as u32) | 1;
+            out.push((r.leading_zeros() - 8).min(23));
+        }
+        // Singleton symbols: frequency 1 in a 20k stream ⇒ ~15-bit codes.
+        out.extend(40..48u32);
+        let enc = HuffmanEncoder::from_symbols(&out);
+        assert!(
+            (0..48).any(|s| enc.code_len(s) > LUT_BITS),
+            "fixture must produce codes longer than LUT_BITS"
+        );
+        out
+    }
+
+    #[test]
+    fn packed_decode_matches_reference_on_deep_tree() {
+        let symbols = deep_tree_symbols();
+        let bytes = encode_stream(&symbols);
+        assert_eq!(bytes, crate::reference::ref_encode_stream(&symbols));
+        assert_eq!(decode_stream(&bytes).expect("decode"), symbols);
+        assert_eq!(
+            crate::reference::ref_decode_stream(&bytes).expect("ref decode"),
+            symbols
+        );
+    }
+
+    #[test]
+    fn packed_decode_consumes_same_bits_as_single_symbol() {
+        let symbols = deep_tree_symbols();
+        let enc = HuffmanEncoder::from_symbols(&symbols);
+        let mut w = BitWriter::new();
+        enc.write_table(&mut w);
+        enc.encode_all(&symbols, &mut w);
+        // Trailing sentinel after the payload: only reachable if the packed
+        // loop left the cursor exactly where symbol-at-a-time decode would.
+        w.write_bits(0x2A5, 10);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        let dec = HuffmanDecoder::read_table(&mut r).expect("table");
+        let back = dec.decode_all(&mut r, symbols.len()).expect("payload");
+        assert_eq!(back, symbols);
+        assert_eq!(r.read_bits(10), Some(0x2A5));
+    }
+
+    #[test]
+    fn literal_run_stops_at_marker() {
+        // Alphabet: bytes 0..=9 are "literals", 300 is the stop marker.
+        let mut symbols: Vec<u32> = (0..500u32).map(|i| i % 10).collect();
+        symbols.push(300);
+        symbols.extend((0..37u32).map(|i| i % 3));
+        symbols.push(300);
+        let enc = HuffmanEncoder::from_symbols(&symbols);
+        let mut w = BitWriter::new();
+        enc.write_table(&mut w);
+        enc.encode_all(&symbols, &mut w);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        let dec = HuffmanDecoder::read_table(&mut r).expect("table");
+
+        let mut run = Vec::new();
+        assert_eq!(dec.decode_literal_run(&mut r, 256, &mut run), Some(300));
+        assert_eq!(run.len(), 500);
+        assert!(run.iter().enumerate().all(|(i, &b)| u32::from(b) == (i as u32) % 10));
+        run.clear();
+        assert_eq!(dec.decode_literal_run(&mut r, 256, &mut run), Some(300));
+        assert_eq!(run.len(), 37);
+        // Stream exhausted: the next run hits truncation.
+        assert_eq!(dec.decode_literal_run(&mut r, 256, &mut run), None);
+    }
+
+    #[test]
+    fn truncated_payload_rejected_by_packed_path() {
+        let symbols = deep_tree_symbols();
+        let bytes = encode_stream(&symbols);
+        for cut in [bytes.len() - 1, bytes.len() - 7, bytes.len() / 2] {
+            // Truncation must never silently reproduce the original stream;
+            // and the packed path must agree with the frozen reference even
+            // on damaged input.
+            let got = decode_stream(&bytes[..cut]);
+            assert_ne!(got.as_deref(), Some(&symbols[..]), "cut at {cut}");
+            assert_eq!(
+                got,
+                crate::reference::ref_decode_stream(&bytes[..cut]),
+                "cut at {cut}"
+            );
+        }
     }
 }

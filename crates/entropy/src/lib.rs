@@ -19,6 +19,7 @@ pub mod bitio;
 pub mod huffman;
 pub mod multi;
 pub mod range;
+pub mod reference;
 
 /// Decode-side cap on symbol-alphabet sizes read from untrusted headers.
 /// Honest streams in this workspace stay at or below `2·radius + 2 ≈ 2^16`;

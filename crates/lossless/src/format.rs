@@ -4,7 +4,7 @@ use crate::codes::{
     dist_code, dist_decode, length_code, length_decode, DIST_ALPHABET, EOB, LEN_SYM_BASE,
     LITLEN_ALPHABET,
 };
-use crate::lz::{detokenize, tokenize, Effort, Token};
+use crate::lz::{tokenize, Effort, Token};
 use cliz_entropy::{BitReader, BitWriter, HuffmanDecoder, HuffmanEncoder};
 
 const MAGIC: u32 = 0x5A4C_5431; // "ZLT1"
@@ -119,15 +119,23 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, Error> {
             let mut r = BitReader::new(body);
             let lit_dec = HuffmanDecoder::read_table(&mut r).ok_or(Error::Truncated)?;
             let dist_dec = HuffmanDecoder::read_table(&mut r).ok_or(Error::Truncated)?;
-            let mut tokens: Vec<Token> = Vec::with_capacity(raw_len / 4);
+            // Decode straight into the output buffer: literal runs arrive
+            // packed (several bytes per Huffman-table lookup) and match
+            // copies happen in place, replacing the intermediate token
+            // vector and its second detokenize pass. `raw_len` is untrusted,
+            // so the pre-allocation is capped and the buffer is checked
+            // against it at every token boundary, bounding memory before a
+            // lying header can force growth.
+            let mut out: Vec<u8> = Vec::with_capacity(raw_len.min(1 << 20));
             loop {
-                let sym = lit_dec.decode_symbol(&mut r).ok_or(Error::Truncated)?;
+                let sym = lit_dec
+                    .decode_literal_run(&mut r, EOB, &mut out)
+                    .ok_or(Error::Truncated)?;
+                if out.len() > raw_len {
+                    return Err(Error::Corrupt("length mismatch"));
+                }
                 if sym == EOB {
                     break;
-                }
-                if sym < EOB {
-                    tokens.push(Token::Literal(sym as u8));
-                    continue;
                 }
                 let lsym = sym - LEN_SYM_BASE;
                 if lsym as usize >= crate::codes::LENGTH_TABLE.len() {
@@ -149,12 +157,30 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, Error> {
                 } else {
                     0
                 };
-                tokens.push(Token::Match {
-                    len: (lbase + lval as usize) as u32,
-                    dist: (dbase + dval as usize) as u32,
-                });
+                let len = lbase + lval as usize;
+                let dist = dbase + dval as usize;
+                if dist == 0 || dist > out.len() {
+                    return Err(Error::Corrupt("bad back-reference"));
+                }
+                let start = out.len() - dist;
+                if dist >= len {
+                    // Disjoint source: one memcpy-class copy.
+                    out.extend_from_within(start..start + len);
+                } else if dist == 1 {
+                    // Run-length: repeat the last byte.
+                    let b = out[start];
+                    out.resize(out.len() + len, b);
+                } else {
+                    // Overlapping copy is the semantics (period-`dist` fill).
+                    for k in 0..len {
+                        let b = out[start + k];
+                        out.push(b);
+                    }
+                }
+                if out.len() > raw_len {
+                    return Err(Error::Corrupt("length mismatch"));
+                }
             }
-            let out = detokenize(&tokens, raw_len).ok_or(Error::Corrupt("bad back-reference"))?;
             if out.len() != raw_len {
                 return Err(Error::Corrupt("length mismatch"));
             }

@@ -18,5 +18,6 @@
 pub mod codes;
 pub mod format;
 pub mod lz;
+pub mod reference;
 
 pub use format::{compress, decompress, Error};

@@ -1,0 +1,177 @@
+//! Frozen pre-rewrite reference of the zlite container, routed end-to-end
+//! through the byte-at-a-time entropy reference kernels.
+//!
+//! [`ref_compress_with`] and [`ref_decompress`] are verbatim copies of the
+//! pre-rewrite [`crate::compress`]/[`crate::decompress`]: the encoder writes
+//! through [`RefBitWriter`], and the decoder materializes a `Vec<Token>`
+//! before detokenizing — exactly the two behaviours the batched rewrite
+//! replaces. Differential tests assert byte-identical compressed streams and
+//! identical decode results; `stage_bench` uses this pair as the same-host
+//! pre-rewrite baseline. Do not optimize this module.
+
+use crate::codes::{
+    dist_code, dist_decode, length_code, length_decode, DIST_ALPHABET, EOB, LEN_SYM_BASE,
+    LITLEN_ALPHABET,
+};
+use crate::format::Error;
+use crate::lz::{detokenize, tokenize, Effort, Token};
+use cliz_entropy::reference::{
+    ref_encode_symbol, ref_write_table, RefBitReader, RefBitWriter, RefHuffmanDecoder,
+};
+use cliz_entropy::HuffmanEncoder;
+
+const MAGIC: u32 = 0x5A4C_5431; // "ZLT1"
+const MODE_STORED: u8 = 0;
+const MODE_LZ: u8 = 1;
+
+/// Pre-rewrite [`crate::compress`] (default effort).
+pub fn ref_compress(data: &[u8]) -> Vec<u8> {
+    ref_compress_with(data, Effort::default())
+}
+
+/// Pre-rewrite [`crate::compress_with`]: identical tokenization and codebook
+/// construction, bit stream assembled by the byte-at-a-time writer.
+pub fn ref_compress_with(data: &[u8], effort: Effort) -> Vec<u8> {
+    let tokens = tokenize(data, effort);
+
+    let mut litlen_freq = vec![0u64; LITLEN_ALPHABET];
+    let mut dist_freq = vec![0u64; DIST_ALPHABET];
+    for &t in &tokens {
+        match t {
+            Token::Literal(b) => litlen_freq[b as usize] += 1,
+            Token::Match { len, dist } => {
+                let (lsym, _, _) = length_code(len as usize);
+                litlen_freq[(LEN_SYM_BASE + lsym) as usize] += 1;
+                let (dsym, _, _) = dist_code(dist as usize);
+                dist_freq[dsym as usize] += 1;
+            }
+        }
+    }
+    litlen_freq[EOB as usize] += 1;
+
+    let lit_enc = HuffmanEncoder::from_frequencies(&litlen_freq);
+    let dist_enc = HuffmanEncoder::from_frequencies(&dist_freq);
+
+    let mut w = RefBitWriter::new();
+    ref_write_table(&lit_enc, &mut w);
+    ref_write_table(&dist_enc, &mut w);
+    for &t in &tokens {
+        match t {
+            Token::Literal(b) => ref_encode_symbol(&lit_enc, u32::from(b), &mut w),
+            Token::Match { len, dist } => {
+                let (lsym, lextra, lval) = length_code(len as usize);
+                ref_encode_symbol(&lit_enc, LEN_SYM_BASE + lsym, &mut w);
+                if lextra > 0 {
+                    w.write_bits(lval, u32::from(lextra));
+                }
+                let (dsym, dextra, dval) = dist_code(dist as usize);
+                ref_encode_symbol(&dist_enc, dsym, &mut w);
+                if dextra > 0 {
+                    w.write_bits(dval, u32::from(dextra));
+                }
+            }
+        }
+    }
+    ref_encode_symbol(&lit_enc, EOB, &mut w);
+    let payload = w.finish();
+
+    let mut out = Vec::with_capacity(payload.len().min(data.len()) + 13);
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+    if payload.len() < data.len() {
+        out.push(MODE_LZ);
+        out.extend_from_slice(&payload);
+    } else {
+        out.push(MODE_STORED);
+        out.extend_from_slice(data);
+    }
+    out
+}
+
+/// Pre-rewrite [`crate::decompress`]: per-symbol decode into an intermediate
+/// `Vec<Token>`, then a second detokenize pass.
+pub fn ref_decompress(data: &[u8]) -> Result<Vec<u8>, Error> {
+    let header = |range: std::ops::Range<usize>| data.get(range).ok_or(Error::Truncated);
+    let magic = u32::from_le_bytes(header(0..4)?.try_into().map_err(|_| Error::Truncated)?);
+    if magic != MAGIC {
+        return Err(Error::BadMagic);
+    }
+    let raw_len = u64::from_le_bytes(header(4..12)?.try_into().map_err(|_| Error::Truncated)?)
+        as usize;
+    let mode = *data.get(12).ok_or(Error::Truncated)?;
+    let body = data.get(13..).ok_or(Error::Truncated)?;
+    match mode {
+        MODE_STORED => {
+            if body.len() < raw_len {
+                return Err(Error::Truncated);
+            }
+            Ok(body[..raw_len].to_vec())
+        }
+        MODE_LZ => {
+            let mut r = RefBitReader::new(body);
+            let lit_dec = RefHuffmanDecoder::read_table(&mut r).ok_or(Error::Truncated)?;
+            let dist_dec = RefHuffmanDecoder::read_table(&mut r).ok_or(Error::Truncated)?;
+            // xtask-allow: R11 -- frozen pre-rewrite reference: the
+            // intermediate token vector is the allocation pattern the batched
+            // rewrite removes; the differential oracle pins its behaviour.
+            let mut tokens: Vec<Token> = Vec::with_capacity(raw_len / 4);
+            loop {
+                let sym = lit_dec.decode_symbol(&mut r).ok_or(Error::Truncated)?;
+                if sym == EOB {
+                    break;
+                }
+                if sym < EOB {
+                    tokens.push(Token::Literal(sym as u8));
+                    continue;
+                }
+                let lsym = sym - LEN_SYM_BASE;
+                if lsym as usize >= crate::codes::LENGTH_TABLE.len() {
+                    return Err(Error::Corrupt("length symbol out of range"));
+                }
+                let (lbase, lextra) = length_decode(lsym);
+                let lval = if lextra > 0 {
+                    r.read_bits(u32::from(lextra)).ok_or(Error::Truncated)?
+                } else {
+                    0
+                };
+                let dsym = dist_dec.decode_symbol(&mut r).ok_or(Error::Truncated)?;
+                if dsym as usize >= DIST_ALPHABET {
+                    return Err(Error::Corrupt("distance symbol out of range"));
+                }
+                let (dbase, dextra) = dist_decode(dsym);
+                let dval = if dextra > 0 {
+                    r.read_bits(u32::from(dextra)).ok_or(Error::Truncated)?
+                } else {
+                    0
+                };
+                tokens.push(Token::Match {
+                    len: (lbase + lval as usize) as u32,
+                    dist: (dbase + dval as usize) as u32,
+                });
+            }
+            let out = detokenize(&tokens, raw_len).ok_or(Error::Corrupt("bad back-reference"))?;
+            if out.len() != raw_len {
+                return Err(Error::Corrupt("length mismatch"));
+            }
+            Ok(out)
+        }
+        _ => Err(Error::Corrupt("unknown mode")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_pair_roundtrips() {
+        let data: Vec<u8> = b"climate data climate data climate data "
+            .iter()
+            .cycle()
+            .take(10_000)
+            .copied()
+            .collect();
+        let c = ref_compress(&data);
+        assert_eq!(ref_decompress(&c).expect("ref decompress"), data);
+    }
+}

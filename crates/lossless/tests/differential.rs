@@ -1,0 +1,131 @@
+//! Differential tests pinning the rewritten zlite kernels against the
+//! frozen pre-rewrite references in `cliz_lossless::reference`.
+//!
+//! The batched literal-run decode and the rewritten match copy are
+//! throughput rewrites of a frozen container format: compressed bytes must
+//! stay byte-identical and both decoders must accept both encoders'
+//! output. Payload shapes cover what the codec actually feeds zlite
+//! (entropy-coded residual bytes) plus the adversarial LZ edges: overlap
+//! copies, long runs, incompressible noise, and ragged tails.
+
+use cliz_lossless::reference::{ref_compress, ref_compress_with, ref_decompress};
+use cliz_lossless::{compress, decompress};
+
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+}
+
+/// Run-heavy bytes with sparse punctuation — the shape Huffman-coded
+/// residual payloads actually take.
+fn runs(seed: u64, n: usize) -> Vec<u8> {
+    let mut rng = Lcg(seed);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let r = rng.next();
+        let run = 3 + (r >> 48) as usize % 32;
+        let byte = ((r >> 32) & 0x7) as u8;
+        for _ in 0..run.min(n - out.len()) {
+            out.push(byte);
+        }
+        if out.len() < n {
+            out.push((r >> 56) as u8);
+        }
+    }
+    out
+}
+
+/// Incompressible noise: the stored/literal-heavy path.
+fn noise(seed: u64, n: usize) -> Vec<u8> {
+    let mut rng = Lcg(seed);
+    (0..n).map(|_| (rng.next() >> 32) as u8).collect()
+}
+
+/// Short repeating period `p` — forces matches with `dist < len`
+/// (self-overlapping copies), the classic LZ decode edge.
+fn periodic(p: usize, n: usize) -> Vec<u8> {
+    (0..n).map(|i| (i % p) as u8).collect()
+}
+
+/// Asserts the 4-way identity square for one payload.
+fn assert_payload_identity(payload: &[u8]) {
+    let new_bytes = compress(payload);
+    let ref_bytes = ref_compress(payload);
+    assert_eq!(
+        new_bytes, ref_bytes,
+        "compressed bytes diverge ({} bytes in)",
+        payload.len()
+    );
+    assert_eq!(decompress(&new_bytes).as_deref(), Ok(payload));
+    assert_eq!(ref_decompress(&new_bytes).as_deref(), Ok(payload));
+    assert_eq!(decompress(&ref_bytes).as_deref(), Ok(payload));
+}
+
+#[test]
+fn zlite_is_byte_identical_across_seeded_sweep() {
+    for seed in 1..=6u64 {
+        assert_payload_identity(&runs(seed, 50_000));
+        assert_payload_identity(&noise(seed, 20_000));
+    }
+}
+
+#[test]
+fn zlite_handles_degenerate_payloads() {
+    assert_payload_identity(&[]);
+    assert_payload_identity(&[0]);
+    assert_payload_identity(&[255]);
+    assert_payload_identity(&vec![9u8; 100_000]); // one giant run
+    for n in 0..48usize {
+        assert_payload_identity(&runs(7, n)); // ragged tails
+    }
+}
+
+#[test]
+fn zlite_overlap_copies_match_reference() {
+    for p in [1usize, 2, 3, 4, 5, 7, 8, 13, 16, 255] {
+        assert_payload_identity(&periodic(p, 10_000));
+    }
+    // Period changes mid-stream: matches must re-anchor.
+    let mut mixed = periodic(3, 5_000);
+    mixed.extend(periodic(7, 5_000));
+    mixed.extend(noise(11, 1_000));
+    mixed.extend(periodic(3, 5_000)); // far back-reference to the opening
+    assert_payload_identity(&mixed);
+}
+
+#[test]
+fn zlite_effort_levels_stay_byte_identical() {
+    use cliz_lossless::lz::Effort;
+    let payload = runs(42, 30_000);
+    for (max_chain, good_enough) in [(1usize, 4usize), (8, 16), (64, 96), (1024, 258)] {
+        let effort = Effort {
+            max_chain,
+            good_enough,
+        };
+        let new_bytes = cliz_lossless::format::compress_with(&payload, effort);
+        let ref_bytes = ref_compress_with(&payload, effort);
+        assert_eq!(new_bytes, ref_bytes, "effort {max_chain}/{good_enough}");
+        assert_eq!(decompress(&new_bytes).as_deref(), Ok(&payload[..]));
+    }
+}
+
+#[test]
+fn zlite_rejects_truncation_like_reference() {
+    let payload = runs(5, 20_000);
+    let bytes = compress(&payload);
+    for cut in [0, 1, 2, 5, bytes.len() / 2, bytes.len() - 1] {
+        let new_r = decompress(&bytes[..cut]);
+        let ref_r = ref_decompress(&bytes[..cut]);
+        assert_eq!(new_r.is_err(), ref_r.is_err(), "cut {cut}");
+        if let (Ok(a), Ok(b)) = (&new_r, &ref_r) {
+            assert_eq!(a, b, "cut {cut}");
+        }
+    }
+}

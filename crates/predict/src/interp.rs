@@ -174,12 +174,16 @@ pub fn reconstruct_leveled(
     assert_eq!(symbols.len(), expected);
 
     // Validate the literal stream before writing anything: the container
-    // may disagree with its own symbol grid.
-    let escapes = symbols
-        .iter()
-        .enumerate()
-        .filter(|&(i, &s)| s == ESCAPE && params.is_valid(i))
-        .count();
+    // may disagree with its own symbol grid. The mask test is hoisted out
+    // of the per-element loops: each arm is a straight-line scan.
+    let escapes = match params.mask {
+        None => symbols.iter().filter(|&&s| s == ESCAPE).count(),
+        Some(m) => symbols
+            .iter()
+            .zip(m)
+            .filter(|&(&s, &keep)| keep && s == ESCAPE)
+            .count(),
+    };
     if literals.len() != escapes {
         return Err(ReconstructError {
             expected_literals: escapes,
@@ -192,19 +196,35 @@ pub fn reconstruct_leveled(
     if escapes > 0 {
         let mut it = literals.iter();
         let mut grid = vec![0.0f32; expected];
-        for (i, &s) in symbols.iter().enumerate() {
-            if s == ESCAPE && params.is_valid(i) {
-                if let Some(&v) = it.next() {
-                    grid[i] = v;
+        match params.mask {
+            None => {
+                for (g, &s) in grid.iter_mut().zip(symbols) {
+                    if s == ESCAPE {
+                        if let Some(&v) = it.next() {
+                            *g = v;
+                        }
+                    }
+                }
+            }
+            Some(m) => {
+                for ((g, &s), &keep) in grid.iter_mut().zip(symbols).zip(m) {
+                    if keep && s == ESCAPE {
+                        if let Some(&v) = it.next() {
+                            *g = v;
+                        }
+                    }
                 }
             }
         }
         lit_grid = Some(grid);
     }
 
-    for (i, v) in buf.iter_mut().enumerate() {
-        if !params.is_valid(i) {
-            *v = fill_value;
+    // Masked points get the fill value; with no mask there is nothing to do.
+    if let Some(m) = params.mask {
+        for (v, &keep) in buf.iter_mut().zip(m) {
+            if !keep {
+                *v = fill_value;
+            }
         }
     }
 
@@ -255,6 +275,8 @@ where
 
     let fitting = params.fitting;
     let mask = params.mask;
+    // Odometer scratch, shared across every level/dimension pass.
+    let mut coords = vec![0usize; ndim];
 
     while s >= 1 {
         for d in 0..ndim {
@@ -263,7 +285,7 @@ where
             }
             // Odometer over all dims except `d`: step s for dims < d (already
             // refined this level), 2s for dims > d (still coarse).
-            let mut coords = vec![0usize; ndim];
+            coords.fill(0);
             let dim_stride = strides[d];
             let dim_len = dims[d];
             'outer: loop {

@@ -91,11 +91,27 @@ impl Classification {
     /// Expands the per-position groups into a per-element group sequence for
     /// `multi_encode` (in `cliz-entropy`), honouring the encode-order convention
     /// (raster order, masked elements skipped).
+    ///
+    /// Walks plane by plane so the `% h_len` position math and the mask
+    /// `Option` test are hoisted out of the per-element loop.
     pub fn group_sequence(&self, total_len: usize, mask: Option<&[bool]>) -> Vec<u8> {
         let mut out = Vec::with_capacity(total_len);
-        for i in 0..total_len {
-            if mask.is_none_or(|m| m[i]) {
-                out.push(self.group_of(i));
+        match mask {
+            None => {
+                while out.len() + self.h_len <= total_len {
+                    out.extend_from_slice(&self.groups);
+                }
+                let rem = total_len - out.len();
+                out.extend_from_slice(&self.groups[..rem.min(self.groups.len())]);
+            }
+            Some(m) => {
+                for mplane in m.chunks(self.h_len).take(total_len.div_ceil(self.h_len)) {
+                    for (&g, &keep) in self.groups.iter().zip(mplane) {
+                        if keep {
+                            out.push(g);
+                        }
+                    }
+                }
             }
         }
         out
@@ -189,19 +205,39 @@ pub fn classify(
     }
 
     // Flat per-position histograms over bins in [-HIST_HALF, HIST_HALF].
+    // Plane-by-plane chunking replaces the per-element `i % h_len` and
+    // hoists the mask `Option` test out of the inner loop.
     let mut hist = vec![0u32; h_len * HIST_W];
     let mut totals = vec![0u32; h_len];
-    for (i, &s) in symbols.iter().enumerate() {
-        if s == ESCAPE || mask.is_some_and(|m| !m[i]) {
-            continue;
-        }
-        let p = i % h_len;
-        totals[p] += 1;
-        let bin = symbol_to_bin(s);
-        if bin.abs() <= HIST_HALF {
-            // In range by the check above, so the conversion never fails.
-            if let Some(off) = cast::to_usize_checked(bin + HIST_HALF) {
-                hist[p * HIST_W + off] += 1;
+    {
+        let mut tally = |p: usize, s: u32| {
+            totals[p] += 1;
+            let bin = symbol_to_bin(s);
+            if bin.abs() <= HIST_HALF {
+                // In range by the check above, so the conversion never fails.
+                if let Some(off) = cast::to_usize_checked(bin + HIST_HALF) {
+                    hist[p * HIST_W + off] += 1;
+                }
+            }
+        };
+        match mask {
+            None => {
+                for plane in symbols.chunks(h_len) {
+                    for (p, &s) in plane.iter().enumerate() {
+                        if s != ESCAPE {
+                            tally(p, s);
+                        }
+                    }
+                }
+            }
+            Some(m) => {
+                for (plane, mplane) in symbols.chunks(h_len).zip(m.chunks(h_len)) {
+                    for (p, (&s, &keep)) in plane.iter().zip(mplane).enumerate() {
+                        if keep && s != ESCAPE {
+                            tally(p, s);
+                        }
+                    }
+                }
             }
         }
     }
@@ -254,18 +290,36 @@ fn transform_shifts(
     mask: Option<&[bool]>,
     invert: bool,
 ) {
-    for (i, s) in symbols.iter_mut().enumerate() {
-        if *s == ESCAPE || mask.is_some_and(|m| !m[i]) {
-            continue;
+    // Sign instead of a per-element `invert` branch; plane chunks instead of
+    // the per-element `i % h_len`; the mask `Option` resolved once.
+    let sgn: i32 = if invert { 1 } else { -1 };
+    match mask {
+        None => {
+            for plane in symbols.chunks_mut(class.h_len) {
+                for (s, &shift) in plane.iter_mut().zip(&class.shifts) {
+                    shift_one(s, shift, sgn);
+                }
+            }
         }
-        let shift = i32::from(class.shift_of(i));
-        if shift == 0 {
-            continue;
+        Some(m) => {
+            for (plane, mplane) in symbols.chunks_mut(class.h_len).zip(m.chunks(class.h_len)) {
+                for ((s, &shift), &keep) in plane.iter_mut().zip(&class.shifts).zip(mplane) {
+                    if keep {
+                        shift_one(s, shift, sgn);
+                    }
+                }
+            }
         }
-        let bin = symbol_to_bin(*s);
-        let new_bin = if invert { bin + shift } else { bin - shift };
-        *s = bin_to_symbol(new_bin);
     }
+}
+
+#[inline]
+fn shift_one(s: &mut u32, shift: i8, sgn: i32) {
+    if *s == ESCAPE || shift == 0 {
+        return;
+    }
+    let new_bin = symbol_to_bin(*s) + sgn * i32::from(shift);
+    *s = bin_to_symbol(new_bin);
 }
 
 #[cfg(test)]

@@ -16,8 +16,9 @@
 //!   length-provenance pass, [`contracts`] runs the R8 error-bound
 //!   contract audit (integration-test files are collected as coverage
 //!   evidence for R8 but are exempt from every other rule), [`locks`] runs
-//!   the R9 lock-discipline pass, and [`shared`] runs the R10 shared-state
-//!   audit.
+//!   the R9 lock-discipline pass, [`shared`] runs the R10 shared-state
+//!   audit, and [`perf`] runs the R11–R13 hot-path performance audit
+//!   (hot-loop allocation, bit-granular I/O, vectorization-hostile loops).
 //!
 //! [`output`] renders reports as text/JSON/SARIF and implements the
 //! `xtask-baseline.json` ratchet (findings may only shrink).
@@ -29,6 +30,7 @@ pub mod items;
 pub mod lexer;
 pub mod locks;
 pub mod output;
+pub mod perf;
 pub mod rules;
 pub mod shared;
 pub mod taint;
@@ -147,6 +149,11 @@ pub fn lint_sources(files: &[(String, String)]) -> Report {
     // Workspace pass: R10 shared-state audit.
     for f in shared::analyze(&product_files) {
         push(&mut report, "R10", f.file, f.line, f.message);
+    }
+
+    // Workspace pass: R11–R13 hot-path performance audit.
+    for f in perf::analyze(&product_files) {
+        push(&mut report, f.rule, f.file, f.line, f.message);
     }
 
     report

@@ -72,6 +72,9 @@ const RULE_DESCRIPTIONS: &[(&str, &str)] = &[
     ("R8", "Compressor impl lacks bound-asserting roundtrip test, or eb scaled outside a named helper"),
     ("R9", "lock-discipline hazard: guard held across expensive work, double acquisition, or lock-order cycle (workspace pass)"),
     ("R10", "shared-state hazard: static mut, unsafe impl Send/Sync, mismatched atomic orderings, bare counter in a Sync type, or escaping interior mutability (workspace pass)"),
+    ("R11", "heap allocation inside a loop reachable from a codec entry point (workspace pass)"),
+    ("R12", "single-bit BitReader/BitWriter call in a loop; use word-at-a-time I/O (workspace pass)"),
+    ("R13", "vectorization-hostile loop: per-element indexing mixed with a per-iteration mask test (workspace pass)"),
 ];
 
 /// Renders the report as a minimal SARIF 2.1.0 document.

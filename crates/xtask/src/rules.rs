@@ -44,6 +44,19 @@
 //!   sites, non-atomic counters in sync-shared structs, and interior
 //!   mutability escaping via `&self` returns. Produced by the workspace
 //!   pass in [`crate::shared`].
+//! * **R11** — heap allocation (`Vec::new`, `vec!`, `.to_vec()`,
+//!   `.clone()`, `.collect()`, `format!`, …) inside a loop of a function
+//!   reachable from a codec entry point, in the kernel crates. Produced by
+//!   the workspace pass in [`crate::perf`].
+//! * **R12** — single-bit `BitReader`/`BitWriter` call (`.read_bit(`,
+//!   `.write_bit(`, `.read_bits(1)`, `.write_bits(_, 1)`) inside a loop in
+//!   `entropy`/`lossless`; batch through word-at-a-time I/O. Produced by
+//!   the workspace pass in [`crate::perf`].
+//! * **R13** — vectorization-hostile `for` loop in the numeric kernels:
+//!   per-element indexing with a loop-header variable combined with a
+//!   per-iteration `Option`-mask test; hoist the mask match and write each
+//!   arm as a zip/chunks_exact scan. Produced by the workspace pass in
+//!   [`crate::perf`].
 //!
 //! Suppressions: `// xtask-allow: R1 -- reason` (covers its own line and
 //! the next), or `// xtask-allow-fn: R1 -- reason` (covers the whole next
@@ -70,7 +83,7 @@ pub struct FileReport {
 }
 
 pub const ALL_RULES: &[&str] = &[
-    "R0", "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10",
+    "R0", "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10", "R11", "R12", "R13",
 ];
 
 /// Files/dirs (workspace-relative, `/`-separated prefixes) where R1 applies:

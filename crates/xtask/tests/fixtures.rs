@@ -362,6 +362,73 @@ fn r10_relaxed_counters_and_locked_state_pass() {
 }
 
 #[test]
+fn r11_flags_hot_loop_allocation_and_spares_cold_and_hoisted() {
+    let files = vec![(
+        "crates/entropy/src/fixture.rs".to_string(),
+        include_str!("fixtures/r11_hot_alloc.rs").to_string(),
+    )];
+    // Line 8: `Vec::new()` inside `decode_rows`'s loop (hot by name). The
+    // identical loop in cold `build_table` and the hoisted scratch buffer
+    // in `decode_hoisted` raise nothing.
+    assert_eq!(workspace_hits(&files), vec![("R11", 8)]);
+}
+
+#[test]
+fn r11_is_scoped_to_kernel_crates() {
+    let files = vec![(
+        "crates/cli/src/fixture.rs".to_string(),
+        include_str!("fixtures/r11_hot_alloc.rs").to_string(),
+    )];
+    assert_eq!(workspace_hits(&files), vec![]);
+}
+
+#[test]
+fn r12_flags_single_bit_io_in_loops_only() {
+    let files = vec![(
+        "crates/entropy/src/fixture.rs".to_string(),
+        include_str!("fixtures/r12_bit_io.rs").to_string(),
+    )];
+    // Lines 8/9: `.read_bits(1)` and `.write_bits(_, 1)` inside
+    // `decode_flags`'s loop. The 11-bit reads in `decode_codes` and the
+    // single-bit read *outside* a loop (line 19) pass.
+    assert_eq!(workspace_hits(&files), vec![("R12", 8), ("R12", 9)]);
+}
+
+#[test]
+fn r12_suppression_covers_a_frozen_reference_kernel() {
+    // The differential-reference modules keep the bit-at-a-time shape on
+    // purpose; an argued xtask-allow-fn suppression keeps them auditable.
+    let src = include_str!("fixtures/r12_bit_io.rs").replace(
+        "pub fn decode_flags",
+        "// xtask-allow-fn: R12 -- fixture: frozen pre-rewrite reference\npub fn decode_flags",
+    );
+    let files = vec![("crates/entropy/src/fixture.rs".to_string(), src)];
+    let report = lint_sources(&files);
+    assert_eq!(report.violations.len(), 0, "{:?}", report.violations);
+    assert_eq!(report.suppressed, 2);
+}
+
+#[test]
+fn r13_flags_per_iteration_mask_test_and_spares_hoisted_form() {
+    let files = vec![(
+        "crates/quant/src/fixture.rs".to_string(),
+        include_str!("fixtures/r13_masked_loop.rs").to_string(),
+    )];
+    // Line 6: `for i in ..` indexing `vals[i]`/`m[i]` under a per-element
+    // `is_none_or` test. The hoisted match + zip form passes.
+    assert_eq!(workspace_hits(&files), vec![("R13", 6)]);
+}
+
+#[test]
+fn r13_is_scoped_to_numeric_kernel_crates() {
+    let files = vec![(
+        "crates/lossless/src/fixture.rs".to_string(),
+        include_str!("fixtures/r13_masked_loop.rs").to_string(),
+    )];
+    assert_eq!(workspace_hits(&files), vec![]);
+}
+
+#[test]
 fn r10_is_silent_in_exempt_crates() {
     let files = vec![(
         "crates/bench/src/fixture.rs".to_string(),

@@ -1,0 +1,32 @@
+// R11 fixture: `decode_rows` is hot by name; the per-iteration allocation
+// in its loop is the violation. `build_table` is cold (never called from a
+// hot function), so its identical loop passes, and the hoisted allocation
+// in `decode_hoisted` passes.
+pub fn decode_rows(n: usize) -> usize {
+    let mut total = 0;
+    for i in 0..n {
+        let scratch: Vec<u8> = Vec::new();
+        total += scratch.len() + i;
+    }
+    total
+}
+
+pub fn build_table(n: usize) -> usize {
+    let mut total = 0;
+    for _ in 0..n {
+        let scratch: Vec<u8> = Vec::new();
+        total += scratch.len();
+    }
+    total
+}
+
+pub fn decode_hoisted(n: usize) -> usize {
+    let mut scratch: Vec<u8> = Vec::with_capacity(64);
+    let mut total = 0;
+    for i in 0..n {
+        scratch.clear();
+        scratch.push(1);
+        total += scratch.len() + i;
+    }
+    total
+}

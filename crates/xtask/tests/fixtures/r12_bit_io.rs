@@ -1,0 +1,20 @@
+// R12 fixture: `decode_flags` pulls one bit per call inside its loop (two
+// shapes: `.read_bits(1)` and the forced single-bit `.write_bits(_, 1)`).
+// `decode_codes` reads whole codes per call — the word-at-a-time shape —
+// and passes, as does the single-bit call *outside* a loop.
+pub fn decode_flags(r: &mut R, w: &mut W, n: usize) -> u32 {
+    let mut acc = 0;
+    for _ in 0..n {
+        acc ^= r.read_bits(1).unwrap_or(0);
+        w.write_bits(acc, 1);
+    }
+    acc
+}
+
+pub fn decode_codes(r: &mut R, n: usize) -> u32 {
+    let mut acc = 0;
+    for _ in 0..n {
+        acc ^= r.read_bits(11).unwrap_or(0);
+    }
+    acc ^ r.read_bits(1).unwrap_or(0)
+}

@@ -1,0 +1,28 @@
+// R13 fixture: `apply_masked` re-tests the Option mask per element while
+// indexing with the loop counter — the vectorization-hostile shape.
+// `apply_hoisted` hoists the mask match and scans each arm with zipped
+// iterators: same semantics, no per-iteration Option branch, passes.
+pub fn apply_masked(vals: &mut [f32], mask: Option<&[bool]>) {
+    for i in 0..vals.len() {
+        if mask.is_none_or(|m| m[i]) {
+            vals[i] *= 2.0;
+        }
+    }
+}
+
+pub fn apply_hoisted(vals: &mut [f32], mask: Option<&[bool]>) {
+    match mask {
+        None => {
+            for v in vals.iter_mut() {
+                *v *= 2.0;
+            }
+        }
+        Some(m) => {
+            for (v, &keep) in vals.iter_mut().zip(m) {
+                if keep {
+                    *v *= 2.0;
+                }
+            }
+        }
+    }
+}
