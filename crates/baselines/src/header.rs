@@ -1,107 +1,41 @@
-//! Bounds-checked little-endian parsing shared by the baseline decoders.
+//! Shared baseline container prefix, on top of the `cliz-format` cursors.
 //!
-//! Every baseline container starts with `magic:u32, rank:u8, dims:u64×rank`
-//! followed by per-format fields. All reads go through [`Reader`], which
-//! returns [`BaselineError::Truncated`] instead of panicking on short
-//! input, and [`read_header`] caps the total element count so a corrupt
-//! header can neither drive a huge allocation nor overflow the stride
-//! arithmetic in `Shape::new`.
+//! Every baseline container starts with `magic:u32, version:u8, rank:u8,
+//! dims:u64×rank` followed by per-format fields. [`write_header`] emits the
+//! prefix from a registry [`FormatSpec`] and [`read_header`] validates it:
+//! magic and version first (an unknown future version is a clean
+//! [`BaselineError::UnsupportedVersion`], never a misparse), then the rank
+//! and a capped total element count so a corrupt header can neither drive a
+//! huge allocation nor overflow the stride arithmetic in `Shape::new`. All
+//! reads go through [`Reader`] (the `cliz-format` cursor), whose errors
+//! convert into [`BaselineError`] via `?`.
 
 use crate::traits::BaselineError;
-use cliz_grid::cast;
+use cliz_format::{FormatSpec, HeaderWriter};
 
 /// Decoders refuse grids larger than this many elements (2^36 ≈ 64 G
 /// points, ~256 GiB of f32): anything bigger in a header is corruption.
 pub(crate) const MAX_ELEMENTS: usize = 1 << 36;
 
 /// Cursor over an untrusted byte buffer; every accessor is fallible.
-pub(crate) struct Reader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
+pub(crate) type Reader<'a> = cliz_format::HeaderReader<'a>;
 
-impl<'a> Reader<'a> {
-    pub fn new(bytes: &'a [u8]) -> Self {
-        Self { bytes, pos: 0 }
-    }
-
-    /// Takes the next `n` bytes, or `Truncated` when they are not there.
-    pub fn take(&mut self, n: usize) -> Result<&'a [u8], BaselineError> {
-        let end = self.pos.checked_add(n).ok_or(BaselineError::Truncated)?;
-        let s = self
-            .bytes
-            .get(self.pos..end)
-            .ok_or(BaselineError::Truncated)?;
-        self.pos = end;
-        Ok(s)
-    }
-
-    pub fn u8(&mut self) -> Result<u8, BaselineError> {
-        self.take(1).map(|s| s[0])
-    }
-
-    pub fn u32(&mut self) -> Result<u32, BaselineError> {
-        self.take(4)
-            .and_then(|s| cast::u32_le(s).ok_or(BaselineError::Truncated))
-    }
-
-    pub fn u64(&mut self) -> Result<u64, BaselineError> {
-        self.take(8)
-            .and_then(|s| cast::u64_le(s).ok_or(BaselineError::Truncated))
-    }
-
-    pub fn f32(&mut self) -> Result<f32, BaselineError> {
-        self.take(4)
-            .and_then(|s| cast::f32_le(s).ok_or(BaselineError::Truncated))
-    }
-
-    pub fn f64(&mut self) -> Result<f64, BaselineError> {
-        self.take(8)
-            .and_then(|s| cast::f64_le(s).ok_or(BaselineError::Truncated))
-    }
-
-    /// A `u64` length/count field that must also fit in `usize`.
-    pub fn len64(&mut self) -> Result<usize, BaselineError> {
-        let v = self.u64()?;
-        cast::to_usize_checked(v).ok_or(BaselineError::Corrupt("length overflows usize"))
-    }
-
-    /// LEB128 varint (7 data bits per byte, ≤ 64 bits total).
-    pub fn varint(&mut self) -> Result<u64, BaselineError> {
-        let mut v = 0u64;
-        let mut shift = 0u32;
-        loop {
-            let b = self.u8()?;
-            v |= u64::from(b & 0x7F) << shift;
-            if b & 0x80 == 0 {
-                return Ok(v);
-            }
-            shift += 7;
-            if shift >= 64 {
-                return Err(BaselineError::Corrupt("varint overruns 64 bits"));
-            }
-        }
-    }
-
-    pub fn skip(&mut self, n: usize) -> Result<(), BaselineError> {
-        self.take(n).map(|_| ())
-    }
-
-    /// Everything after the cursor (typically the compressed payload).
-    pub fn rest(&self) -> &'a [u8] {
-        self.bytes.get(self.pos..).unwrap_or(&[])
+/// Writes the common `magic, version, rank, dims` prefix for `spec`.
+pub(crate) fn write_header(w: &mut HeaderWriter, spec: &FormatSpec, dims: &[usize]) {
+    w.magic(spec);
+    w.u8(dims.len() as u8);
+    for &d in dims {
+        w.u64(d as u64);
     }
 }
 
-/// Reads and validates the common `magic, rank, dims` prefix. Returns the
-/// dimensions and their checked element count.
+/// Reads and validates the common `magic, version, rank, dims` prefix.
+/// Returns the dimensions and their checked element count.
 pub(crate) fn read_header(
     r: &mut Reader,
-    magic: u32,
+    spec: &FormatSpec,
 ) -> Result<(Vec<usize>, usize), BaselineError> {
-    if r.u32()? != magic {
-        return Err(BaselineError::BadMagic);
-    }
+    r.expect_magic(spec)?;
     let ndim = r.u8()? as usize;
     if ndim == 0 || ndim > 6 {
         return Err(BaselineError::Corrupt("bad rank"));
@@ -124,41 +58,53 @@ pub(crate) fn read_header(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cliz_format::spec::ZFP1;
 
     #[test]
     fn reader_is_fallible_not_panicky() {
         let mut r = Reader::new(&[1, 0, 0, 0]);
         assert_eq!(r.u32().unwrap(), 1);
-        assert!(matches!(r.u8(), Err(BaselineError::Truncated)));
-        assert!(matches!(r.u64(), Err(BaselineError::Truncated)));
+        assert!(r.u8().is_err());
+        assert!(r.u64().is_err());
         assert!(r.rest().is_empty());
     }
 
     #[test]
     fn header_rejects_implausible_dims() {
-        let magic = 0xABCD_1234u32;
-        let mut bytes = magic.to_le_bytes().to_vec();
-        bytes.push(2);
-        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
-        bytes.extend_from_slice(&2u64.to_le_bytes());
+        let mut w = HeaderWriter::new();
+        w.magic(&ZFP1);
+        w.u8(2);
+        w.u64(u64::MAX);
+        w.u64(2);
+        let bytes = w.finish();
         let mut r = Reader::new(&bytes);
         assert!(matches!(
-            read_header(&mut r, magic),
+            read_header(&mut r, &ZFP1),
             Err(BaselineError::Corrupt(_))
         ));
     }
 
     #[test]
-    fn header_roundtrip_and_varint() {
-        let magic = 0x0F0F_0F0Fu32;
-        let mut bytes = magic.to_le_bytes().to_vec();
-        bytes.push(3);
-        for d in [4u64, 5, 6] {
-            bytes.extend_from_slice(&d.to_le_bytes());
-        }
-        bytes.extend_from_slice(&[0x96, 0x01]); // varint 150
+    fn header_rejects_future_version() {
+        let mut w = HeaderWriter::new();
+        write_header(&mut w, &ZFP1, &[4, 5]);
+        let mut bytes = w.finish();
+        bytes[4] = 0xEE;
         let mut r = Reader::new(&bytes);
-        let (dims, total) = read_header(&mut r, magic).unwrap();
+        assert_eq!(
+            read_header(&mut r, &ZFP1).unwrap_err(),
+            BaselineError::UnsupportedVersion(0xEE)
+        );
+    }
+
+    #[test]
+    fn header_roundtrip_and_varint() {
+        let mut w = HeaderWriter::new();
+        write_header(&mut w, &ZFP1, &[4, 5, 6]);
+        w.raw(&[0x96, 0x01]); // varint 150
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes);
+        let (dims, total) = read_header(&mut r, &ZFP1).unwrap();
         assert_eq!(dims, vec![4, 5, 6]);
         assert_eq!(total, 120);
         assert_eq!(r.varint().unwrap(), 150);

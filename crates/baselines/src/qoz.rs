@@ -11,10 +11,9 @@
 
 use crate::sz_interp::{decode, encode};
 use crate::traits::{BaselineError, Compressor};
+use cliz_format::spec::QOZ1;
 use cliz_grid::{Grid, MaskMap};
 use cliz_quant::ErrorBound;
-
-const MAGIC: u32 = 0x514F_5A31; // "QOZ1"
 
 fn qoz_policy(stride: usize) -> f64 {
     if stride <= 1 {
@@ -46,7 +45,7 @@ impl Compressor for Qoz {
         _mask: Option<&MaskMap>,
         bound: ErrorBound,
     ) -> Result<Vec<u8>, BaselineError> {
-        encode(data, bound, MAGIC, qoz_policy)
+        encode(data, bound, &QOZ1, qoz_policy)
     }
 
     fn decompress(
@@ -54,7 +53,7 @@ impl Compressor for Qoz {
         bytes: &[u8],
         _mask: Option<&MaskMap>,
     ) -> Result<Grid<f32>, BaselineError> {
-        decode(bytes, MAGIC, qoz_policy)
+        decode(bytes, &QOZ1, qoz_policy)
     }
 }
 

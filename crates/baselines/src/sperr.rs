@@ -12,13 +12,12 @@
 //! values inject energy at every scale — comes from the transform, not the
 //! back-end coder.
 
-use crate::header::{read_header, Reader};
+use crate::header::{read_header, write_header, Reader};
 use crate::traits::{BaselineError, Compressor};
 use cliz_entropy::huffman;
+use cliz_format::{spec::SPR1, HeaderWriter};
 use cliz_grid::{Grid, MaskMap, Shape};
 use cliz_quant::ErrorBound;
-
-const MAGIC: u32 = 0x5350_5231; // "SPR1"
 
 // CDF 9/7 lifting coefficients (JPEG2000 irreversible transform).
 const ALPHA: f64 = -1.586_134_342_059_924;
@@ -321,17 +320,13 @@ impl Compressor for Sperr {
         }
         let packed = cliz_lossless::compress(&payload);
 
-        let mut out = Vec::with_capacity(packed.len() + 64);
-        out.extend_from_slice(&MAGIC.to_le_bytes());
-        out.push(dims.len() as u8);
-        for &d in &dims {
-            out.extend_from_slice(&(d as u64).to_le_bytes());
-        }
-        out.extend_from_slice(&eb.to_le_bytes());
-        out.extend_from_slice(&step.to_le_bytes());
-        out.push(levels as u8);
-        out.extend_from_slice(&packed);
-        Ok(out)
+        let mut out = HeaderWriter::with_capacity(packed.len() + 64);
+        write_header(&mut out, &SPR1, &dims);
+        out.f64(eb);
+        out.f64(step);
+        out.u8(levels as u8);
+        out.raw(&packed);
+        Ok(out.finish())
     }
 
     fn decompress(
@@ -340,7 +335,7 @@ impl Compressor for Sperr {
         _mask: Option<&MaskMap>,
     ) -> Result<Grid<f32>, BaselineError> {
         let mut r = Reader::new(bytes);
-        let (dims, total) = read_header(&mut r, MAGIC)?;
+        let (dims, total) = read_header(&mut r, &SPR1)?;
         r.skip(8)?; // eb (informational)
         let step = r.f64()?;
         if !(step > 0.0) {

@@ -9,13 +9,12 @@
 //! and because it is a strong comparator on rough data where long-range
 //! interpolation loses.
 
-use crate::header::{read_header, Reader};
+use crate::header::{read_header, write_header, Reader};
 use crate::traits::{BaselineError, Compressor};
 use cliz_entropy::huffman;
+use cliz_format::{spec::SZ21, HeaderWriter};
 use cliz_grid::{Grid, MaskMap, Shape};
 use cliz_quant::{ErrorBound, LinearQuantizer, Quantized, ESCAPE};
-
-const MAGIC: u32 = 0x535A_3231; // "SZ21"
 
 /// Up to 3 Lorenzo dimensions (higher-rank data treats leading axes as
 /// independent slabs, as SZ2 does).
@@ -157,16 +156,12 @@ impl Compressor for Sz2Lorenzo {
         payload.extend_from_slice(&literals);
         let packed = cliz_lossless::compress(&payload);
 
-        let mut out = Vec::with_capacity(packed.len() + 64);
-        out.extend_from_slice(&MAGIC.to_le_bytes());
-        out.push(dims.len() as u8);
-        for &d in &dims {
-            out.extend_from_slice(&(d as u64).to_le_bytes());
-        }
-        out.extend_from_slice(&eb.to_le_bytes());
-        out.extend_from_slice(&(escapes as u64).to_le_bytes());
-        out.extend_from_slice(&packed);
-        Ok(out)
+        let mut out = HeaderWriter::with_capacity(packed.len() + 64);
+        write_header(&mut out, &SZ21, &dims);
+        out.f64(eb);
+        out.u64(escapes as u64);
+        out.raw(&packed);
+        Ok(out.finish())
     }
 
     fn decompress(
@@ -175,7 +170,7 @@ impl Compressor for Sz2Lorenzo {
         _mask: Option<&MaskMap>,
     ) -> Result<Grid<f32>, BaselineError> {
         let mut r = Reader::new(bytes);
-        let (dims, total) = read_header(&mut r, MAGIC)?;
+        let (dims, total) = read_header(&mut r, &SZ21)?;
         let eb = r.f64()?;
         if !(eb > 0.0) {
             return Err(BaselineError::Corrupt("bad eb"));

@@ -1,16 +1,15 @@
 //! SZ3-style interpolation compressor (the framework CliZ builds on, with
 //! every climate-specific feature switched off).
 
-use crate::header::{read_header, Reader};
+use crate::header::{read_header, write_header, Reader};
 use crate::traits::{BaselineError, Compressor};
 use cliz_entropy::huffman;
+use cliz_format::{spec::SZL1, FormatSpec, HeaderWriter};
 use cliz_grid::{Grid, MaskMap, Shape};
 use cliz_predict::{
     predict_quantize_leveled, reconstruct_leveled, Fitting, InterpParams,
 };
 use cliz_quant::{ErrorBound, LinearQuantizer, ESCAPE};
-
-const MAGIC: u32 = 0x535A_4C31; // "SZL1"
 
 /// Per-stride error-bound multiplier policy (1.0 = plain SZ3; QoZ tightens
 /// coarse strides).
@@ -70,7 +69,7 @@ impl SzInterp {
 pub(crate) fn encode(
     data: &Grid<f32>,
     bound: ErrorBound,
-    magic: u32,
+    spec: &FormatSpec,
     policy: EbPolicy,
 ) -> Result<Vec<u8>, BaselineError> {
     let (mn, mx) = data.finite_min_max().unwrap_or((0.0, 0.0));
@@ -103,29 +102,25 @@ pub(crate) fn encode(
     payload.extend_from_slice(&literals);
     let packed = cliz_lossless::compress(&payload);
 
-    let mut out = Vec::with_capacity(packed.len() + 64);
-    out.extend_from_slice(&magic.to_le_bytes());
-    out.push(dims.len() as u8);
-    for &d in &dims {
-        out.extend_from_slice(&(d as u64).to_le_bytes());
-    }
-    out.extend_from_slice(&eb.to_le_bytes());
-    out.push(match fitting {
+    let mut out = HeaderWriter::with_capacity(packed.len() + 64);
+    write_header(&mut out, spec, &dims);
+    out.f64(eb);
+    out.u8(match fitting {
         Fitting::Linear => 0,
         Fitting::Cubic => 1,
     });
-    out.extend_from_slice(&(escapes as u64).to_le_bytes());
-    out.extend_from_slice(&packed);
-    Ok(out)
+    out.u64(escapes as u64);
+    out.raw(&packed);
+    Ok(out.finish())
 }
 
 pub(crate) fn decode(
     bytes: &[u8],
-    magic: u32,
+    spec: &FormatSpec,
     policy: EbPolicy,
 ) -> Result<Grid<f32>, BaselineError> {
     let mut r = Reader::new(bytes);
-    let (dims, total) = read_header(&mut r, magic)?;
+    let (dims, total) = read_header(&mut r, spec)?;
     let eb = r.f64()?;
     if !(eb > 0.0) {
         return Err(BaselineError::Corrupt("bad eb"));
@@ -181,7 +176,7 @@ impl Compressor for SzInterp {
         _mask: Option<&MaskMap>,
         bound: ErrorBound,
     ) -> Result<Vec<u8>, BaselineError> {
-        encode(data, bound, MAGIC, flat_policy)
+        encode(data, bound, &SZL1, flat_policy)
     }
 
     fn decompress(
@@ -189,7 +184,7 @@ impl Compressor for SzInterp {
         bytes: &[u8],
         _mask: Option<&MaskMap>,
     ) -> Result<Grid<f32>, BaselineError> {
-        decode(bytes, MAGIC, flat_policy)
+        decode(bytes, &SZL1, flat_policy)
     }
 }
 

@@ -9,6 +9,7 @@ use cliz_quant::ErrorBound;
 pub enum BaselineError {
     BadMagic,
     Truncated,
+    UnsupportedVersion(u8),
     Corrupt(&'static str),
     Backend(String),
 }
@@ -18,6 +19,9 @@ impl std::fmt::Display for BaselineError {
         match self {
             BaselineError::BadMagic => write!(f, "baseline: bad magic"),
             BaselineError::Truncated => write!(f, "baseline: truncated stream"),
+            BaselineError::UnsupportedVersion(v) => {
+                write!(f, "baseline: unsupported container version {v}")
+            }
             BaselineError::Corrupt(w) => write!(f, "baseline: corrupt stream ({w})"),
             BaselineError::Backend(w) => write!(f, "baseline backend: {w}"),
         }
@@ -25,6 +29,19 @@ impl std::fmt::Display for BaselineError {
 }
 
 impl std::error::Error for BaselineError {}
+
+impl From<cliz_format::FormatError> for BaselineError {
+    fn from(e: cliz_format::FormatError) -> Self {
+        match e {
+            cliz_format::FormatError::Truncated => BaselineError::Truncated,
+            cliz_format::FormatError::BadMagic => BaselineError::BadMagic,
+            cliz_format::FormatError::UnsupportedVersion(v) => {
+                BaselineError::UnsupportedVersion(v)
+            }
+            cliz_format::FormatError::Corrupt(what) => BaselineError::Corrupt(what),
+        }
+    }
+}
 
 impl From<cliz_lossless::Error> for BaselineError {
     fn from(e: cliz_lossless::Error) -> Self {

@@ -16,13 +16,13 @@
 //! weakens, the baseline; the comparisons CliZ cares about (block exponents
 //! wrecked by mask fill values, no periodicity exploitation) are unchanged.
 
-use crate::header::{read_header, Reader};
+use crate::header::{read_header, write_header, Reader};
 use crate::traits::{BaselineError, Compressor};
 use cliz_entropy::{BitReader, BitWriter};
+use cliz_format::{spec::ZFP1, HeaderWriter};
 use cliz_grid::{Grid, MaskMap, Shape};
 use cliz_quant::ErrorBound;
 
-const MAGIC: u32 = 0x5A46_5031; // "ZFP1"
 /// Fixed-point fraction bits for block-float quantization.
 const Q_BITS: i32 = 26;
 /// Block side length (ZFP's 4).
@@ -445,15 +445,11 @@ impl Compressor for Zfp {
         }
         let payload = cliz_lossless::compress(&w.finish());
 
-        let mut out = Vec::with_capacity(payload.len() + 64);
-        out.extend_from_slice(&MAGIC.to_le_bytes());
-        out.push(dims.len() as u8);
-        for &d in &dims {
-            out.extend_from_slice(&(d as u64).to_le_bytes());
-        }
-        out.extend_from_slice(&eb.to_le_bytes());
-        out.extend_from_slice(&payload);
-        Ok(out)
+        let mut out = HeaderWriter::with_capacity(payload.len() + 64);
+        write_header(&mut out, &ZFP1, &dims);
+        out.f64(eb);
+        out.raw(&payload);
+        Ok(out.finish())
     }
 
     fn decompress(
@@ -462,7 +458,7 @@ impl Compressor for Zfp {
         _mask: Option<&MaskMap>,
     ) -> Result<Grid<f32>, BaselineError> {
         let mut rd = Reader::new(bytes);
-        let (dims, _total) = read_header(&mut rd, MAGIC)?;
+        let (dims, _total) = read_header(&mut rd, &ZFP1)?;
         rd.skip(8)?; // eb (informational on decode)
         let payload = cliz_lossless::decompress(rd.rest())?;
         let mut r = BitReader::new(&payload);

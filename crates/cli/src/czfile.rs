@@ -2,10 +2,9 @@
 //! reproduces a complete CAF dataset.
 
 use crate::args::CliError;
+use cliz_format::spec::CZF1;
 use std::io::{Read, Write};
 use std::path::Path;
-
-const MAGIC: u32 = 0x435A_4631; // "CZF1"
 
 /// Codec identifiers stored in the wrapper.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -89,7 +88,8 @@ fn read_string(r: &mut impl Read) -> Result<String, CliError> {
 
 pub fn save(path: &Path, cz: &CzFile) -> Result<(), CliError> {
     let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
-    w.write_all(&MAGIC.to_le_bytes())?;
+    w.write_all(&CZF1.magic.to_le_bytes())?;
+    w.write_all(&[CZF1.version])?;
     w.write_all(&[cz.codec as u8])?;
     write_string(&mut w, &cz.name)?;
     w.write_all(&[cz.dim_names.len() as u8])?;
@@ -113,8 +113,16 @@ pub fn load(path: &Path) -> Result<CzFile, CliError> {
     let mut r = std::io::BufReader::new(file);
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
-    if u32::from_le_bytes(magic) != MAGIC {
+    if u32::from_le_bytes(magic) != CZF1.magic {
         return Err(CliError::new("not a .cz file"));
+    }
+    let mut version = [0u8; 1];
+    r.read_exact(&mut version)?;
+    if version[0] == 0 || version[0] > CZF1.version {
+        return Err(CliError::new(format!(
+            "cz: unsupported version {} (this build reads up to {})",
+            version[0], CZF1.version
+        )));
     }
     let mut codec = [0u8; 1];
     r.read_exact(&mut codec)?;
@@ -190,10 +198,36 @@ mod tests {
     }
 
     #[test]
+    fn future_version_rejected() {
+        let cz = CzFile {
+            codec: Codec::Cliz,
+            name: "SSH".into(),
+            dim_names: vec![],
+            attrs: vec![],
+            masked: false,
+            payload: vec![1, 2, 3],
+        };
+        let dir = std::env::temp_dir().join("cliz_cz_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("future.cz");
+        save(&path, &cz).unwrap();
+        let saved = std::fs::read(&path).unwrap();
+        // Zeroed and future version bytes both refuse cleanly.
+        for v in [0u8, 0xEE] {
+            let mut bytes = saved.clone();
+            bytes[4] = v; // version byte sits right after the magic
+            std::fs::write(&path, &bytes).unwrap();
+            let err = load(&path).unwrap_err();
+            assert!(err.to_string().contains("unsupported version"), "{err}");
+        }
+    }
+
+    #[test]
     fn implausible_payload_length_rejected() {
         // Valid header claiming a payload far larger than the file itself:
         // must fail cleanly without attempting the allocation.
-        let mut bytes = MAGIC.to_le_bytes().to_vec();
+        let mut bytes = CZF1.magic.to_le_bytes().to_vec();
+        bytes.push(CZF1.version);
         bytes.push(0); // codec = cliz
         bytes.extend_from_slice(&0u16.to_le_bytes()); // empty name
         bytes.push(0); // no dims

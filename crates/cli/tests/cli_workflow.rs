@@ -190,3 +190,52 @@ fn abs_and_rel_are_exclusive() {
     // Absolute bound alone works.
     cliz_cli::run(&args(&["compress", &caf, "--abs", "0.1", "-o", &cz])).unwrap();
 }
+
+// ---------------------------------------------------------------------------
+// CZF1 golden fixture: the CLI wrapper format, pinned byte-for-byte (the
+// other eleven container formats live in the facade-level corpus under
+// `tests/golden/`; see `tests/golden_corpus.rs` for the invariants).
+// ---------------------------------------------------------------------------
+
+/// The fixed fixture contents: every CZF1 field populated, deterministic
+/// payload bytes standing in for an inner container.
+fn golden_czfile() -> cliz_cli::czfile::CzFile {
+    cliz_cli::czfile::CzFile {
+        codec: cliz_cli::czfile::Codec::ClizChunked,
+        name: "T2m".into(),
+        dim_names: vec!["lat".into(), "lon".into()],
+        attrs: vec![("units".into(), "K".into()), ("period".into(), "12".into())],
+        masked: false,
+        payload: (0..256u32).map(|i| (i.wrapping_mul(97) >> 3) as u8).collect(),
+    }
+}
+
+#[test]
+fn czf1_golden_fixture_is_byte_stable_and_loads() {
+    let committed: &[u8] = include_bytes!("golden/czf1.cz");
+    let dir = workdir("czf1_golden");
+    let path = dir.join("fresh.cz");
+    cliz_cli::czfile::save(&path, &golden_czfile()).unwrap();
+    let fresh = std::fs::read(&path).unwrap();
+    assert_eq!(
+        fresh, committed,
+        "CZF1 container drifted — run czf1_regenerate_golden for an intentional change"
+    );
+    // The committed bytes (written by a past build) still load field-exact.
+    std::fs::write(&path, committed).unwrap();
+    let back = cliz_cli::czfile::load(&path).unwrap();
+    assert_eq!(back, golden_czfile());
+}
+
+/// Rewrites `crates/cli/tests/golden/czf1.cz`; run only after an intentional
+/// CZF1 format change.
+#[test]
+#[ignore]
+fn czf1_regenerate_golden() {
+    let dir = std::path::Path::new(file!())
+        .parent()
+        .expect("test file has a parent dir")
+        .join("golden");
+    std::fs::create_dir_all(&dir).unwrap();
+    cliz_cli::czfile::save(&dir.join("czf1.cz"), &golden_czfile()).unwrap();
+}

@@ -1,156 +1,42 @@
-//! Minimal little-endian byte (de)serialization helpers for the container.
+//! Little-endian byte (de)serialization for the container — re-exported
+//! from `cliz-format`, where the cursors live alongside the magic/version
+//! registry so every workspace container parses headers the same way.
+//! `?` on a cursor read converts [`cliz_format::FormatError`] into
+//! [`ClizError`](crate::error::ClizError) via the `From` impl in
+//! [`crate::error`].
 
-use crate::error::ClizError;
-
-/// Sequential writer over a growable byte buffer.
-#[derive(Debug, Default)]
-pub struct ByteWriter {
-    buf: Vec<u8>,
-}
-
-impl ByteWriter {
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    pub fn u8(&mut self, v: u8) {
-        self.buf.push(v);
-    }
-
-    pub fn u32(&mut self, v: u32) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-
-    pub fn u64(&mut self, v: u64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-
-    pub fn f32(&mut self, v: f32) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-
-    pub fn f64(&mut self, v: f64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-
-    /// Length-prefixed byte block.
-    pub fn block(&mut self, bytes: &[u8]) {
-        self.u64(bytes.len() as u64);
-        self.buf.extend_from_slice(bytes);
-    }
-
-    pub fn raw(&mut self, bytes: &[u8]) {
-        self.buf.extend_from_slice(bytes);
-    }
-
-    pub fn len(&self) -> usize {
-        self.buf.len()
-    }
-
-    pub fn is_empty(&self) -> bool {
-        self.buf.is_empty()
-    }
-
-    pub fn finish(self) -> Vec<u8> {
-        self.buf
-    }
-}
-
-/// Sequential reader with explicit truncation errors.
-#[derive(Debug)]
-pub struct ByteReader<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> ByteReader<'a> {
-    pub fn new(buf: &'a [u8]) -> Self {
-        Self { buf, pos: 0 }
-    }
-
-    fn take(&mut self, n: usize) -> Result<&'a [u8], ClizError> {
-        let end = self.pos.checked_add(n).ok_or(ClizError::Truncated)?;
-        let s = self.buf.get(self.pos..end).ok_or(ClizError::Truncated)?;
-        self.pos = end;
-        Ok(s)
-    }
-
-    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], ClizError> {
-        self.take(N)?
-            .try_into()
-            .map_err(|_| ClizError::Truncated)
-    }
-
-    pub fn u8(&mut self) -> Result<u8, ClizError> {
-        Ok(self.take_array::<1>()?[0])
-    }
-
-    pub fn u32(&mut self) -> Result<u32, ClizError> {
-        Ok(u32::from_le_bytes(self.take_array()?))
-    }
-
-    pub fn u64(&mut self) -> Result<u64, ClizError> {
-        Ok(u64::from_le_bytes(self.take_array()?))
-    }
-
-    pub fn f32(&mut self) -> Result<f32, ClizError> {
-        Ok(f32::from_le_bytes(self.take_array()?))
-    }
-
-    pub fn f64(&mut self) -> Result<f64, ClizError> {
-        Ok(f64::from_le_bytes(self.take_array()?))
-    }
-
-    /// Length-prefixed byte block.
-    pub fn block(&mut self) -> Result<&'a [u8], ClizError> {
-        let n = self.u64()? as usize;
-        self.take(n)
-    }
-
-    pub fn remaining(&self) -> usize {
-        self.buf.len() - self.pos
-    }
-}
+pub use cliz_format::{HeaderReader as ByteReader, HeaderWriter as ByteWriter};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::ClizError;
+    use cliz_format::FormatError;
 
-    #[test]
-    fn roundtrip_all_types() {
-        let mut w = ByteWriter::new();
-        w.u8(7);
-        w.u32(0xDEAD_BEEF);
-        w.u64(1 << 40);
-        w.f32(1.5);
-        w.f64(-2.25);
-        w.block(b"hello");
-        let bytes = w.finish();
-        let mut r = ByteReader::new(&bytes);
-        assert_eq!(r.u8().unwrap(), 7);
-        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
-        assert_eq!(r.u64().unwrap(), 1 << 40);
-        assert_eq!(r.f32().unwrap(), 1.5);
-        assert_eq!(r.f64().unwrap(), -2.25);
-        assert_eq!(r.block().unwrap(), b"hello");
-        assert_eq!(r.remaining(), 0);
+    fn read_u64(bytes: &[u8]) -> Result<u64, ClizError> {
+        let mut r = ByteReader::new(bytes);
+        Ok(r.u64()?)
     }
 
     #[test]
-    fn truncation_is_an_error() {
+    fn truncation_converts_to_cliz_error() {
         let mut w = ByteWriter::new();
         w.u32(1);
-        let bytes = w.finish();
-        let mut r = ByteReader::new(&bytes);
-        assert_eq!(r.u64().unwrap_err(), ClizError::Truncated);
+        assert_eq!(read_u64(&w.finish()), Err(ClizError::Truncated));
     }
 
     #[test]
-    fn block_length_checked() {
-        let mut w = ByteWriter::new();
-        w.u64(1000); // claims 1000 bytes, provides none
-        let bytes = w.finish();
-        let mut r = ByteReader::new(&bytes);
-        assert_eq!(r.block().unwrap_err(), ClizError::Truncated);
+    fn every_format_error_maps_to_its_cliz_twin() {
+        for (fe, ce) in [
+            (FormatError::Truncated, ClizError::Truncated),
+            (FormatError::BadMagic, ClizError::BadMagic),
+            (
+                FormatError::UnsupportedVersion(9),
+                ClizError::UnsupportedVersion(9),
+            ),
+            (FormatError::Corrupt("x"), ClizError::Corrupt("x")),
+        ] {
+            assert_eq!(ClizError::from(fe), ce);
+        }
     }
 }

@@ -7,7 +7,7 @@
 //! pipeline configuration and one globally-resolved error bound, and lays
 //! them out behind an offset table for O(1) chunk lookup.
 //!
-//! Format: `magic "CLZC" | ndim u8 | dims ndim×u64 | chunk_len u64 |
+//! Format: `magic "CLZC" | ver u8 | ndim u8 | dims ndim×u64 | chunk_len u64 |
 //! n_chunks u32 | offsets (n_chunks+1)×u64 | chunk containers…`.
 //!
 //! Slabs are independent, so both directions run on a scoped worker pool:
@@ -25,11 +25,10 @@ use crate::compressor::{
 use crate::config::PipelineConfig;
 use crate::error::ClizError;
 use crate::scratch::ScratchArena;
+use cliz_format::spec::CLZC;
 use cliz_grid::{Grid, MaskMap, Shape};
 use cliz_quant::ErrorBound;
 use cliz_transfer::assign_lpt;
-
-const MAGIC: u32 = 0x434C_5A43; // "CLZC"
 
 /// Number of slabs a grid of `dim0` splits into with `chunk_len` thickness.
 fn chunk_count(dim0: usize, chunk_len: usize) -> usize {
@@ -214,7 +213,7 @@ fn compress_one_chunk(
 fn assemble_container(dims: &[usize], chunk_len: usize, blobs: &[Vec<u8>]) -> Vec<u8> {
     let n_chunks = blobs.len();
     let mut w = ByteWriter::new();
-    w.u32(MAGIC);
+    w.magic(&CLZC);
     w.u8(dims.len() as u8);
     for &d in dims {
         w.u64(d as u64);
@@ -381,9 +380,7 @@ impl ChunkedHeader {
 /// Reads just the header (cheap; no decompression).
 pub fn read_header(bytes: &[u8]) -> Result<ChunkedHeader, ClizError> {
     let mut r = ByteReader::new(bytes);
-    if r.u32()? != MAGIC {
-        return Err(ClizError::BadMagic);
-    }
+    r.expect_magic(&CLZC)?;
     let ndim = r.u8()? as usize;
     if ndim == 0 || ndim > cliz_grid::shape::MAX_DIMS {
         return Err(ClizError::Corrupt("bad rank"));

@@ -28,11 +28,10 @@ use crate::error::ClizError;
 use crate::periodic::{add_template, build_template, subtract_template, template_mask};
 use crate::pipeline::{compress_plain_alloc_baseline, compress_plain_with, decompress_plain_with, PlainStats};
 use crate::scratch::ScratchArena;
+use cliz_format::spec::CLIZ;
 use cliz_grid::{Grid, MaskMap, Shape};
 use cliz_quant::ErrorBound;
 
-const MAGIC: u32 = 0x434C_495A; // "CLIZ"
-const VERSION: u8 = 1;
 const MODE_PLAIN: u8 = 0;
 const MODE_PERIODIC: u8 = 1;
 
@@ -138,8 +137,7 @@ pub fn compress_with_stats_arena(
     let fill = representative_fill(data, effective_mask);
 
     let mut w = ByteWriter::new();
-    w.u32(MAGIC);
-    w.u8(VERSION);
+    w.magic(&CLIZ);
     w.u8(data.shape().ndim() as u8);
     for &d in data.shape().dims() {
         w.u64(d as u64);
@@ -268,8 +266,7 @@ pub fn compress_alloc_baseline(
     let fill = representative_fill(data, effective_mask);
 
     let mut w = ByteWriter::new();
-    w.u32(MAGIC);
-    w.u8(VERSION);
+    w.magic(&CLIZ);
     w.u8(data.shape().ndim() as u8);
     for &d in data.shape().dims() {
         w.u64(d as u64);
@@ -297,13 +294,7 @@ pub fn decompress_arena(
     arena: &mut ScratchArena,
 ) -> Result<Grid<f32>, ClizError> {
     let mut r = ByteReader::new(bytes);
-    if r.u32()? != MAGIC {
-        return Err(ClizError::BadMagic);
-    }
-    let version = r.u8()?;
-    if version != VERSION {
-        return Err(ClizError::UnsupportedVersion(version));
-    }
+    r.expect_magic(&CLIZ)?;
     let ndim = r.u8()? as usize;
     if ndim == 0 || ndim > cliz_grid::shape::MAX_DIMS {
         return Err(ClizError::Corrupt("bad rank"));

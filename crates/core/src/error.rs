@@ -43,3 +43,14 @@ impl From<cliz_lossless::Error> for ClizError {
         ClizError::Backend(e.to_string())
     }
 }
+
+impl From<cliz_format::FormatError> for ClizError {
+    fn from(e: cliz_format::FormatError) -> Self {
+        match e {
+            cliz_format::FormatError::Truncated => ClizError::Truncated,
+            cliz_format::FormatError::BadMagic => ClizError::BadMagic,
+            cliz_format::FormatError::UnsupportedVersion(v) => ClizError::UnsupportedVersion(v),
+            cliz_format::FormatError::Corrupt(what) => ClizError::Corrupt(what),
+        }
+    }
+}

@@ -8,20 +8,22 @@
 //! trailing index.
 //!
 //! Format (`CLZS`):
-//! `magic u32 | ndim u8 | dims[1..] (slab shape) ndim−1 × u64 | eb f64 |
-//! chunks… (each: len u64 + CLIZ container) |
+//! `magic u32 | ver u8 | ndim u8 | dims[1..] (slab shape) ndim−1 × u64 |
+//! eb f64 | chunks… (each: len u64 + CLIZ container) |
 //! trailer: offsets n×u64 | slab_lens n×u64 | n u32 | trailer_magic u32`.
+//!
+//! The trailer is deliberately parsed tail-first (the writer cannot seek),
+//! so the symmetric write/read pair xtask rule R14 replays is the *header*:
+//! [`ChunkedWriter::new`] against [`parse_header`].
 
 use crate::bytesio::{ByteReader, ByteWriter};
 use crate::compressor::{compress, decompress};
 use crate::config::{Periodicity, PipelineConfig};
 use crate::error::ClizError;
+use cliz_format::spec::{CLZS, CLZS_TRAILER_MAGIC};
 use cliz_grid::{Grid, MaskMap, Shape};
 use cliz_quant::ErrorBound;
 use std::io::Write;
-
-const MAGIC: u32 = 0x434C_5A53; // "CLZS"
-const TRAILER_MAGIC: u32 = 0x535A_4C43; // reversed, marks a complete file
 
 /// Incremental writer: feed slabs (leading-axis chunks) one at a time.
 pub struct ChunkedWriter<W: Write> {
@@ -54,7 +56,7 @@ impl<W: Write> ChunkedWriter<W> {
             return Err(ClizError::BadConfig("bad error bound"));
         }
         let mut header = ByteWriter::new();
-        header.u32(MAGIC);
+        header.magic(&CLZS);
         header.u8((record_dims.len() + 1) as u8);
         for &d in record_dims {
             header.u64(d as u64);
@@ -106,7 +108,10 @@ impl<W: Write> ChunkedWriter<W> {
         self.sink
             .write_all(&framed)
             .map_err(|e| ClizError::Backend(e.to_string()))?;
-        self.written += framed.len() as u64;
+        self.written = self
+            .written
+            .checked_add(framed.len() as u64)
+            .ok_or(ClizError::Corrupt("stream length overflows u64"))?;
         Ok(())
     }
 
@@ -121,7 +126,7 @@ impl<W: Write> ChunkedWriter<W> {
             trailer.u64(l);
         }
         trailer.u32(self.offsets.len() as u32);
-        trailer.u32(TRAILER_MAGIC);
+        trailer.u32(CLZS_TRAILER_MAGIC);
         self.sink
             .write_all(&trailer.finish())
             .map_err(|e| ClizError::Backend(e.to_string()))?;
@@ -146,25 +151,30 @@ pub struct ChunkedReader<'a> {
     slab_lens: Vec<u64>,
 }
 
+/// Parses the fixed CLZS header (the write-order mirror of
+/// [`ChunkedWriter::new`]); the trailer is handled separately by
+/// [`ChunkedReader::open`] because it is located from the file's tail.
+fn parse_header(bytes: &[u8]) -> Result<(Vec<usize>, f64), ClizError> {
+    let mut r = ByteReader::new(bytes);
+    r.expect_magic(&CLZS)?;
+    let ndim = r.u8()? as usize;
+    if ndim < 2 || ndim > cliz_grid::shape::MAX_DIMS {
+        return Err(ClizError::Corrupt("bad rank"));
+    }
+    let mut record_dims = Vec::with_capacity(ndim - 1);
+    for _ in 0..ndim - 1 {
+        record_dims.push(r.u64()? as usize);
+    }
+    if record_dims.iter().any(|&d| d == 0) {
+        return Err(ClizError::Corrupt("zero-sized record dimension"));
+    }
+    let eb_abs = r.f64()?;
+    Ok((record_dims, eb_abs))
+}
+
 impl<'a> ChunkedReader<'a> {
     pub fn open(bytes: &'a [u8]) -> Result<Self, ClizError> {
-        // Header.
-        let mut r = ByteReader::new(bytes);
-        if r.u32()? != MAGIC {
-            return Err(ClizError::BadMagic);
-        }
-        let ndim = r.u8()? as usize;
-        if ndim < 2 || ndim > cliz_grid::shape::MAX_DIMS {
-            return Err(ClizError::Corrupt("bad rank"));
-        }
-        let mut record_dims = Vec::with_capacity(ndim - 1);
-        for _ in 0..ndim - 1 {
-            record_dims.push(r.u64()? as usize);
-        }
-        if record_dims.iter().any(|&d| d == 0) {
-            return Err(ClizError::Corrupt("zero-sized record dimension"));
-        }
-        let eb_abs = r.f64()?;
+        let (record_dims, eb_abs) = parse_header(bytes)?;
 
         // Trailer.
         if bytes.len() < 8 {
@@ -174,7 +184,7 @@ impl<'a> ChunkedReader<'a> {
         let mut tr = ByteReader::new(tail);
         let n = tr.u32()? as usize;
         let tm = tr.u32()?;
-        if tm != TRAILER_MAGIC {
+        if tm != CLZS_TRAILER_MAGIC {
             return Err(ClizError::Corrupt("missing trailer (incomplete stream?)"));
         }
         // The slab count is untrusted: bound it by what the file can
@@ -274,7 +284,11 @@ impl<'a> ChunkedReader<'a> {
 
     /// Decompresses and concatenates every slab.
     pub fn read_all(&self, mask_for: impl Fn(usize) -> Option<MaskMap>) -> Result<Grid<f32>, ClizError> {
-        let record: usize = self.record_dims.iter().product();
+        let record = self
+            .record_dims
+            .iter()
+            .try_fold(1usize, |a, &d| a.checked_mul(d))
+            .ok_or(ClizError::Corrupt("record size overflows"))?;
         let total = self.total_records();
         // A grid cannot have a zero-sized leading axis: an empty or
         // zero-length index (honest empty stream or corrupt trailer) must

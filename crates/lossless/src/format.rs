@@ -6,16 +6,17 @@ use crate::codes::{
 };
 use crate::lz::{tokenize, Effort, Token};
 use cliz_entropy::{BitReader, BitWriter, HuffmanDecoder, HuffmanEncoder};
+use cliz_format::{spec::ZLT1, FormatError, HeaderReader, HeaderWriter};
 
-const MAGIC: u32 = 0x5A4C_5431; // "ZLT1"
-const MODE_STORED: u8 = 0;
-const MODE_LZ: u8 = 1;
+pub(crate) const MODE_STORED: u8 = 0;
+pub(crate) const MODE_LZ: u8 = 1;
 
 /// Decode failure taxonomy.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Error {
     BadMagic,
     Truncated,
+    UnsupportedVersion(u8),
     Corrupt(&'static str),
 }
 
@@ -24,6 +25,7 @@ impl std::fmt::Display for Error {
         match self {
             Error::BadMagic => write!(f, "zlite: bad magic"),
             Error::Truncated => write!(f, "zlite: truncated stream"),
+            Error::UnsupportedVersion(v) => write!(f, "zlite: unsupported version {v}"),
             Error::Corrupt(what) => write!(f, "zlite: corrupt stream ({what})"),
         }
     }
@@ -31,9 +33,20 @@ impl std::fmt::Display for Error {
 
 impl std::error::Error for Error {}
 
+impl From<FormatError> for Error {
+    fn from(e: FormatError) -> Self {
+        match e {
+            FormatError::Truncated => Error::Truncated,
+            FormatError::BadMagic => Error::BadMagic,
+            FormatError::UnsupportedVersion(v) => Error::UnsupportedVersion(v),
+            FormatError::Corrupt(what) => Error::Corrupt(what),
+        }
+    }
+}
+
 /// Compresses `data`. Falls back to stored mode when LZ+Huffman does not
 /// shrink the input, so output is never much larger than input
-/// (13-byte header worst case).
+/// (14-byte header worst case).
 pub fn compress(data: &[u8]) -> Vec<u8> {
     compress_with(data, Effort::default())
 }
@@ -84,30 +97,26 @@ pub fn compress_with(data: &[u8], effort: Effort) -> Vec<u8> {
     lit_enc.encode_symbol(EOB, &mut w);
     let payload = w.finish();
 
-    let mut out = Vec::with_capacity(payload.len().min(data.len()) + 13);
-    out.extend_from_slice(&MAGIC.to_le_bytes());
-    out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+    let mut w = HeaderWriter::with_capacity(payload.len().min(data.len()) + 14);
+    w.magic(&ZLT1);
+    w.u64(data.len() as u64);
     if payload.len() < data.len() {
-        out.push(MODE_LZ);
-        out.extend_from_slice(&payload);
+        w.u8(MODE_LZ);
+        w.raw(&payload);
     } else {
-        out.push(MODE_STORED);
-        out.extend_from_slice(data);
+        w.u8(MODE_STORED);
+        w.raw(data);
     }
-    out
+    w.finish()
 }
 
 /// Decompresses a [`compress`] stream.
 pub fn decompress(data: &[u8]) -> Result<Vec<u8>, Error> {
-    let header = |range: std::ops::Range<usize>| data.get(range).ok_or(Error::Truncated);
-    let magic = u32::from_le_bytes(header(0..4)?.try_into().map_err(|_| Error::Truncated)?);
-    if magic != MAGIC {
-        return Err(Error::BadMagic);
-    }
-    let raw_len = u64::from_le_bytes(header(4..12)?.try_into().map_err(|_| Error::Truncated)?)
-        as usize;
-    let mode = *data.get(12).ok_or(Error::Truncated)?;
-    let body = data.get(13..).ok_or(Error::Truncated)?;
+    let mut r = HeaderReader::new(data);
+    r.expect_magic(&ZLT1)?;
+    let raw_len = r.len64()?;
+    let mode = r.u8()?;
+    let body = r.rest();
     match mode {
         MODE_STORED => {
             if body.len() < raw_len {
@@ -234,8 +243,8 @@ mod tests {
             })
             .collect();
         let n = roundtrip(&data);
-        // Either stored (len + 13) or marginally compressed; never blown up.
-        assert!(n <= data.len() + 13);
+        // Either stored (len + 14) or marginally compressed; never blown up.
+        assert!(n <= data.len() + 14);
     }
 
     #[test]
@@ -250,6 +259,13 @@ mod tests {
         let mut c = compress(b"payload");
         c[0] ^= 0xFF;
         assert_eq!(decompress(&c), Err(Error::BadMagic));
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let mut c = compress(b"payload");
+        c[4] = 0xEE;
+        assert_eq!(decompress(&c), Err(Error::UnsupportedVersion(0xEE)));
     }
 
     #[test]

@@ -19,10 +19,13 @@ use cliz_entropy::reference::{
     ref_encode_symbol, ref_write_table, RefBitReader, RefBitWriter, RefHuffmanDecoder,
 };
 use cliz_entropy::HuffmanEncoder;
+use cliz_format::spec::ZLT1;
 
-const MAGIC: u32 = 0x5A4C_5431; // "ZLT1"
-const MODE_STORED: u8 = 0;
-const MODE_LZ: u8 = 1;
+// The kernels are frozen, not the container prefix: the header must stay
+// byte-identical with the live `crate::format` path (the differential
+// suites compare whole streams), so the magic/version pair tracks the
+// registry and the mode bytes are shared with the live module.
+use crate::format::{MODE_LZ, MODE_STORED};
 
 /// Pre-rewrite [`crate::compress`] (default effort).
 pub fn ref_compress(data: &[u8]) -> Vec<u8> {
@@ -75,8 +78,9 @@ pub fn ref_compress_with(data: &[u8], effort: Effort) -> Vec<u8> {
     ref_encode_symbol(&lit_enc, EOB, &mut w);
     let payload = w.finish();
 
-    let mut out = Vec::with_capacity(payload.len().min(data.len()) + 13);
-    out.extend_from_slice(&MAGIC.to_le_bytes());
+    let mut out = Vec::with_capacity(payload.len().min(data.len()) + 14);
+    out.extend_from_slice(&ZLT1.magic.to_le_bytes());
+    out.push(ZLT1.version);
     out.extend_from_slice(&(data.len() as u64).to_le_bytes());
     if payload.len() < data.len() {
         out.push(MODE_LZ);
@@ -93,13 +97,17 @@ pub fn ref_compress_with(data: &[u8], effort: Effort) -> Vec<u8> {
 pub fn ref_decompress(data: &[u8]) -> Result<Vec<u8>, Error> {
     let header = |range: std::ops::Range<usize>| data.get(range).ok_or(Error::Truncated);
     let magic = u32::from_le_bytes(header(0..4)?.try_into().map_err(|_| Error::Truncated)?);
-    if magic != MAGIC {
+    if magic != ZLT1.magic {
         return Err(Error::BadMagic);
     }
-    let raw_len = u64::from_le_bytes(header(4..12)?.try_into().map_err(|_| Error::Truncated)?)
+    let version = *data.get(4).ok_or(Error::Truncated)?;
+    if version == 0 || version > ZLT1.version {
+        return Err(Error::UnsupportedVersion(version));
+    }
+    let raw_len = u64::from_le_bytes(header(5..13)?.try_into().map_err(|_| Error::Truncated)?)
         as usize;
-    let mode = *data.get(12).ok_or(Error::Truncated)?;
-    let body = data.get(13..).ok_or(Error::Truncated)?;
+    let mode = *data.get(13).ok_or(Error::Truncated)?;
+    let body = data.get(14..).ok_or(Error::Truncated)?;
     match mode {
         MODE_STORED => {
             if body.len() < raw_len {

@@ -22,12 +22,11 @@
 //! understands: `time_axis` (decimal axis index) and `period` (cycle length).
 
 use crate::error::StoreError;
+use cliz_format::spec::CAF1;
 use cliz_grid::{Grid, MaskMap, Shape};
 use std::io::{Read, Write};
 use std::path::Path;
 
-const MAGIC: u32 = 0x4341_4631; // "CAF1"
-const VERSION: u8 = 1;
 const DTYPE_F32: u8 = 0;
 
 /// A named climate variable with metadata, as stored in a CAF file.
@@ -122,8 +121,8 @@ pub(crate) fn read_string(r: &mut impl Read) -> Result<String, StoreError> {
 /// Serializes a dataset to any writer.
 pub fn write_caf(w: &mut impl Write, ds: &Dataset) -> Result<(), StoreError> {
     ds.validate()?;
-    w.write_all(&MAGIC.to_le_bytes())?;
-    w.write_all(&[VERSION])?;
+    w.write_all(&CAF1.magic.to_le_bytes())?;
+    w.write_all(&[CAF1.version])?;
     write_string(w, &ds.name)?;
     if ds.attrs.len() > u16::MAX as usize {
         return Err(StoreError::Invalid("too many attributes"));
@@ -156,12 +155,12 @@ pub fn write_caf(w: &mut impl Write, ds: &Dataset) -> Result<(), StoreError> {
 pub fn read_caf(r: &mut impl Read) -> Result<Dataset, StoreError> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
-    if u32::from_le_bytes(magic) != MAGIC {
+    if u32::from_le_bytes(magic) != CAF1.magic {
         return Err(StoreError::BadMagic);
     }
     let mut version = [0u8; 1];
     r.read_exact(&mut version)?;
-    if version[0] != VERSION {
+    if version[0] == 0 || version[0] > CAF1.version {
         return Err(StoreError::UnsupportedVersion(version[0]));
     }
     let name = read_string(r)?;
@@ -419,8 +418,8 @@ mod tests {
     fn implausible_header_rejected() {
         // Handcraft a header claiming a gigantic grid.
         let mut buf = Vec::new();
-        buf.extend_from_slice(&MAGIC.to_le_bytes());
-        buf.push(VERSION);
+        buf.extend_from_slice(&CAF1.magic.to_le_bytes());
+        buf.push(CAF1.version);
         buf.extend_from_slice(&1u16.to_le_bytes()); // name len 1
         buf.push(b'x');
         buf.extend_from_slice(&0u16.to_le_bytes()); // no attrs

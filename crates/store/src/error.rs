@@ -48,6 +48,19 @@ impl From<std::io::Error> for StoreError {
     }
 }
 
+impl From<cliz_format::FormatError> for StoreError {
+    fn from(e: cliz_format::FormatError) -> Self {
+        match e {
+            // Truncation while parsing store structure is a corrupt store;
+            // the store layer has no standalone Truncated variant.
+            cliz_format::FormatError::Truncated => StoreError::Corrupt("truncated"),
+            cliz_format::FormatError::BadMagic => StoreError::BadMagic,
+            cliz_format::FormatError::UnsupportedVersion(v) => StoreError::UnsupportedVersion(v),
+            cliz_format::FormatError::Corrupt(what) => StoreError::Corrupt(what),
+        }
+    }
+}
+
 impl From<ClizError> for StoreError {
     fn from(e: ClizError) -> Self {
         // Truncation discovered while parsing store structure is a corrupt

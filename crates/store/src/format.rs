@@ -33,11 +33,9 @@
 
 use crate::error::StoreError;
 use crate::caf::Dataset;
+use cliz_format::{spec::CZS1, HeaderReader, HeaderWriter};
 use cliz_grid::{MaskMap, Shape};
 use std::io::Write;
-
-pub(crate) const MAGIC: u32 = 0x3153_5A43; // "CZS1"
-pub(crate) const VERSION: u8 = 1;
 
 /// Largest element count a store header may claim (matches the CAF cap).
 const MAX_ELEMS: usize = 1 << 36;
@@ -85,76 +83,13 @@ pub struct ParsedStore {
     pub payload: std::ops::Range<usize>,
 }
 
-/// Bounds-checked sequential cursor over the store bytes. All reads go
-/// through [`Cursor::take`], so truncation is an error at the read site and
-/// nothing downstream ever indexes past the buffer.
-struct Cursor<'a> {
-    full: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Cursor<'a> {
-    fn new(full: &'a [u8]) -> Self {
-        Self { full, pos: 0 }
-    }
-
-    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
-        let end = self
-            .pos
-            .checked_add(n)
-            .ok_or(StoreError::Corrupt("offset overflow"))?;
-        let s = self
-            .full
-            .get(self.pos..end)
-            .ok_or(StoreError::Corrupt("truncated"))?;
-        self.pos = end;
-        Ok(s)
-    }
-
-    fn u8(&mut self) -> Result<u8, StoreError> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn u16(&mut self) -> Result<u16, StoreError> {
-        let b = self.take(2)?;
-        Ok(u16::from_le_bytes([b[0], b[1]]))
-    }
-
-    fn u32(&mut self) -> Result<u32, StoreError> {
-        let b = self.take(4)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
-    }
-
-    fn u64(&mut self) -> Result<u64, StoreError> {
-        let b = self.take(8)?;
-        Ok(u64::from_le_bytes([
-            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
-        ]))
-    }
-
-    /// `u16` length + UTF-8 bytes; the length is bounded by `take`.
-    fn string(&mut self) -> Result<String, StoreError> {
-        let len = self.u16()? as usize;
-        let raw = self.take(len)?;
-        String::from_utf8(raw.to_vec()).map_err(|_| StoreError::Corrupt("non-UTF8 string"))
-    }
-
-    fn remaining(&self) -> usize {
-        self.full.len() - self.pos
-    }
-}
-
-/// Parses and validates a CZS store from one in-memory buffer.
+/// Parses and validates a CZS store from one in-memory buffer. All reads go
+/// through the `cliz-format` [`HeaderReader`], so truncation is an error at
+/// the read site and nothing downstream ever indexes past the buffer.
 pub fn parse_store(bytes: &[u8]) -> Result<ParsedStore, StoreError> {
-    let mut cur = Cursor::new(bytes);
-    if cur.u32()? != MAGIC {
-        return Err(StoreError::BadMagic);
-    }
-    let version = cur.u8()?;
-    if version != VERSION {
-        return Err(StoreError::UnsupportedVersion(version));
-    }
-    let name = cur.string()?;
+    let mut cur = HeaderReader::new(bytes);
+    cur.expect_magic(&CZS1)?;
+    let name = cur.str16()?.to_string();
     let nattrs = cur.u16()? as usize;
     // Each attr needs ≥ 4 bytes (two empty strings); bound the Vec by what
     // is physically present before allocating.
@@ -163,8 +98,8 @@ pub fn parse_store(bytes: &[u8]) -> Result<ParsedStore, StoreError> {
     }
     let mut attrs = Vec::with_capacity(nattrs);
     for _ in 0..nattrs {
-        let k = cur.string()?;
-        let v = cur.string()?;
+        let k = cur.str16()?.to_string();
+        let v = cur.str16()?.to_string();
         attrs.push((k, v));
     }
     let ndim = cur.u8()? as usize;
@@ -174,7 +109,7 @@ pub fn parse_store(bytes: &[u8]) -> Result<ParsedStore, StoreError> {
     let mut dim_names = Vec::with_capacity(ndim);
     let mut dims = Vec::with_capacity(ndim);
     for _ in 0..ndim {
-        dim_names.push(cur.string()?);
+        dim_names.push(cur.str16()?.to_string());
         let e = cur.u64()? as usize;
         if e == 0 {
             return Err(StoreError::Corrupt("zero extent"));
@@ -251,7 +186,7 @@ pub fn parse_store(bytes: &[u8]) -> Result<ParsedStore, StoreError> {
     } else {
         None
     };
-    let payload_start = cur.pos;
+    let payload_start = cur.pos();
     let payload_bytes = cur.take(payload_len)?;
     debug_assert_eq!(payload_bytes.len(), payload_len);
     if cur.remaining() != 0 {
@@ -313,28 +248,34 @@ pub fn write_store(
         return Err(StoreError::Invalid("index does not cover payload"));
     }
 
-    w.write_all(&MAGIC.to_le_bytes())?;
-    w.write_all(&[VERSION])?;
-    crate::caf::write_string(w, &index.name)?;
-    w.write_all(&(index.attrs.len() as u16).to_le_bytes())?;
+    // The metadata prefix is assembled through the shared cursor (the exact
+    // mirror of the reads in `parse_store`); mask bits and the bulk payload
+    // stream straight to the sink afterwards.
+    let mut hw = HeaderWriter::new();
+    hw.magic(&CZS1);
+    hw.str16(&index.name)
+        .map_err(|_| StoreError::Invalid("string too long"))?;
+    hw.u16(index.attrs.len() as u16);
     for (k, v) in &index.attrs {
-        crate::caf::write_string(w, k)?;
-        crate::caf::write_string(w, v)?;
+        hw.str16(k).map_err(|_| StoreError::Invalid("string too long"))?;
+        hw.str16(v).map_err(|_| StoreError::Invalid("string too long"))?;
     }
-    w.write_all(&[index.dims.len() as u8])?;
+    hw.u8(index.dims.len() as u8);
     for (name, &extent) in index.dim_names.iter().zip(&index.dims) {
-        crate::caf::write_string(w, name)?;
-        w.write_all(&(extent as u64).to_le_bytes())?;
+        hw.str16(name)
+            .map_err(|_| StoreError::Invalid("string too long"))?;
+        hw.u64(extent as u64);
     }
-    w.write_all(&[u8::from(index.has_mask)])?;
-    w.write_all(&(index.chunk_len as u64).to_le_bytes())?;
-    w.write_all(&(index.entries.len() as u32).to_le_bytes())?;
+    hw.u8(u8::from(index.has_mask));
+    hw.u64(index.chunk_len as u64);
+    hw.u32(index.entries.len() as u32);
     for e in &index.entries {
-        w.write_all(&(e.offset as u64).to_le_bytes())?;
-        w.write_all(&(e.len as u64).to_le_bytes())?;
-        w.write_all(&e.checksum.to_le_bytes())?;
+        hw.u64(e.offset as u64);
+        hw.u64(e.len as u64);
+        hw.u32(e.checksum);
     }
-    w.write_all(&(payload.len() as u64).to_le_bytes())?;
+    hw.u64(payload.len() as u64);
+    w.write_all(&hw.finish())?;
     if let Some(m) = mask {
         w.write_all(&m.pack_bits())?;
     }

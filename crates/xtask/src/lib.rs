@@ -26,6 +26,7 @@
 pub mod callgraph;
 pub mod contracts;
 pub mod dataflow;
+pub mod format;
 pub mod items;
 pub mod lexer;
 pub mod locks;
@@ -40,10 +41,10 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 pub use output::{
-    baseline_from_report, baseline_to_json, parse_baseline, ratchet, to_json, to_sarif, Baseline,
-    RatchetOutcome,
+    baseline_from_report, baseline_to_json, describe_rule, parse_baseline, ratchet, to_json,
+    to_sarif, Baseline, RatchetOutcome,
 };
-pub use rules::{FileReport, Violation};
+pub use rules::{FileReport, Violation, ALL_RULES};
 
 /// A violation bound to the file it was found in.
 #[derive(Debug, Clone)]
@@ -153,6 +154,12 @@ pub fn lint_sources(files: &[(String, String)]) -> Report {
 
     // Workspace pass: R11–R13 hot-path performance audit.
     for f in perf::analyze(&product_files) {
+        push(&mut report, f.rule, f.file, f.line, f.message);
+    }
+
+    // Workspace pass: R14–R16 container-format audit (sees the test files
+    // as R16 coverage evidence).
+    for f in format::analyze(files) {
         push(&mut report, f.rule, f.file, f.line, f.message);
     }
 

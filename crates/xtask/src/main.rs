@@ -4,7 +4,8 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: cargo run -p cliz-xtask -- lint [--root <dir>] \
-         [--format text|json|sarif] [--baseline <file>] [--write-baseline]"
+         [--format text|json|sarif] [--baseline <file>] [--write-baseline] \
+         [--explain R<N>]"
     );
     ExitCode::from(2)
 }
@@ -46,6 +47,27 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--write-baseline" => write_baseline = true,
+            "--explain" => {
+                let Some(rule) = args.next() else {
+                    return usage();
+                };
+                match cliz_xtask::describe_rule(&rule) {
+                    Some(desc) => {
+                        println!("{rule}: {desc}");
+                        println!("See docs/STATIC_ANALYSIS.md for the full rule description,");
+                        println!("fix guidance, and the suppression syntax");
+                        println!("(`// xtask-allow: {rule} -- reason`).");
+                        return ExitCode::SUCCESS;
+                    }
+                    None => {
+                        eprintln!(
+                            "unknown rule `{rule}`; known rules: {}",
+                            cliz_xtask::ALL_RULES.join(", ")
+                        );
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             other => {
                 eprintln!("unknown option `{other}`");
                 return usage();

@@ -75,7 +75,18 @@ const RULE_DESCRIPTIONS: &[(&str, &str)] = &[
     ("R11", "heap allocation inside a loop reachable from a codec entry point (workspace pass)"),
     ("R12", "single-bit BitReader/BitWriter call in a loop; use word-at-a-time I/O (workspace pass)"),
     ("R13", "vectorization-hostile loop: per-element indexing mixed with a per-iteration mask test (workspace pass)"),
+    ("R14", "serializer/parser asymmetry: format written but not read (or vice versa), field width/order mismatch, or unchecked trailer magic (workspace pass)"),
+    ("R15", "version discipline: parser lacks an UnsupportedVersion range check before length fields, or a magic constant lives outside the cliz-format registry (workspace pass)"),
+    ("R16", "parser error-surface gap: dead error variant, parser-constructed variant without a test assertion, or unreachable from any decode entry point (workspace pass)"),
 ];
+
+/// The one-line description of a rule, for `lint --explain`.
+pub fn describe_rule(rule: &str) -> Option<&'static str> {
+    RULE_DESCRIPTIONS
+        .iter()
+        .find(|(id, _)| *id == rule)
+        .map(|(_, d)| *d)
+}
 
 /// Renders the report as a minimal SARIF 2.1.0 document.
 pub fn to_sarif(report: &Report) -> String {

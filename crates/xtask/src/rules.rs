@@ -57,6 +57,23 @@
 //!   per-iteration `Option`-mask test; hoist the mask match and write each
 //!   arm as a zip/chunks_exact scan. Produced by the workspace pass in
 //!   [`crate::perf`].
+//! * **R14** — serializer/parser symmetry: every container format (a
+//!   registry `FormatSpec`) written anywhere must be parsed somewhere, and
+//!   vice versa; the writer's ordered field emissions are replayed against
+//!   the parser's reads, so a width or order mismatch is a finding.
+//!   Trailer magics must be both emitted and checked. Produced by the
+//!   workspace pass in [`crate::format`].
+//! * **R15** — version discipline: a hand-rolled parser that checks a
+//!   magic must range-check a version byte (an `UnsupportedVersion` path)
+//!   before decoding any count/length field; magic constants and
+//!   `FormatSpec` literals may only live in the `cliz-format` registry;
+//!   duplicate magic values are findings. Produced by the workspace pass
+//!   in [`crate::format`].
+//! * **R16** — parser error-surface coverage: every `*Error` enum variant
+//!   in the format-handling crates must be constructed in product code,
+//!   and variants constructed on a parse path must be asserted by at
+//!   least one test and be reachable from a decode entry point. Produced
+//!   by the workspace pass in [`crate::format`].
 //!
 //! Suppressions: `// xtask-allow: R1 -- reason` (covers its own line and
 //! the next), or `// xtask-allow-fn: R1 -- reason` (covers the whole next
@@ -83,7 +100,8 @@ pub struct FileReport {
 }
 
 pub const ALL_RULES: &[&str] = &[
-    "R0", "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10", "R11", "R12", "R13",
+    "R0", "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10", "R11", "R12", "R13", "R14",
+    "R15", "R16",
 ];
 
 /// Files/dirs (workspace-relative, `/`-separated prefixes) where R1 applies:

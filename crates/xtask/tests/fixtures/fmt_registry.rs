@@ -1,0 +1,9 @@
+pub struct FormatSpec {
+    pub name: &'static str,
+    pub magic: u32,
+    pub version: u8,
+}
+pub const AAA1: FormatSpec = FormatSpec { name: "AAA1", magic: 0x4141_4131, version: 1 };
+pub const BBB1: FormatSpec = FormatSpec { name: "BBB1", magic: 0x4242_4231, version: 1 };
+pub const CCC1: FormatSpec = FormatSpec { name: "CCC1", magic: 0x4343_4331, version: 1 };
+pub const AAA1_TRAILER_MAGIC: u32 = 0x3141_4141;

@@ -1,0 +1,35 @@
+use cliz_format::spec::{AAA1, BBB1, AAA1_TRAILER_MAGIC};
+
+pub fn write_aaa(rec: &Rec) -> Vec<u8> {
+    let mut w = HeaderWriter::new();
+    w.magic(&AAA1);
+    w.u8(rec.rank);
+    for d in &rec.dims {
+        w.u64(*d);
+    }
+    w.f64(rec.eb);
+    w.finish()
+}
+
+pub fn parse_aaa(bytes: &[u8]) -> Result<Rec, FixtureError> {
+    let mut r = HeaderReader::new(bytes);
+    r.expect_magic(&AAA1)?;
+    let rank = r.u8()?;
+    let mut dims = Vec::new();
+    for _ in 0..rank {
+        dims.push(r.u64()?);
+    }
+    let eb = r.f32()?;
+    Ok(Rec { rank, dims, eb })
+}
+
+pub fn write_bbb(x: u64) -> Vec<u8> {
+    let mut w = HeaderWriter::new();
+    w.magic(&BBB1);
+    w.u64(x);
+    w.finish()
+}
+
+pub fn seal(w: &mut HeaderWriter) {
+    w.u32(AAA1_TRAILER_MAGIC);
+}

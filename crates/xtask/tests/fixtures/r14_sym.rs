@@ -1,0 +1,48 @@
+use cliz_format::spec::{AAA1, BBB1, AAA1_TRAILER_MAGIC};
+
+pub fn write_sym(rec: &Rec) -> Vec<u8> {
+    let mut w = HeaderWriter::new();
+    w.magic(&AAA1);
+    w.u8(rec.rank);
+    for d in &rec.dims {
+        w.u64(*d);
+    }
+    w.u64(rec.payload_len);
+    w.f64(rec.eb);
+    w.finish()
+}
+
+pub fn parse_sym(bytes: &[u8]) -> Result<Rec, FixtureError> {
+    let mut r = HeaderReader::new(bytes);
+    r.expect_magic(&AAA1)?;
+    let rank = r.u8()?;
+    let mut dims = Vec::new();
+    for _ in 0..rank {
+        dims.push(r.len64()?);
+    }
+    let payload_len = r.len64()?;
+    let eb = r.f64()?;
+    Ok(Rec { rank, dims, payload_len, eb })
+}
+
+pub fn write_bbb(x: u64) -> Vec<u8> {
+    let mut w = HeaderWriter::new();
+    w.magic(&BBB1);
+    w.u64(x);
+    w.finish()
+}
+
+pub fn parse_bbb(bytes: &[u8]) -> Result<u64, FixtureError> {
+    let mut r = HeaderReader::new(bytes);
+    r.expect_magic(&BBB1)?;
+    let x = r.u64()?;
+    Ok(x)
+}
+
+pub fn seal(w: &mut HeaderWriter) {
+    w.u32(AAA1_TRAILER_MAGIC);
+}
+
+pub fn check_seal(tm: u32) -> bool {
+    tm == AAA1_TRAILER_MAGIC
+}

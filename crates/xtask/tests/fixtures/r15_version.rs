@@ -1,0 +1,39 @@
+use cliz_format::spec::{AAA1, BBB1};
+
+pub fn parse_noversion(bytes: &[u8]) -> Result<u64, FixtureError> {
+    let magic = u32::from_le_bytes(head(bytes)?);
+    if magic != AAA1.magic {
+        return Err(FixtureError::BadMagic);
+    }
+    let count = u64::from_le_bytes(next(bytes)?);
+    Ok(count)
+}
+
+pub fn parse_late(bytes: &[u8]) -> Result<u64, FixtureError> {
+    let magic = u32::from_le_bytes(head(bytes)?);
+    if magic != BBB1.magic {
+        return Err(FixtureError::BadMagic);
+    }
+    let count = u64::from_le_bytes(next(bytes)?);
+    let version = take_u8(bytes)?;
+    if version == 0 || version > BBB1.version {
+        return Err(FixtureError::UnsupportedVersion(version));
+    }
+    Ok(count)
+}
+
+pub fn write_aaa(out: &mut Vec<u8>) {
+    out.extend_from_slice(&AAA1.magic.to_le_bytes());
+    out.push(AAA1.version);
+}
+
+pub fn write_bbb(out: &mut Vec<u8>) {
+    out.extend_from_slice(&BBB1.magic.to_le_bytes());
+    out.push(BBB1.version);
+}
+
+pub const SNEAKY_MAGIC: u32 = 0x4141_4131;
+
+pub fn sneaky_spec() -> FormatSpec {
+    FormatSpec { name: "zz", magic: 0x5A5A_5A31, version: 1 }
+}

@@ -1,0 +1,19 @@
+use cliz_format::spec::AAA1;
+
+pub fn parse_ok(bytes: &[u8]) -> Result<u64, FixtureError> {
+    let magic = u32::from_le_bytes(head(bytes)?);
+    if magic != AAA1.magic {
+        return Err(FixtureError::BadMagic);
+    }
+    let version = take_u8(bytes)?;
+    if version == 0 || version > AAA1.version {
+        return Err(FixtureError::UnsupportedVersion(version));
+    }
+    let count = u64::from_le_bytes(next(bytes)?);
+    Ok(count)
+}
+
+pub fn write_aaa(out: &mut Vec<u8>) {
+    out.extend_from_slice(&AAA1.magic.to_le_bytes());
+    out.push(AAA1.version);
+}

@@ -1,0 +1,5 @@
+#[test]
+fn oversized_rank_is_rejected() {
+    let bytes = mutate_rank(sample_container(), 9);
+    assert!(matches!(parse_rec(&bytes), Err(FixtureError::Covered)));
+}

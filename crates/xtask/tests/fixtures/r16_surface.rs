@@ -1,0 +1,37 @@
+use cliz_format::spec::AAA1;
+
+pub enum FixtureError {
+    Dead,
+    Untested,
+    Orphaned,
+    Covered,
+}
+
+pub fn write_rec(rec: &Rec) -> Vec<u8> {
+    let mut w = HeaderWriter::new();
+    w.magic(&AAA1);
+    w.u8(rec.rank);
+    w.finish()
+}
+
+pub fn parse_rec(bytes: &[u8]) -> Result<Rec, FixtureError> {
+    let mut r = HeaderReader::new(bytes);
+    r.expect_magic(&AAA1)?;
+    let rank = r.u8()?;
+    if rank == 0 {
+        return Err(FixtureError::Untested);
+    }
+    if rank > 8 {
+        return Err(FixtureError::Covered);
+    }
+    Ok(Rec { rank })
+}
+
+pub fn audit_rec(bytes: &[u8]) -> Result<(), FixtureError> {
+    let mut r = HeaderReader::new(bytes);
+    r.expect_magic(&AAA1)?;
+    if r.u8()? == 9 {
+        return Err(FixtureError::Orphaned);
+    }
+    Ok(())
+}

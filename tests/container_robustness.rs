@@ -553,3 +553,250 @@ fn decompression_is_idempotent_across_calls() {
     let b = cliz::decompress(&bytes, None).unwrap();
     assert_eq!(a, b);
 }
+
+// ---------------------------------------------------------------------------
+// Version-byte discipline: every container format places `version: u8`
+// directly after its u32 magic (offset 4). A zeroed or future version must
+// come back as the owning crate's typed UnsupportedVersion error — never a
+// panic, never a misparse into a grid. (CZF1, the CLI's .cz wrapper, has the
+// same sweep in `crates/cli/src/czfile.rs` against its string-typed error.)
+// ---------------------------------------------------------------------------
+
+/// Copy of `bytes` with the version byte (offset 4) replaced by `v`.
+fn with_version(bytes: &[u8], v: u8) -> Vec<u8> {
+    let mut b = bytes.to_vec();
+    b[4] = v;
+    b
+}
+
+#[test]
+fn version_mutation_rejected_on_cliz_containers() {
+    let g = sample_grid();
+    let cfg = PipelineConfig::default_for(2);
+    let plain = cliz::compress(&g, None, ErrorBound::Abs(1e-3), &cfg).unwrap();
+    let chunked = cliz::compress_chunked(&g, None, ErrorBound::Abs(1e-3), &cfg, 6).unwrap();
+    let mut stream: Vec<u8> = Vec::new();
+    {
+        let mut w = ChunkedWriter::new(&mut stream, &[32], 1e-3, cfg.clone()).unwrap();
+        w.write_slab(&g, None).unwrap();
+        w.finish().unwrap();
+    }
+    for v in [0u8, 0xEE] {
+        assert!(matches!(
+            cliz::decompress(&with_version(&plain, v), None),
+            Err(cliz::ClizError::UnsupportedVersion(got)) if got == v
+        ));
+        assert!(matches!(
+            cliz::decompress_chunked(&with_version(&chunked, v), None),
+            Err(cliz::ClizError::UnsupportedVersion(got)) if got == v
+        ));
+        assert!(matches!(
+            ChunkedReader::open(&with_version(&stream, v)),
+            Err(cliz::ClizError::UnsupportedVersion(got)) if got == v
+        ));
+    }
+}
+
+#[test]
+fn version_mutation_rejected_on_lossless_store_and_caf() {
+    // ZLT1 lossless frames.
+    let z = cliz::lossless::compress(b"version sweep payload, long enough to code");
+    for v in [0u8, 0xEE] {
+        assert!(matches!(
+            cliz::lossless::decompress(&with_version(&z, v)),
+            Err(cliz::lossless::Error::UnsupportedVersion(got)) if got == v
+        ));
+    }
+    // CZS1 chunk stores.
+    let s = sample_store();
+    for v in [0u8, 0xEE] {
+        assert!(matches!(
+            cliz::store::ChunkStoreReader::from_bytes(with_version(&s, v)),
+            Err(cliz::store::StoreError::UnsupportedVersion(got)) if got == v
+        ));
+    }
+    // CAF1 archives.
+    let ds = cliz::store::Dataset::new("T", sample_grid(), None);
+    let mut caf: Vec<u8> = Vec::new();
+    cliz::store::write_caf(&mut caf, &ds).unwrap();
+    for v in [0u8, 0xEE] {
+        let b = with_version(&caf, v);
+        assert!(matches!(
+            cliz::store::read_caf(&mut &b[..]),
+            Err(cliz::store::StoreError::UnsupportedVersion(got)) if got == v
+        ));
+    }
+}
+
+#[test]
+fn version_mutation_rejected_on_baseline_containers() {
+    let g = sample_grid();
+    for (name, bytes) in baseline_streams(&g) {
+        for v in [0u8, 0xEE] {
+            match baseline_decompress(name, &with_version(&bytes, v)) {
+                Err(cliz::BaselineError::UnsupportedVersion(got)) => {
+                    assert_eq!(got, v, "{name}");
+                }
+                other => panic!("{name}: expected UnsupportedVersion({v}), got {other:?}"),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Error-surface coverage: each parser-facing error variant must be reachable
+// from a decode entry point on a concrete corrupt input (backs lint R16).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn store_open_on_missing_path_is_io() {
+    let err = match cliz::store::ChunkStoreReader::open("/nonexistent/cliz-r16-probe.czs") {
+        Err(e) => e,
+        Ok(_) => panic!("opened a store at a nonexistent path"),
+    };
+    assert!(matches!(err, cliz::store::StoreError::Io(_)));
+}
+
+#[test]
+fn baseline_cross_magic_and_truncation_are_typed() {
+    let g = sample_grid();
+    let sz3 = SzInterp.compress(&g, None, ErrorBound::Abs(1e-3)).unwrap();
+    let zfp = Zfp.compress(&g, None, ErrorBound::Abs(1e-3)).unwrap();
+    assert!(matches!(
+        SzInterp.decompress(&zfp, None),
+        Err(cliz::BaselineError::BadMagic)
+    ));
+    assert!(matches!(
+        Zfp.decompress(&sz3, None),
+        Err(cliz::BaselineError::BadMagic)
+    ));
+    // Cut mid-dims: magic and version parse, the first u64 extent cannot.
+    assert!(matches!(
+        SzInterp.decompress(&sz3[..7], None),
+        Err(cliz::BaselineError::Truncated)
+    ));
+}
+
+/// Byte offset of the first embedded ZLT1 lossless frame at or after `from`.
+fn find_zlt1(bytes: &[u8], from: usize) -> Option<usize> {
+    let m = 0x5A4C_5431u32.to_le_bytes();
+    bytes[from..].windows(4).position(|w| w == m).map(|p| p + from)
+}
+
+#[test]
+fn corrupt_embedded_lossless_frame_is_backend_error() {
+    let g = sample_grid();
+    // Inside a CLIZ container: breaking the inner ZLT1 magic makes the
+    // lossless backend refuse the frame, which must surface as Backend.
+    let bytes = cliz::compress(&g, None, ErrorBound::Abs(1e-3), &PipelineConfig::default_for(2))
+        .unwrap();
+    let at = find_zlt1(&bytes, 5).expect("no embedded ZLT1 frame in CLIZ container");
+    let mut b = bytes.clone();
+    b[at] ^= 0xFF;
+    assert!(matches!(
+        cliz::decompress(&b, None),
+        Err(cliz::ClizError::Backend(_))
+    ));
+    // Same story inside a baseline container.
+    let sz3 = SzInterp.compress(&g, None, ErrorBound::Abs(1e-3)).unwrap();
+    let at = find_zlt1(&sz3, 5).expect("no embedded ZLT1 frame in SZ21 container");
+    let mut b = sz3.clone();
+    b[at] ^= 0xFF;
+    assert!(matches!(
+        SzInterp.decompress(&b, None),
+        Err(cliz::BaselineError::Backend(_))
+    ));
+}
+
+#[test]
+fn bad_chunk_request_is_bad_config_and_wrong_mask_is_mask_required() {
+    let g = sample_grid();
+    let chunked = cliz::compress_chunked(
+        &g,
+        None,
+        ErrorBound::Abs(1e-3),
+        &PipelineConfig::default_for(2),
+        6,
+    )
+    .unwrap();
+    // Asking the random-access path for a chunk past the index is a caller
+    // configuration error, not corruption.
+    assert!(matches!(
+        cliz::decompress_chunk(&chunked, 999, None),
+        Err(cliz::ClizError::BadConfig(_))
+    ));
+    // A masked stream decoded with a wrong-shape mask is refused the same
+    // way as with no mask at all.
+    let mut flags = vec![true; g.len()];
+    flags[3] = false;
+    let mask = cliz::grid::MaskMap::from_flags(g.shape().clone(), flags);
+    let bytes =
+        cliz::compress(&g, Some(&mask), ErrorBound::Abs(1e-3), &PipelineConfig::default_for(2))
+            .unwrap();
+    let wrong = cliz::grid::MaskMap::all_valid(Shape::new(&[32, 24]));
+    assert!(matches!(
+        cliz::decompress(&bytes, Some(&wrong)),
+        Err(cliz::ClizError::MaskRequired)
+    ));
+}
+
+/// Parses the CZS1 front matter: returns (index_pos, payload_start, entries)
+/// where entries are (offset, len) pairs relative to the payload. Assumes a
+/// maskless store (as `sample_store` builds).
+fn czs_index(b: &[u8]) -> (usize, usize, Vec<(usize, usize)>) {
+    let u16at = |p: usize| u16::from_le_bytes([b[p], b[p + 1]]) as usize;
+    let u32at = |p: usize| u32::from_le_bytes(b[p..p + 4].try_into().unwrap()) as usize;
+    let u64at = |p: usize| u64::from_le_bytes(b[p..p + 8].try_into().unwrap()) as usize;
+    let mut p = 5; // magic + version
+    p += 2 + u16at(p); // dataset name
+    let nattrs = u16at(p);
+    p += 2;
+    for _ in 0..nattrs {
+        p += 2 + u16at(p); // key
+        p += 2 + u16at(p); // value
+    }
+    let ndim = b[p] as usize;
+    p += 1;
+    for _ in 0..ndim {
+        p += 2 + u16at(p); // dim name
+        p += 8; // extent
+    }
+    p += 1 + 8; // flags + chunk_len
+    let n_chunks = u32at(p);
+    p += 4;
+    let index_pos = p;
+    let entries: Vec<(usize, usize)> = (0..n_chunks)
+        .map(|i| {
+            let e = index_pos + i * 20;
+            (u64at(e), u64at(e + 8))
+        })
+        .collect();
+    p += n_chunks * 20;
+    p += 8; // payload_len
+    (index_pos, p, entries)
+}
+
+#[test]
+fn chunk_corruption_behind_a_valid_crc_is_codec_error() {
+    // Re-checksumming a corrupted chunk gets it past the CRC gate, so the
+    // failure must surface from the codec itself as StoreError::Codec.
+    let bytes = sample_store();
+    let (index_pos, payload_start, entries) = czs_index(&bytes);
+    let zlt = find_zlt1(&bytes, payload_start).expect("no ZLT1 frame in store payload")
+        - payload_start;
+    let k = entries
+        .iter()
+        .position(|&(off, len)| zlt >= off && zlt < off + len)
+        .expect("ZLT1 frame outside every indexed chunk");
+    let (off, len) = entries[k];
+    let mut b = bytes.clone();
+    b[payload_start + zlt] ^= 0xFF;
+    let crc = cliz::store::checksum::crc32(&b[payload_start + off..payload_start + off + len]);
+    let crc_pos = index_pos + k * 20 + 16;
+    b[crc_pos..crc_pos + 4].copy_from_slice(&crc.to_le_bytes());
+    let reader = cliz::store::ChunkStoreReader::from_bytes(b).unwrap();
+    assert!(matches!(
+        reader.chunk(k),
+        Err(cliz::store::StoreError::Codec(_))
+    ));
+}

@@ -1,0 +1,256 @@
+//! Golden-file corpus: one committed container per on-disk format, pinned
+//! byte-for-byte.
+//!
+//! Two invariants, both load-bearing for a stacked format ecosystem:
+//!
+//! 1. **Encoder stability** — compressing the fixed sample input today must
+//!    reproduce the committed bytes exactly. Any drift in a header field,
+//!    field order, or entropy coding shows up as a failed byte comparison,
+//!    not as a silent compatibility break three releases later.
+//! 2. **Decoder compatibility** — the committed bytes (i.e. files written by
+//!    *past* builds) must still decode, within the recorded error bound.
+//!
+//! The CZF1 CLI wrapper has its own golden fixture in
+//! `crates/cli/tests/cli_workflow.rs` (the cli crate is not a dependency of
+//! this facade-level suite). To regenerate after an intentional format
+//! change, run the `#[ignore]`d `regenerate_golden_corpus` test and commit
+//! the rewritten files together with a note in `docs/FORMATS.md`.
+
+use cliz::grid::{Grid, MaskMap, Shape};
+use cliz::prelude::*;
+use cliz::ChunkedWriter;
+
+/// The canonical sample field (same formula as the robustness suite).
+fn sample_grid() -> Grid<f32> {
+    Grid::from_fn(Shape::new(&[24, 32]), |c| {
+        ((c[0] as f32 * 0.23).sin() + (c[1] as f32 * 0.31).cos()) * 7.0
+    })
+}
+
+const EB: f64 = 1e-3;
+
+/// Fixed payload for the ZLT1 lossless fixture: mixed compressible and
+/// near-random bytes so both coder modes stay exercised.
+fn zlt1_payload() -> Vec<u8> {
+    let mut p = Vec::new();
+    for i in 0..4096u32 {
+        p.push((i % 251) as u8);
+        p.push((i.wrapping_mul(2654435761) >> 24) as u8);
+    }
+    p.extend_from_slice(&[0u8; 512]);
+    p
+}
+
+fn sample_dataset() -> cliz::store::Dataset {
+    let mut ds = cliz::store::Dataset::new("T2m", sample_grid(), None);
+    ds.set_attr("units", "K");
+    ds
+}
+
+/// Builds every fixture container from the fixed sample input, in the order
+/// they are committed. Names double as `tests/golden/<name>` file names.
+fn build_corpus() -> Vec<(&'static str, Vec<u8>)> {
+    let g = sample_grid();
+    let cfg = PipelineConfig::default_for(2);
+
+    let mut stream: Vec<u8> = Vec::new();
+    {
+        let mut w = ChunkedWriter::new(&mut stream, &[32], EB, cfg.clone()).unwrap();
+        for s in 0..3 {
+            let rows = g.as_slice()[s * 8 * 32..(s + 1) * 8 * 32].to_vec();
+            w.write_slab(&Grid::from_vec(Shape::new(&[8, 32]), rows), None)
+                .unwrap();
+        }
+        w.finish().unwrap();
+    }
+
+    let ds = sample_dataset();
+    let store = cliz::store::pack_store(&ds, ErrorBound::Abs(EB), &cfg, 6, 1).unwrap();
+    let mut caf: Vec<u8> = Vec::new();
+    cliz::store::write_caf(&mut caf, &ds).unwrap();
+
+    vec![
+        (
+            "cliz_plain.bin",
+            cliz::compress(&g, None, ErrorBound::Abs(EB), &cfg).unwrap(),
+        ),
+        (
+            "clzc_chunked.bin",
+            cliz::compress_chunked(&g, None, ErrorBound::Abs(EB), &cfg, 6).unwrap(),
+        ),
+        ("clzs_stream.bin", stream),
+        ("czs1_store.bin", store),
+        ("caf1_archive.bin", caf),
+        ("zlt1_lossless.bin", cliz::lossless::compress(&zlt1_payload())),
+        (
+            "szl1_sz3.bin",
+            SzInterp.compress(&g, None, ErrorBound::Abs(EB)).unwrap(),
+        ),
+        (
+            "sz21_sz2.bin",
+            Sz2Lorenzo.compress(&g, None, ErrorBound::Abs(EB)).unwrap(),
+        ),
+        (
+            "zfp1_zfp.bin",
+            Zfp.compress(&g, None, ErrorBound::Abs(EB)).unwrap(),
+        ),
+        (
+            "qoz1_qoz.bin",
+            Qoz.compress(&g, None, ErrorBound::Abs(EB)).unwrap(),
+        ),
+        (
+            "spr1_sperr.bin",
+            Sperr.compress(&g, None, ErrorBound::Abs(EB)).unwrap(),
+        ),
+    ]
+}
+
+/// The committed bytes for each corpus entry, embedded at compile time so
+/// the suite needs no runtime path discovery.
+fn committed(name: &str) -> &'static [u8] {
+    match name {
+        "cliz_plain.bin" => include_bytes!("golden/cliz_plain.bin"),
+        "clzc_chunked.bin" => include_bytes!("golden/clzc_chunked.bin"),
+        "clzs_stream.bin" => include_bytes!("golden/clzs_stream.bin"),
+        "czs1_store.bin" => include_bytes!("golden/czs1_store.bin"),
+        "caf1_archive.bin" => include_bytes!("golden/caf1_archive.bin"),
+        "zlt1_lossless.bin" => include_bytes!("golden/zlt1_lossless.bin"),
+        "szl1_sz3.bin" => include_bytes!("golden/szl1_sz3.bin"),
+        "sz21_sz2.bin" => include_bytes!("golden/sz21_sz2.bin"),
+        "zfp1_zfp.bin" => include_bytes!("golden/zfp1_zfp.bin"),
+        "qoz1_qoz.bin" => include_bytes!("golden/qoz1_qoz.bin"),
+        "spr1_sperr.bin" => include_bytes!("golden/spr1_sperr.bin"),
+        other => panic!("no committed fixture named {other}"),
+    }
+}
+
+#[test]
+fn encoders_reproduce_committed_bytes_exactly() {
+    for (name, fresh) in build_corpus() {
+        let want = committed(name);
+        assert_eq!(
+            fresh.len(),
+            want.len(),
+            "{name}: container length drifted (run regenerate_golden_corpus \
+             only for an intentional format change)"
+        );
+        if let Some(pos) = fresh.iter().zip(want).position(|(a, b)| a != b) {
+            panic!("{name}: byte {pos} drifted ({:#04x} != {:#04x})", fresh[pos], want[pos]);
+        }
+    }
+}
+
+/// Max |a-b| over a decoded grid against the sample field.
+fn max_err(decoded: &Grid<f32>) -> f64 {
+    let g = sample_grid();
+    g.as_slice()
+        .iter()
+        .zip(decoded.as_slice())
+        .map(|(&a, &b)| (f64::from(a) - f64::from(b)).abs())
+        .fold(0.0, f64::max)
+}
+
+#[test]
+fn committed_containers_decode_within_bound() {
+    let tol = EB * (1.0 + 1e-9);
+
+    let plain = cliz::decompress(committed("cliz_plain.bin"), None).unwrap();
+    assert_eq!(plain.shape().dims(), &[24, 32]);
+    assert!(max_err(&plain) <= tol);
+
+    let chunked = cliz::decompress_chunked(committed("clzc_chunked.bin"), None).unwrap();
+    assert!(max_err(&chunked) <= tol);
+
+    let stream = cliz::ChunkedReader::open(committed("clzs_stream.bin"))
+        .unwrap()
+        .read_all(|_| None)
+        .unwrap();
+    assert_eq!(stream.shape().dims(), &[24, 32]);
+    assert!(max_err(&stream) <= tol);
+
+    let reader =
+        cliz::store::ChunkStoreReader::from_bytes(committed("czs1_store.bin").to_vec()).unwrap();
+    let store = reader.read_all().unwrap();
+    assert!(max_err(&store) <= tol);
+
+    let ds = cliz::store::read_caf(&mut committed("caf1_archive.bin")).unwrap();
+    assert_eq!(ds.name, "T2m");
+    assert_eq!(ds.attr("units"), Some("K"));
+    assert_eq!(ds.data.as_slice(), sample_grid().as_slice());
+
+    assert_eq!(
+        cliz::lossless::decompress(committed("zlt1_lossless.bin")).unwrap(),
+        zlt1_payload()
+    );
+
+    let baselines: [(&str, Grid<f32>); 5] = [
+        ("szl1_sz3.bin", SzInterp.decompress(committed("szl1_sz3.bin"), None).unwrap()),
+        ("sz21_sz2.bin", Sz2Lorenzo.decompress(committed("sz21_sz2.bin"), None).unwrap()),
+        ("zfp1_zfp.bin", Zfp.decompress(committed("zfp1_zfp.bin"), None).unwrap()),
+        ("qoz1_qoz.bin", Qoz.decompress(committed("qoz1_qoz.bin"), None).unwrap()),
+        ("spr1_sperr.bin", Sperr.decompress(committed("spr1_sperr.bin"), None).unwrap()),
+    ];
+    for (name, out) in &baselines {
+        assert_eq!(out.shape().dims(), &[24, 32], "{name}");
+        assert!(max_err(out) <= tol, "{name}: bound violated");
+    }
+}
+
+#[test]
+fn committed_corpus_has_registry_magics() {
+    // Each fixture must open with its registered little-endian magic — a
+    // cheap tripwire against committing a file under the wrong name.
+    let magics: [(&str, u32); 11] = [
+        ("cliz_plain.bin", 0x434C_495A),
+        ("clzc_chunked.bin", 0x434C_5A43),
+        ("clzs_stream.bin", 0x434C_5A53),
+        ("czs1_store.bin", 0x3153_5A43),
+        ("caf1_archive.bin", 0x4341_4631),
+        ("zlt1_lossless.bin", 0x5A4C_5431),
+        ("szl1_sz3.bin", 0x535A_4C31),
+        ("sz21_sz2.bin", 0x535A_3231),
+        ("zfp1_zfp.bin", 0x5A46_5031),
+        ("qoz1_qoz.bin", 0x514F_5A31),
+        ("spr1_sperr.bin", 0x5350_5231),
+    ];
+    for (name, magic) in magics {
+        let b = committed(name);
+        assert!(b.len() > 5, "{name}: implausibly small fixture");
+        let got = u32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+        assert_eq!(got, magic, "{name}: wrong leading magic");
+        assert_eq!(b[4], 1, "{name}: unexpected version byte");
+    }
+}
+
+/// Rewrites `tests/golden/` from the current encoders. Run only after an
+/// intentional format change:
+/// `t_golden regenerate_golden_corpus --ignored` (or `cargo test -- --ignored`).
+#[test]
+#[ignore]
+fn regenerate_golden_corpus() {
+    let dir = std::path::Path::new(file!())
+        .parent()
+        .expect("test file has a parent dir")
+        .join("golden");
+    std::fs::create_dir_all(&dir).unwrap();
+    for (name, bytes) in build_corpus() {
+        std::fs::write(dir.join(name), &bytes).unwrap();
+        println!("wrote {name} ({} bytes)", bytes.len());
+    }
+}
+
+/// The masked-compression path has no golden fixture (mask packing is
+/// covered structurally elsewhere); keep a decode smoke test so the corpus
+/// suite still exercises it end to end.
+#[test]
+fn masked_roundtrip_smoke() {
+    let g = sample_grid();
+    let mut flags = vec![true; g.len()];
+    flags[17] = false;
+    let mask = MaskMap::from_flags(g.shape().clone(), flags);
+    let bytes =
+        cliz::compress(&g, Some(&mask), ErrorBound::Abs(EB), &PipelineConfig::default_for(2))
+            .unwrap();
+    let out = cliz::decompress(&bytes, Some(&mask)).unwrap();
+    assert_eq!(out.shape().dims(), &[24, 32]);
+}
