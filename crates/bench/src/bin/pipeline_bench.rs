@@ -154,6 +154,7 @@ fn main() {
     };
     let reps = if args.quick { 1 } else { 2 };
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("pipeline_bench: {host_cores} host core(s)");
     let mut thread_counts = vec![1usize, 2, 4, host_cores];
     thread_counts.sort_unstable();
     thread_counts.dedup();

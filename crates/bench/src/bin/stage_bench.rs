@@ -1,21 +1,33 @@
 //! Per-stage kernel benchmark with built-in byte-identity gates.
 //!
 //! Measures each pipeline stage in isolation, and — for the stages that
-//! were rewritten for throughput (entropy coding, zlite) — diffs the new
-//! kernels against the frozen pre-rewrite references
-//! (`cliz::entropy::reference`, `cliz::lossless::reference`) on every run:
+//! were rewritten for throughput (entropy coding, zlite, the prediction
+//! walk) — diffs the new kernels against the frozen pre-rewrite references
+//! (`cliz::entropy::reference`, `cliz::lossless::reference`,
+//! `cliz::predict::ref_predict_quantize`) on every run:
 //!
 //! 1. **entropy encode/decode** — canonical-Huffman stream coding. The new
 //!    word-at-a-time writer must produce byte-identical streams, the packed
 //!    multi-symbol decoder must reproduce the symbols exactly, and (in the
 //!    scaled/full tiers) decode must run ≥ 3× faster than the reference;
 //! 2. **lossless compress/decompress** — the zlite container. Compressed
-//!    bytes and roundtrip output are diffed against the reference;
+//!    bytes and roundtrip output are diffed against the reference, and the
+//!    identity-pinned bucket-ring compressor must beat the reference by the
+//!    encode gate. A second `zlite_compress_fast` stage runs the
+//!    throughput-biased [`Effort::fast`] profile, which is only required to
+//!    roundtrip (its stream is *not* reference-pinned) but must clear a
+//!    larger speedup gate;
 //! 3. **quant classify/shift** — per-position classification and the
 //!    shift/unshift transforms (unshift must invert shift exactly);
-//! 4. **predict quantize/reconstruct** — the interpolation walk; the
-//!    decoder reconstruction must equal the encoder's in-place buffer
-//!    bit-for-bit.
+//! 4. **predict quantize/reconstruct** — the interpolation walk. The
+//!    two-phase branch-hoisted encode walk is diffed against the frozen
+//!    reference (escape count, symbol grid, and reconstruction bits) and
+//!    gated on speedup; the decoder reconstruction must equal the encoder's
+//!    in-place buffer bit-for-bit.
+//!
+//! Speedup-gated pairs are timed *interleaved* (new/reference alternating
+//! inside one loop, best-of-N each) so clock drift and host noise land on
+//! both sides of every ratio equally.
 //!
 //! Any divergence (or a missed speedup gate) exits non-zero — CI runs
 //! `--quick` as a smoke test of the identity gates.
@@ -25,14 +37,16 @@
 //! # writes BENCH_stages.json into the current directory
 //! ```
 //!
-//! See docs/PERFORMANCE.md ("Decode kernel architecture") for how the
-//! rewritten kernels earn the speedups recorded here.
+//! See docs/PERFORMANCE.md ("Decode kernel architecture" and "Encode kernel
+//! architecture") for how the rewritten kernels earn the speedups recorded
+//! here, and for why each gate sits at its level.
 
 use cliz::entropy::huffman::{decode_stream, encode_stream};
 use cliz::entropy::reference::{ref_decode_stream, ref_encode_stream};
+use cliz::lossless::lz::Effort;
 use cliz::lossless::reference::{ref_compress, ref_decompress};
-use cliz::lossless::{compress, decompress};
-use cliz::predict::{predict_quantize, reconstruct, Fitting, InterpParams};
+use cliz::lossless::{compress, compress_with, decompress};
+use cliz::predict::{predict_quantize, ref_predict_quantize, reconstruct, Fitting, InterpParams};
 use cliz::quant::classify::{apply_shifts, unapply_shifts};
 use cliz::quant::{classify, ClassifySpec, LinearQuantizer, ESCAPE};
 use cliz_bench::Args;
@@ -48,6 +62,30 @@ fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
         best = best.min(t0.elapsed().as_secs_f64());
     }
     best
+}
+
+/// Interleaved best-of-`reps` for a gated (new, reference) pair: the two
+/// sides alternate within a single rep loop, so frequency drift and noisy
+/// neighbours perturb both numerators of the speedup ratio alike. On a
+/// 1-core CI host, back-to-back block timing of the same binary varies by
+/// 25%+ run to run; interleaving keeps the *ratio* stable within a few
+/// percent.
+fn time_pair<A, B>(
+    reps: usize,
+    mut new_f: impl FnMut() -> A,
+    mut ref_f: impl FnMut() -> B,
+) -> (f64, f64) {
+    let mut best_new = f64::INFINITY;
+    let mut best_ref = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        black_box(new_f());
+        best_new = best_new.min(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        black_box(ref_f());
+        best_ref = best_ref.min(t0.elapsed().as_secs_f64());
+    }
+    (best_new, best_ref)
 }
 
 fn json_f64(v: f64) -> String {
@@ -163,8 +201,9 @@ fn main() {
     } else {
         ("scaled", 4_000_000, 16 << 20, vec![32, 192, 192], 5)
     };
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(
-        "stage_bench ({tier}): {n_syms} symbols, {} MB bytes, {dims:?} field",
+        "stage_bench ({tier}): {n_syms} symbols, {} MB bytes, {dims:?} field, {host_cores} host core(s)",
         n_bytes >> 20
     );
 
@@ -181,8 +220,8 @@ fn main() {
     let symbols = symbol_stream(n_syms);
     let sym_mb = (symbols.len() * 4) as f64 / 1e6;
 
-    let enc_s = time_best(reps, || encode_stream(&symbols));
-    let ref_enc_s = time_best(reps, || ref_encode_stream(&symbols));
+    let (enc_s, ref_enc_s) =
+        time_pair(reps, || encode_stream(&symbols), || ref_encode_stream(&symbols));
     let bytes = encode_stream(&symbols);
     check("entropy encode bytes != reference", bytes == ref_encode_stream(&symbols));
     stages.push(Stage {
@@ -193,8 +232,8 @@ fn main() {
         identical: bytes == ref_encode_stream(&symbols),
     });
 
-    let dec_s = time_best(reps, || decode_stream(&bytes));
-    let ref_dec_s = time_best(reps, || ref_decode_stream(&bytes));
+    let (dec_s, ref_dec_s) =
+        time_pair(reps, || decode_stream(&bytes), || ref_decode_stream(&bytes));
     let decoded = decode_stream(&bytes);
     let dec_ok = decoded.as_deref() == Some(&symbols[..])
         && decoded == ref_decode_stream(&bytes);
@@ -212,8 +251,8 @@ fn main() {
     let payload = residual_bytes(n_bytes);
     let mb = payload.len() as f64 / 1e6;
 
-    let comp_s = time_best(reps, || compress(&payload));
-    let ref_comp_s = time_best(reps, || ref_compress(&payload));
+    let (comp_s, ref_comp_s) =
+        time_pair(reps, || compress(&payload), || ref_compress(&payload));
     let packed = compress(&payload);
     let comp_ok = packed == ref_compress(&payload);
     check("zlite compress bytes != reference", comp_ok);
@@ -224,9 +263,31 @@ fn main() {
         ref_s: Some(ref_comp_s),
         identical: comp_ok,
     });
+    let compress_speedup = ref_comp_s / comp_s;
 
-    let dec_s = time_best(reps, || decompress(&packed));
-    let ref_dec_s2 = time_best(reps, || ref_decompress(&packed));
+    // Fast profile: not reference-pinned (shorter chain walks change the
+    // token stream), so "identical" here means the stream roundtrips and
+    // its ratio give-up against the pinned profile stays bounded. The
+    // speedup is still measured against the *reference default-effort*
+    // compressor — the honest denominator for "what did the encode
+    // overhaul buy when byte-identity is not required".
+    let (fast_s, ref_fast_s) =
+        time_pair(reps, || compress_with(&payload, Effort::fast()), || ref_compress(&payload));
+    let fast_packed = compress_with(&payload, Effort::fast());
+    let fast_ok = decompress(&fast_packed).as_deref().ok() == Some(&payload[..])
+        && (fast_packed.len() as f64) <= (packed.len() as f64) * 1.2;
+    check("zlite fast profile roundtrip/ratio", fast_ok);
+    stages.push(Stage {
+        name: "zlite_compress_fast",
+        input_mb: mb,
+        new_s: fast_s,
+        ref_s: Some(ref_fast_s),
+        identical: fast_ok,
+    });
+    let fast_speedup = ref_fast_s / fast_s;
+
+    let (dec_s, ref_dec_s2) =
+        time_pair(reps, || decompress(&packed), || ref_decompress(&packed));
     let unpacked = decompress(&packed);
     let unp_ok = unpacked.as_deref().ok() == Some(&payload[..])
         && unpacked.as_deref().ok() == ref_decompress(&packed).as_deref().ok();
@@ -276,11 +337,47 @@ fn main() {
     });
 
     // --- predict: interpolation walk, both directions ---
-    let pq_s = time_best(reps, || {
-        let mut b = field.clone();
-        let mut s = vec![0u32; field.len()];
-        predict_quantize(&mut b, &dims, &params, &q, &mut s)
-    });
+    // Encode side diffed against the frozen single-loop reference: the
+    // branch-hoisted two-phase walk must reproduce the exact escape count,
+    // symbol grid, and reconstruction bits, and beat the reference by the
+    // encode gate. Timed by hand rather than through `time_pair`: the
+    // input buffer must be re-seeded between calls (the walk reconstructs
+    // in place), and that copy has to happen *outside* the timed region —
+    // it is identical absolute cost on both sides, so leaving it inside
+    // dilutes the ratio toward 1× and drowns the gate in its own noise.
+    // More reps than the other pairs for the same reason: this ratio sits
+    // closest to its gate.
+    let (pq_s, ref_pq_s) = {
+        let mut best_new = f64::INFINITY;
+        let mut best_ref = f64::INFINITY;
+        let mut b = vec![0.0f32; field.len()];
+        let mut sg = vec![0u32; field.len()];
+        for _ in 0..reps.max(7) {
+            b.copy_from_slice(&field);
+            sg.fill(0);
+            let t0 = Instant::now();
+            black_box(predict_quantize(&mut b, &dims, &params, &q, &mut sg));
+            best_new = best_new.min(t0.elapsed().as_secs_f64());
+            b.copy_from_slice(&field);
+            sg.fill(0);
+            let t0 = Instant::now();
+            black_box(ref_predict_quantize(&mut b, &dims, &params, &q, &mut sg));
+            best_ref = best_ref.min(t0.elapsed().as_secs_f64());
+        }
+        (best_new, best_ref)
+    };
+    let pq_ok = {
+        let mut b_ref = field.clone();
+        let mut s_ref = vec![0u32; field.len()];
+        let esc_ref = ref_predict_quantize(&mut b_ref, &dims, &params, &q, &mut s_ref);
+        let mut b_new = field.clone();
+        let mut s_new = vec![0u32; field.len()];
+        let esc_new = predict_quantize(&mut b_new, &dims, &params, &q, &mut s_new);
+        esc_new == esc_ref
+            && s_new == s_ref
+            && b_new.iter().zip(&b_ref).all(|(a, b)| a.to_bits() == b.to_bits())
+    };
+    check("predict quantize != frozen reference", pq_ok);
     let literals: Vec<f32> = symbols_grid
         .iter()
         .zip(&field)
@@ -299,9 +396,10 @@ fn main() {
         name: "predict_quantize",
         input_mb: field_mb,
         new_s: pq_s,
-        ref_s: None,
-        identical: true,
+        ref_s: Some(ref_pq_s),
+        identical: pq_ok,
     });
+    let pq_speedup = ref_pq_s / pq_s;
     stages.push(Stage {
         name: "predict_reconstruct",
         input_mb: field_mb,
@@ -314,29 +412,62 @@ fn main() {
         s.print();
     }
 
-    // The decode-kernel overhaul this harness guards (ROADMAP item 1)
-    // promises ≥ 3× entropy decode over the frozen reference; quick-tier
-    // inputs are too small to time reliably, so the gate applies to the
-    // tiers whose JSON gets committed.
-    let gate = 3.0;
+    // Speedup gates over the frozen pre-rewrite references. Quick-tier
+    // inputs are too small to time reliably, so the gates apply to the
+    // tiers whose JSON gets committed. Levels are honest floors below the
+    // *minimum* observed over repeated runs on a 1-core CI-class host —
+    // run-to-run ratios swing several percent even interleaved, so each
+    // gate sits under its observed range while staying far above what any
+    // real regression to the reference kernel would score (see
+    // docs/PERFORMANCE.md for the measurements behind each):
+    //
+    // * entropy decode ≥ 3×      — the decode-kernel overhaul's headline
+    //   (observed 3.16–3.50×);
+    // * zlite compress ≥ 1.4×    — bucket-ring match finder, byte-identical
+    //   stream (observed 1.87–1.99×; identity pinning caps how much the
+    //   parse may change);
+    // * zlite fast ≥ 2.5×        — Effort::fast vs the reference default
+    //   effort, roundtrip-only contract (observed 3.00–3.44×);
+    // * predict quantize ≥ 1.02× — two-phase branch-hoisted walk (observed
+    //   1.04–1.17×; a regression to the reference's in-place single loop
+    //   scores ~0.9× or worse, well below the floor). Bit-identity plus
+    //   the walk's strided-stencil memory traffic bound the ceiling here:
+    //   the win is real but modest, and the gate says so.
     let gated = !args.quick;
-    println!(
-        "\nentropy decode speedup over pre-rewrite reference: {decode_speedup:.2}x \
-         (gate {gate}x, {})",
-        if gated { "enforced" } else { "quick tier: not enforced" }
-    );
-    if gated && decode_speedup < gate {
-        eprintln!("FAIL: entropy decode speedup {decode_speedup:.2}x below the {gate}x gate");
-        diverged = true;
+    let gates: [(&str, f64, f64); 4] = [
+        ("entropy_decode", decode_speedup, 3.0),
+        ("zlite_compress", compress_speedup, 1.4),
+        ("zlite_compress_fast", fast_speedup, 2.5),
+        ("predict_quantize", pq_speedup, 1.02),
+    ];
+    println!();
+    for (name, got, min) in gates {
+        println!(
+            "{name:<22} speedup over pre-rewrite reference: {got:.2}x (gate {min}x, {})",
+            if gated { "enforced" } else { "quick tier: not enforced" }
+        );
+        if gated && got < min {
+            eprintln!("FAIL: {name} speedup {got:.2}x below the {min}x gate");
+            diverged = true;
+        }
     }
 
+    let gates_json = gates
+        .iter()
+        .map(|(name, got, min)| {
+            format!(
+                "{{\"stage\":\"{name}\",\"speedup\":{},\"gate\":{},\"enforced\":{gated}}}",
+                json_f64(*got),
+                json_f64(*min)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
     let json = format!(
-        "{{\"schema\":\"cliz-stage-bench-v1\",\"tier\":\"{tier}\",\
+        "{{\"schema\":\"cliz-stage-bench-v2\",\"tier\":\"{tier}\",\"host_cores\":{host_cores},\
          \"symbols\":{n_syms},\"payload_bytes\":{n_bytes},\"field_dims\":{dims:?},\
-         \"entropy_decode_speedup\":{},\"speedup_gate\":{},\
+         \"gates\":[{gates_json}],\
          \"stages\":[{}]}}\n",
-        json_f64(decode_speedup),
-        json_f64(gate),
         stages.iter().map(Stage::json).collect::<Vec<_>>().join(","),
     );
     std::fs::write("BENCH_stages.json", &json).expect("write BENCH_stages.json");

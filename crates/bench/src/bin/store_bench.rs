@@ -1,7 +1,9 @@
 //! Random-access chunk store benchmark: cold vs warm region reads, cache
 //! hit rates across region sizes, and a concurrent-query identity gate.
 //!
-//! A synthetic field is packed into an in-memory CZS store, then queried:
+//! A synthetic field is packed into an in-memory CZS store — once per
+//! worker count (1, 2, host), reporting pack throughput in MB/s and
+//! asserting the packed bytes are identical at every count — then queried:
 //!
 //! 1. **cold** — fresh reader per region size, so every intersected chunk
 //!    is decompressed (decode count == intersection set, asserted);
@@ -69,24 +71,60 @@ fn main() {
     };
     let chunk_len = dims[0].div_ceil(16).max(1);
     let n_chunks = dims[0].div_ceil(chunk_len);
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     // At least 4 scoped readers even on small hosts — the identity gate is
     // about interleaving, which oversubscription exercises just as well.
-    let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).clamp(4, 8);
+    let threads = host_cores.clamp(4, 8);
     let mb = (dims.iter().product::<usize>() * 4) as f64 / 1e6;
 
     let data = smooth(&dims);
     let ds = Dataset::new("T", data, None);
     let config = PipelineConfig::default_for(dims.len());
-    let t0 = Instant::now();
-    let bytes = pack_store(&ds, ErrorBound::Abs(EB), &config, chunk_len, 0).expect("pack");
-    let pack_s = t0.elapsed().as_secs_f64();
-    println!(
-        "packed {dims:?} ({mb:.1} MB) into {n_chunks} chunks of {chunk_len} rows: \
-         {} bytes in {pack_s:.2}s",
-        bytes.len()
-    );
+    println!("store_bench: {dims:?} ({mb:.1} MB), {host_cores} host core(s)");
 
     let mut diverged = false;
+
+    // --- pack throughput across worker counts ---
+    // The encode path is what bounds incremental append, so it gets the
+    // same per-thread treatment the read side gets below. Bytes must be
+    // identical at every worker count (the pool's slab order is
+    // deterministic); the 1-thread bytes seed the read-side sections.
+    let mut pack_counts = vec![1usize, 2, host_cores];
+    pack_counts.sort_unstable();
+    pack_counts.dedup();
+    let mut pack_json = Vec::new();
+    let mut bytes: Vec<u8> = Vec::new();
+    let mut pack_s = f64::INFINITY;
+    for &workers in &pack_counts {
+        let t0 = Instant::now();
+        let b = pack_store(&ds, ErrorBound::Abs(EB), &config, chunk_len, workers).expect("pack");
+        let s = t0.elapsed().as_secs_f64();
+        let identical = bytes.is_empty() || b == bytes;
+        if !identical {
+            eprintln!("DIVERGENCE: pack bytes at {workers} worker(s) != 1-worker pack");
+            diverged = true;
+        }
+        println!(
+            "  pack x{workers:<2} {:>8.1} MB/s ({s:.2}s, {} bytes)   identical: {identical}",
+            mb / s,
+            b.len()
+        );
+        pack_json.push(format!(
+            "{{\"threads\":{workers},\"pack_s\":{},\"pack_mb_s\":{},\"bytes_identical\":{identical}}}",
+            json_f64(s),
+            json_f64(mb / s)
+        ));
+        if bytes.is_empty() {
+            bytes = b;
+            pack_s = s;
+        } else {
+            pack_s = pack_s.min(s);
+        }
+    }
+    println!(
+        "packed {dims:?} ({mb:.1} MB) into {n_chunks} chunks of {chunk_len} rows: {} bytes",
+        bytes.len()
+    );
 
     // --- cold vs warm across region sizes ---
     let fracs = [0.05f64, 0.25, 0.5, 1.0];
@@ -238,9 +276,11 @@ fn main() {
         "scaled"
     };
     let json = format!(
-        "{{\"schema\":\"cliz-store-bench-v1\",\"tier\":\"{tier}\",\"dims\":{dims:?},\
+        "{{\"schema\":\"cliz-store-bench-v2\",\"tier\":\"{tier}\",\"dims\":{dims:?},\
+         \"host_cores\":{host_cores},\
          \"mb\":{},\"chunk_len\":{chunk_len},\"n_chunks\":{n_chunks},\
-         \"store_bytes\":{},\"pack_s\":{},\"full_decode_s\":{},\"full_decode_mb_s\":{},\
+         \"store_bytes\":{},\"pack_s\":{},\"pack\":[{}],\
+         \"full_decode_s\":{},\"full_decode_mb_s\":{},\
          \"regions\":[{}],\
          \"concurrent\":{{\"threads\":{threads},\"wall_s\":{},\"decodes\":{},\
          \"union_chunks\":{union},\"cache_hits\":{},\"cache_lookups\":{conc_lookups},\
@@ -248,6 +288,7 @@ fn main() {
         json_f64(mb),
         bytes.len(),
         json_f64(pack_s),
+        pack_json.join(","),
         json_f64(full_s),
         json_f64(mb / full_s),
         region_json.join(","),

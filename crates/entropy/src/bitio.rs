@@ -54,6 +54,27 @@ impl BitWriter {
         }
     }
 
+    /// Writes the low `len` bits of `code`, most significant first, in one
+    /// accumulator pass. `len` must be ≤ 57 (7 live carry bits + 57 fit the
+    /// u64 accumulator), which lets callers pre-merge several short codes
+    /// and pay the drain once. Byte-identical to the same sequence of
+    /// [`BitWriter::write_bits`] calls.
+    // xtask-allow-fn: R1, R5 -- encoder-side drain of a local 8-byte array; drain <= 64 always, so drain/8 <= 8 stays inside `bytes`
+    #[inline]
+    pub fn write_bits64(&mut self, code: u64, len: u32) {
+        debug_assert!(len <= 57);
+        debug_assert!(code < (1u64 << len) || len >= 57);
+        self.acc = (self.acc << len) | code;
+        self.nbits += len;
+        let drain = self.nbits & !7;
+        if drain > 0 {
+            self.nbits -= drain;
+            // Whole live bytes, MSB-aligned, appended in one slice copy.
+            let bytes = ((self.acc >> self.nbits) << (64 - drain)).to_be_bytes();
+            self.out.extend_from_slice(&bytes[..(drain / 8) as usize]);
+        }
+    }
+
     /// Writes a single bit.
     #[inline]
     pub fn write_bit(&mut self, bit: bool) {

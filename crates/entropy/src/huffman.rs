@@ -121,6 +121,9 @@ fn canonical_codes(lens: &[u8]) -> Vec<u32> {
 pub struct HuffmanEncoder {
     lens: Vec<u8>,
     codes: Vec<u32>,
+    /// Per-symbol `(code << 8) | len` — one load resolves both halves on the
+    /// batched emission path. Length 0 marks a symbol absent from the book.
+    entries: Vec<u64>,
 }
 
 impl HuffmanEncoder {
@@ -128,15 +131,41 @@ impl HuffmanEncoder {
     pub fn from_frequencies(freqs: &[u64]) -> Self {
         let lens = build_lengths(freqs);
         let codes = canonical_codes(&lens);
-        Self { lens, codes }
+        let entries = lens
+            .iter()
+            .zip(&codes)
+            .map(|(&l, &c)| (u64::from(c) << 8) | u64::from(l))
+            .collect();
+        Self {
+            lens,
+            codes,
+            entries,
+        }
     }
 
     /// Convenience: histogram `symbols` (alphabet = max symbol + 1) and build.
     pub fn from_symbols(symbols: &[u32]) -> Self {
         let alphabet = symbols.iter().copied().max().map_or(0, |m| m as usize + 1);
+        // Lane-split histogram: four counter banks break the
+        // load-increment-store dependency on runs of equal symbols (the
+        // common shape for quantization bins), then fold.
+        let mut lanes = vec![0u64; alphabet * 4];
+        let (l01, l23) = lanes.split_at_mut(alphabet * 2);
+        let (l0, l1) = l01.split_at_mut(alphabet);
+        let (l2, l3) = l23.split_at_mut(alphabet);
+        let mut chunks = symbols.chunks_exact(4);
+        for c in &mut chunks {
+            l0[c[0] as usize] += 1;
+            l1[c[1] as usize] += 1;
+            l2[c[2] as usize] += 1;
+            l3[c[3] as usize] += 1;
+        }
+        for &s in chunks.remainder() {
+            l0[s as usize] += 1;
+        }
         let mut freqs = vec![0u64; alphabet];
-        for &s in symbols {
-            freqs[s as usize] += 1;
+        for (s, f) in freqs.iter_mut().enumerate() {
+            *f = l0[s] + l1[s] + l2[s] + l3[s];
         }
         Self::from_frequencies(&freqs)
     }
@@ -157,6 +186,16 @@ impl HuffmanEncoder {
     #[inline]
     pub fn code_len(&self, symbol: u32) -> u32 {
         self.lens.get(symbol as usize).map_or(0, |&l| u32::from(l))
+    }
+
+    /// `(code, len)` for `symbol` — `(0, 0)` when the symbol is unused.
+    /// Callers batching their own emission (e.g. the zlite token loop) merge
+    /// these into a u64 accumulator and flush through
+    /// [`BitWriter::write_bits64`].
+    #[inline]
+    pub fn symbol_code(&self, symbol: u32) -> (u32, u32) {
+        let e = self.entries.get(symbol as usize).copied().unwrap_or(0);
+        (cast::low_u32(e >> 8), cast::low_u32(e & 0xFF))
     }
 
     /// Total encoded size in bits for a frequency histogram — used by the
@@ -198,10 +237,31 @@ impl HuffmanEncoder {
         w.write_bits(self.codes[symbol as usize], u32::from(len));
     }
 
-    /// Encodes a whole stream.
+    /// Encodes a whole stream: codes are merged into a 64-bit accumulator
+    /// and flushed through [`BitWriter::write_bits64`] only when the next
+    /// code would not fit under 57 bits, so short codes (the quantization-bin
+    /// common case) cost a shift+or instead of a writer call each.
+    /// Byte-identical to symbol-at-a-time [`HuffmanEncoder::encode_symbol`].
+    ///
+    /// # Panics
+    /// Panics if any symbol had zero frequency at build time.
     pub fn encode_all(&self, symbols: &[u32], w: &mut BitWriter) {
+        let mut acc = 0u64;
+        let mut bits = 0u32;
         for &s in symbols {
-            self.encode_symbol(s, w);
+            let e = self.entries[s as usize];
+            let len = cast::low_u32(e & 0xFF);
+            assert!(len > 0, "encoding symbol {s} absent from the codebook");
+            if bits + len > 57 {
+                w.write_bits64(acc, bits);
+                acc = 0;
+                bits = 0;
+            }
+            acc = (acc << len) | (e >> 8);
+            bits += len;
+        }
+        if bits > 0 {
+            w.write_bits64(acc, bits);
         }
     }
 }

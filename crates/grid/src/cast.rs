@@ -73,6 +73,16 @@ pub fn f64_to_f32_checked(v: f64) -> Option<f32> {
     }
 }
 
+/// Branch-free form of [`f64_to_f32_checked`]: returns `(f, ok)` where `ok`
+/// mirrors the `Option` (`f` is the raw narrowed value either way, ±∞ or NaN
+/// when `ok` is false). Lets hot loops fold the overflow check into a wider
+/// select instead of an early exit.
+#[inline]
+pub fn f64_to_f32_select(v: f64) -> (f32, bool) {
+    let f = v as f32;
+    (f, f.is_finite())
+}
+
 /// Converts a float estimate to a slot index clamped to `0..len`:
 /// non-finite or negative inputs map to 0, anything past the end maps to
 /// the last slot. Replaces bare `as usize` on float expressions (rule R6),
@@ -159,6 +169,46 @@ pub fn quantize_index(bin_f: f64, radius: i32) -> Option<i32> {
     Some(bin_f as i32)
 }
 
+/// [`quantize_index`] fused with the encoder's rounding step: for every
+/// input this returns exactly `quantize_index(bin_f.round(), radius)`, but
+/// without the `round()` call (`f64::round` is a library call at the SSE2
+/// baseline and dominates otherwise-branchless quantization loops).
+///
+/// Round-half-away-from-zero is rebuilt from truncation: `trunc(|x| + 0.5)`
+/// overshoots by one only when the `+ 0.5` addition rounds upward across an
+/// integer, and that case is detected exactly because `k − 0.5` is
+/// representable for every admissible `k` (`k ≤ radius + 1 < 2^31`).
+// xtask-allow-fn: R6 -- the float->int cast is range-limited by the radius
+// comparison above it and exactness-corrected below; this helper exists to
+// replace `.round()` + quantize_index with identical semantics.
+#[inline]
+pub fn quantize_round_index(bin_f: f64, radius: i32) -> Option<i32> {
+    let (bin, ok) = quantize_round_index_select(bin_f, radius);
+    if ok {
+        Some(bin)
+    } else {
+        None
+    }
+}
+
+/// Branch-free core of [`quantize_round_index`]: returns `(bin, ok)` where
+/// `bin` equals `bin_f.round() as i32` whenever `ok` is true and is
+/// meaningless otherwise. Every operation is a straight-line select, so hot
+/// quantization loops carry no data-dependent branches (`ok` combines into
+/// the caller's own selects instead of an early exit).
+// xtask-allow-fn: R6 -- the float->int cast is range-limited by the `ok` radius comparison (callers discard `bin` when it is false) and exactness-corrected below
+#[inline]
+pub fn quantize_round_index_select(bin_f: f64, radius: i32) -> (i32, bool) {
+    let a = bin_f.abs();
+    // round(|x|) > radius  ⇔  |x| ≥ radius + 0.5 (exact: radius + 0.5 is
+    // representable for every i32). The comparison is false for NaN.
+    let ok = a < f64::from(radius) + 0.5;
+    let mut k = (a + 0.5) as i32;
+    k -= i32::from(f64::from(k) - 0.5 > a);
+    let bin = if bin_f < 0.0 { -k } else { k };
+    (bin, ok)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,6 +241,72 @@ mod tests {
         assert_eq!(quantize_index(-11.0, 10), None);
         assert_eq!(quantize_index(f64::NAN, 10), None);
         assert_eq!(quantize_index(f64::INFINITY, 10), None);
+    }
+
+    #[test]
+    fn quantize_round_index_matches_round_exactly() {
+        // Differential sweep against the specification
+        // `quantize_index(v.round(), r)`, hammering the half-step boundaries
+        // where truncation-based rounding goes wrong first.
+        let mut probes: Vec<f64> = vec![
+            0.0,
+            -0.0,
+            0.49999999999999994,  // largest f64 < 0.5: + 0.5 rounds to 1.0
+            -0.49999999999999994,
+            0.5,
+            -0.5,
+            1.5,
+            -1.5,
+            2.5,
+            -2.5,
+            10.499999999999998,
+            10.5,
+            32767.5,
+            32768.0,
+            32768.49,
+            32768.5,
+            -32768.5,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            1e300,
+        ];
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for _ in 0..20_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let mag = f64::from(low_u32(state >> 32)) / 65536.0; // 0 .. 65536
+            probes.push(if state & 1 == 0 { mag } else { -mag });
+        }
+        for radius in [1, 4, 255, 32768, i32::MAX] {
+            for &v in &probes {
+                assert_eq!(
+                    quantize_round_index(v, radius),
+                    quantize_index(v.round(), radius),
+                    "v = {v:?}, radius = {radius}"
+                );
+                // The select form must agree with the Option form on `ok`,
+                // and on the bin whenever `ok` holds.
+                let (bin, ok) = quantize_round_index_select(v, radius);
+                assert_eq!(ok, quantize_round_index(v, radius).is_some());
+                if ok {
+                    assert_eq!(Some(bin), quantize_round_index(v, radius));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f32_select_mirrors_checked() {
+        for v in [1.5, 1e-300, 1e300, f64::NEG_INFINITY, f64::NAN, -0.0, 3.25e38] {
+            let (f, ok) = f64_to_f32_select(v);
+            match f64_to_f32_checked(v) {
+                Some(c) => {
+                    assert!(ok, "v = {v:?}");
+                    assert_eq!(f.to_bits(), c.to_bits(), "v = {v:?}");
+                }
+                None => assert!(!ok, "v = {v:?}"),
+            }
+        }
     }
 
     #[test]

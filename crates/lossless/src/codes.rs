@@ -48,13 +48,61 @@ pub const DIST_TABLE: [(u16, u8); 30] = [
     (16385, 13), (24577, 13),
 ];
 
+/// Last `LENGTH_TABLE` index whose base is ≤ `len`, for every admissible
+/// length — built at compile time so the per-token hot path is one byte
+/// load instead of a binary search.
+const fn build_length_sym() -> [u8; MAX_MATCH - MIN_MATCH + 1] {
+    let mut t = [0u8; MAX_MATCH - MIN_MATCH + 1];
+    let mut i = 0;
+    while i < t.len() {
+        let len = i + MIN_MATCH;
+        let mut idx = 0;
+        let mut j = 0;
+        while j < LENGTH_TABLE.len() {
+            if LENGTH_TABLE[j].0 as usize <= len {
+                idx = j;
+            }
+            j += 1;
+        }
+        t[i] = idx as u8;
+        i += 1;
+    }
+    t
+}
+
+static LENGTH_SYM: [u8; MAX_MATCH - MIN_MATCH + 1] = build_length_sym();
+
+/// Distance-symbol lookup, split in two tiers: distances ≤ 256 index a
+/// direct table by `dist - 1`; larger distances index by `(dist - 1) / 128`,
+/// which is exact because every `DIST_TABLE` base above 256 sits on a
+/// 128-aligned boundary (`base - 1` is a multiple of 128).
+const fn build_dist_sym(shift: u32) -> [u8; 256] {
+    let mut t = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        let dist = (i << shift) + 1;
+        let mut idx = 0;
+        let mut j = 0;
+        while j < DIST_TABLE.len() {
+            if DIST_TABLE[j].0 as usize <= dist {
+                idx = j;
+            }
+            j += 1;
+        }
+        t[i] = idx as u8;
+        i += 1;
+    }
+    t
+}
+
+static DIST_SYM_LO: [u8; 256] = build_dist_sym(0);
+static DIST_SYM_HI: [u8; 256] = build_dist_sym(7);
+
 /// Maps a match length (3..=258) to `(symbol_offset, extra_bits, extra_value)`.
 #[inline]
 pub fn length_code(len: usize) -> (u32, u8, u32) {
     debug_assert!((MIN_MATCH..=MAX_MATCH).contains(&len));
-    // Binary-search the last base <= len. The table is tiny; partition_point
-    // compiles to a handful of branches.
-    let idx = LENGTH_TABLE.partition_point(|&(base, _)| base as usize <= len) - 1;
+    let idx = LENGTH_SYM[len - MIN_MATCH] as usize;
     let (base, extra) = LENGTH_TABLE[idx];
     (idx as u32, extra, (len - base as usize) as u32)
 }
@@ -63,7 +111,11 @@ pub fn length_code(len: usize) -> (u32, u8, u32) {
 #[inline]
 pub fn dist_code(dist: usize) -> (u32, u8, u32) {
     debug_assert!((1..=WINDOW).contains(&dist));
-    let idx = DIST_TABLE.partition_point(|&(base, _)| base as usize <= dist) - 1;
+    let idx = if dist <= 256 {
+        DIST_SYM_LO[dist - 1] as usize
+    } else {
+        DIST_SYM_HI[(dist - 1) >> 7] as usize
+    };
     let (base, extra) = DIST_TABLE[idx];
     (idx as u32, extra, (dist - base as usize) as u32)
 }

@@ -20,4 +20,5 @@ pub mod format;
 pub mod lz;
 pub mod reference;
 
-pub use format::{compress, decompress, Error};
+pub use format::{compress, compress_with, decompress, Error};
+pub use lz::Effort;

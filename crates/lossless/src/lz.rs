@@ -1,9 +1,32 @@
-//! Hash-chain LZ77 match finder.
+//! LZ77 match finder.
 //!
 //! Greedy parse with one-byte lazy evaluation (deflate's classic heuristic):
 //! before emitting a match at `i`, peek whether `i+1` offers a strictly
-//! longer one; if so, emit a literal and advance. Hash chains index 3-byte
-//! prefixes; chain walks are capped so worst-case inputs stay linear.
+//! longer one; if so, emit a literal and advance. Candidates are indexed by
+//! 3-byte prefix hash; walks are capped so worst-case inputs stay linear.
+//!
+//! The kernel is word-oriented. Match extension compares 8 bytes per step
+//! (u64 XOR + `trailing_zeros`), run insertion derives six 3-byte hashes
+//! from one u64 load, and candidates are pre-filtered with an 8-byte (or
+//! 4-byte, below `best_len == 7`) reject probe at the current best length.
+//! Two index structures implement the same candidate enumeration:
+//!
+//! * [`BucketIndex`] — the default-effort path. Each hash bucket is a ring
+//!   of the last [`SLOTS`] positions, so a walk is a bounds-free array scan
+//!   (newest first) instead of a pointer chase. Because chain order *is*
+//!   insertion order, the ring enumerates exactly the candidates a chain
+//!   walk would visit whenever `max_chain <= SLOTS`, and positions along it
+//!   are strictly decreasing, so the window cut can be located once up
+//!   front instead of being re-checked per candidate.
+//! * [`ChainIndex`] — the fallback for `max_chain > SLOTS`: classic hash
+//!   chains with u16 distance-delta links (the link table fits in 64 KiB).
+//!   A clamped or stale link is always > [`WINDOW`], so the walk breaks on
+//!   its distance check before ever dereferencing a bogus target.
+//!
+//! Both reproduce the byte-wise scan in [`crate::reference::ref_tokenize`]
+//! token-for-token at every effort level — the differential and adversarial
+//! suites pin that. See docs/PERFORMANCE.md ("Encode kernel architecture")
+//! for the equivalence arguments and the measured speedups.
 
 use crate::codes::{MAX_MATCH, MIN_MATCH, WINDOW};
 
@@ -32,8 +55,30 @@ impl Default for Effort {
     }
 }
 
+impl Effort {
+    /// Throughput-biased profile: shorter chain walks and an earlier
+    /// "good enough" cutoff. Unlike [`Effort::default`], whose token stream
+    /// is pinned byte-identical to the frozen reference, `fast` only
+    /// promises lossless roundtrips and a bounded ratio give-up — the
+    /// adversarial suite gates both.
+    pub fn fast() -> Self {
+        Self {
+            max_chain: 8,
+            good_enough: 32,
+        }
+    }
+}
+
 const HASH_BITS: u32 = 15;
 const HASH_SIZE: usize = 1 << HASH_BITS;
+
+/// `head` sentinel: hash bucket is empty.
+const NO_POS: u32 = u32::MAX;
+
+/// Ring capacity per [`BucketIndex`] bucket. Walks enumerate the newest
+/// `min(count, max_chain)` entries, so the ring is an exact stand-in for a
+/// chain walk whenever `max_chain <= SLOTS`.
+const SLOTS: usize = 64;
 
 // xtask-allow-fn: R1, R5 -- encoder-side hashing; every call site guarantees i+2 < data.len()
 #[inline]
@@ -43,87 +88,399 @@ fn hash3(data: &[u8], i: usize) -> usize {
     (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
 }
 
-/// Parses `data` into LZ77 tokens.
-// xtask-allow-fn: R1, R5 -- encoder-side match finder over caller data; indices are bounded by the scan invariants (cand < i, best_len < max_len <= n - i), not by untrusted input
-pub fn tokenize(data: &[u8], effort: Effort) -> Vec<Token> {
-    let n = data.len();
-    let mut tokens = Vec::with_capacity(n / 2);
-    if n < MIN_MATCH + 1 {
-        tokens.extend(data.iter().map(|&b| Token::Literal(b)));
-        return tokens;
+/// Same multiplicative hash, applied to a 24-bit lane of a wider load.
+#[inline]
+fn hash3_word(v: u32) -> usize {
+    ((v & 0x00FF_FFFF).wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+// xtask-allow-fn: R1, R5 -- encoder-side unaligned load; callers guarantee i + 4 <= data.len()
+#[inline]
+fn load4(data: &[u8], i: usize) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&data[i..i + 4]);
+    u32::from_le_bytes(b)
+}
+
+// xtask-allow-fn: R1, R5 -- encoder-side unaligned load; callers guarantee i + 8 <= data.len()
+#[inline]
+fn load8(data: &[u8], i: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&data[i..i + 8]);
+    u64::from_le_bytes(b)
+}
+
+/// Length of the common prefix of `data[a..]` and `data[b..]`, capped at
+/// `max_len`: 8 bytes per step via XOR + `trailing_zeros` (the first set bit
+/// of the LE word difference sits in the first differing byte).
+// xtask-allow-fn: R1, R5 -- encoder-side comparison; callers guarantee b + max_len <= data.len() and a < b
+#[inline]
+fn match_len(data: &[u8], a: usize, b: usize, max_len: usize) -> usize {
+    let mut l = 0usize;
+    while l + 8 <= max_len {
+        let x = load8(data, a + l) ^ load8(data, b + l);
+        if x != 0 {
+            return l + (x.trailing_zeros() >> 3) as usize;
+        }
+        l += 8;
+    }
+    while l < max_len && data[a + l] == data[b + l] {
+        l += 1;
+    }
+    l
+}
+
+/// Candidate index shared by the parse loop. `find_best` returns
+/// `(len, dist)` of the best match at `i`, or `(0, 0)` when no candidate
+/// beats `floor` (see [`parse`] for why a raised floor is exact).
+trait MatchIndex {
+    /// Inserts position `pos`, whose 3-byte prefix hashes to `h`.
+    fn insert_hash(&mut self, h: usize, pos: usize);
+
+    fn find_best(&self, data: &[u8], i: usize, effort: Effort, floor: usize) -> (usize, usize);
+
+    // xtask-allow-fn: R1 -- encoder-side table update; callers guarantee i + 2 < data.len()
+    #[inline]
+    fn insert(&mut self, data: &[u8], i: usize) {
+        self.insert_hash(hash3(data, i), i);
     }
 
-    // head[h] = most recent position with hash h; prev[i & (WINDOW-1)] = the
-    // previous position in i's chain.
-    let mut head = vec![usize::MAX; HASH_SIZE];
-    let mut prev = vec![usize::MAX; WINDOW];
+    /// Inserts every position in `j..end`, deriving six 3-byte hashes per
+    /// u64 load on the interior (the lanes of one little-endian word are
+    /// exactly the successive 3-byte windows `hash3` reads).
+    // xtask-allow-fn: R1 -- encoder-side batched table update; the loop guards keep every lane load inside data
+    #[inline]
+    fn insert_run(&mut self, data: &[u8], mut j: usize, end: usize) {
+        let n = data.len();
+        while j + 6 <= end && j + 8 <= n {
+            let w = load8(data, j);
+            for k in 0..6 {
+                self.insert_hash(hash3_word((w >> (8 * k)) as u32), j + k);
+            }
+            j += 6;
+        }
+        while j < end {
+            self.insert(data, j);
+            j += 1;
+        }
+    }
+}
 
-    let insert = |head: &mut [usize], prev: &mut [usize], data: &[u8], i: usize| {
-        let h = hash3(data, i);
-        prev[i & (WINDOW - 1)] = head[h];
-        head[h] = i;
-    };
+/// Per-hash ring of the last [`SLOTS`] positions (8 MiB of u32 slots plus a
+/// 128 KiB insertion counter). Entry `count - 1 - k` (mod [`SLOTS`]) is the
+/// `k`-th newest position, so a walk reads the ring newest-first — the same
+/// order a hash-chain walk visits, with no pointer chase and no per-entry
+/// link loads. Only `min(count, SLOTS)` entries are ever read, so the slot
+/// array needs no initialization beyond the zeroed counters.
+struct BucketIndex {
+    buf: Vec<u32>,
+    cnt: Vec<u32>,
+}
 
-    let find_best = |head: &[usize], prev: &[usize], data: &[u8], i: usize| -> (usize, usize) {
-        let mut best_len = 0usize;
-        let mut best_dist = 0usize;
+impl BucketIndex {
+    fn new() -> Self {
+        Self {
+            buf: vec![0u32; HASH_SIZE * SLOTS],
+            cnt: vec![0u32; HASH_SIZE],
+        }
+    }
+}
+
+impl MatchIndex for BucketIndex {
+    // xtask-allow-fn: R1 -- ring store sized HASH_SIZE * SLOTS at construction; h < HASH_SIZE from hash3 and the slot index is masked to SLOTS
+    #[inline]
+    fn insert_hash(&mut self, h: usize, pos: usize) {
+        let c = self.cnt[h];
+        self.buf[h * SLOTS + (c as usize & (SLOTS - 1))] = pos as u32;
+        self.cnt[h] = c + 1;
+    }
+
+    /// The walk enumerates ring entries newest-first. A candidate can only
+    /// beat `best_len` by matching bytes `0..=best_len`, so a mismatch on
+    /// the probed suffix window (`[best_len-7, best_len]` once
+    /// `best_len >= 7`, `[best_len-3, best_len]` from 3, the single byte at
+    /// `best_len` below that) is fatal — survivors are fully re-extended
+    /// from offset 0 just like the reference's byte-wise scan. The walk is
+    /// split per probe regime so the steady state (`best_len >= 7`, where
+    /// nearly all candidates die on one 8-byte compare) is a minimal loop.
+    // xtask-allow-fn: R1, R5 -- encoder-side match finder over caller data; indices are bounded by the scan invariants (cand < i, best_len < max_len <= n - i), not by untrusted input
+    #[inline]
+    fn find_best(&self, data: &[u8], i: usize, effort: Effort, floor: usize) -> (usize, usize) {
+        let n = data.len();
         let max_len = MAX_MATCH.min(n - i);
-        if max_len < MIN_MATCH {
+        if max_len < MIN_MATCH || floor >= max_len {
             return (0, 0);
         }
-        let mut cand = head[hash3(data, i)];
+        let h = hash3(data, i);
+        let c = self.cnt[h] as usize;
+        let mut avail = c.min(SLOTS).min(effort.max_chain);
+        if avail == 0 {
+            return (0, 0);
+        }
+        let bucket = &self.buf[h * SLOTS..h * SLOTS + SLOTS];
+        let idx0 = (c - 1) & (SLOTS - 1);
+        // Ring positions are strictly decreasing newest-first, so the window
+        // boundary is a prefix cut: locate it once (rare — a few percent of
+        // calls) instead of distance-checking every candidate.
+        let limit = i.saturating_sub(WINDOW) as u32;
+        if bucket[idx0.wrapping_sub(avail - 1) & (SLOTS - 1)] < limit {
+            let mut k = 0usize;
+            while k < avail && bucket[idx0.wrapping_sub(k) & (SLOTS - 1)] >= limit {
+                k += 1;
+            }
+            avail = k;
+            if avail == 0 {
+                return (0, 0);
+            }
+        }
+        let mut best_len = floor;
+        let mut best_dist = 0usize;
+        let mut probe8 = 0u64;
+        let mut probe4 = 0u32;
+        // In-bounds: floor < max_len <= n - i.
+        if best_len >= 7 {
+            probe8 = load8(data, i + best_len - 7);
+        } else if best_len >= MIN_MATCH {
+            probe4 = load4(data, i + best_len - 3);
+        }
+        let mut k = 0usize;
+        'walk: while k < avail {
+            if best_len >= 7 {
+                // Steady state: one 8-byte probe per candidate.
+                let off = best_len - 7;
+                while k < avail {
+                    let cand = bucket[idx0.wrapping_sub(k) & (SLOTS - 1)] as usize;
+                    k += 1;
+                    if load8(data, cand + off) != probe8 {
+                        continue;
+                    }
+                    let l = match_len(data, cand, i, max_len);
+                    if l > best_len {
+                        best_len = l;
+                        best_dist = i - cand;
+                        if l >= effort.good_enough || l == max_len {
+                            break 'walk;
+                        }
+                        probe8 = load8(data, i + l - 7);
+                        // off/probe8 changed: restart the regime loop.
+                        continue 'walk;
+                    }
+                }
+            } else if best_len >= MIN_MATCH {
+                while k < avail {
+                    let cand = bucket[idx0.wrapping_sub(k) & (SLOTS - 1)] as usize;
+                    k += 1;
+                    if load4(data, cand + best_len - 3) != probe4 {
+                        continue;
+                    }
+                    let l = match_len(data, cand, i, max_len);
+                    if l > best_len {
+                        best_len = l;
+                        best_dist = i - cand;
+                        if l >= effort.good_enough || l == max_len {
+                            break 'walk;
+                        }
+                        if l >= 7 {
+                            probe8 = load8(data, i + l - 7);
+                        } else {
+                            probe4 = load4(data, i + l - 3);
+                        }
+                        continue 'walk;
+                    }
+                }
+            } else {
+                while k < avail {
+                    let cand = bucket[idx0.wrapping_sub(k) & (SLOTS - 1)] as usize;
+                    k += 1;
+                    if best_len != 0 && data[cand + best_len] != data[i + best_len] {
+                        continue;
+                    }
+                    let l = match_len(data, cand, i, max_len);
+                    if l > best_len {
+                        best_len = l;
+                        best_dist = i - cand;
+                        if l >= effort.good_enough || l == max_len {
+                            break 'walk;
+                        }
+                        if l >= 7 {
+                            probe8 = load8(data, i + l - 7);
+                        } else if l >= MIN_MATCH {
+                            probe4 = load4(data, i + l - 3);
+                        }
+                        continue 'walk;
+                    }
+                }
+            }
+        }
+        if best_dist == 0 {
+            (0, 0)
+        } else {
+            (best_len, best_dist)
+        }
+    }
+}
+
+/// Chain link for position `i` whose previous bucket occupant was `old`:
+/// 0 terminates the chain, otherwise the distance back to the predecessor,
+/// clamped to `u16::MAX`. A clamped link is always > `WINDOW`, so the walk
+/// breaks on its distance check before ever dereferencing the bogus target.
+#[inline]
+fn link_delta(i: usize, old: u32) -> u16 {
+    if old == NO_POS {
+        0
+    } else {
+        (i - old as usize).min(u16::MAX as usize) as u16
+    }
+}
+
+/// Classic hash chains, kept for efforts deeper than [`SLOTS`]:
+/// `head[h]` = most recent position with hash `h` (128 KiB);
+/// `prev[i & (WINDOW-1)]` = u16 delta back to the previous position in
+/// `i`'s chain (64 KiB, so the pointer-chased table is two L1 loads wide
+/// instead of eight).
+struct ChainIndex {
+    head: Vec<u32>,
+    prev: Vec<u16>,
+}
+
+impl ChainIndex {
+    fn new() -> Self {
+        Self {
+            head: vec![NO_POS; HASH_SIZE],
+            prev: vec![0u16; WINDOW],
+        }
+    }
+}
+
+impl MatchIndex for ChainIndex {
+    #[inline]
+    fn insert_hash(&mut self, h: usize, pos: usize) {
+        let old = self.head[h];
+        self.head[h] = pos as u32;
+        self.prev[pos & (WINDOW - 1)] = link_delta(pos, old);
+    }
+
+    // xtask-allow-fn: R1, R5 -- encoder-side match finder over caller data; indices are bounded by the scan invariants (cand < i, best_len < max_len <= n - i), not by untrusted input
+    #[inline]
+    fn find_best(&self, data: &[u8], i: usize, effort: Effort, floor: usize) -> (usize, usize) {
+        let n = data.len();
+        let max_len = MAX_MATCH.min(n - i);
+        if max_len < MIN_MATCH || floor >= max_len {
+            return (0, 0);
+        }
+        let first = self.head[hash3(data, i)];
         let mut chains = effort.max_chain;
-        while cand != usize::MAX && chains > 0 {
-            let dist = i - cand;
+        if first == NO_POS || chains == 0 {
+            return (0, 0);
+        }
+        let mut best_len = floor;
+        let mut best_dist = 0usize;
+        let mut cand = first as usize;
+        let mut probe8 = 0u64;
+        let mut probe4 = 0u32;
+        if best_len >= 7 {
+            probe8 = load8(data, i + best_len - 7);
+        } else if best_len >= MIN_MATCH {
+            probe4 = load4(data, i + best_len - 3);
+        }
+        loop {
+            let dist = i.wrapping_sub(cand);
             if dist > WINDOW {
                 break;
             }
             if best_len == max_len {
                 break;
             }
-            // Quick reject: check the byte where we must improve (in-bounds
-            // because best_len < max_len <= n - i, and cand < i).
-            if best_len == 0 || data[cand + best_len] == data[i + best_len] {
-                let mut l = 0usize;
-                while l < max_len && data[cand + l] == data[i + l] {
-                    l += 1;
-                }
+            // Quick reject: a candidate can only beat `best_len` by matching
+            // bytes 0..=best_len, so any mismatch inside that range is fatal.
+            // (In-bounds because best_len < max_len <= n - i, and cand < i.)
+            let viable = if best_len >= 7 {
+                load8(data, cand + best_len - 7) == probe8
+            } else if best_len >= MIN_MATCH {
+                load4(data, cand + best_len - 3) == probe4
+            } else {
+                best_len == 0 || data[cand + best_len] == data[i + best_len]
+            };
+            if viable {
+                let l = match_len(data, cand, i, max_len);
                 if l > best_len {
                     best_len = l;
                     best_dist = dist;
-                    if l >= effort.good_enough {
+                    if l >= effort.good_enough || l == max_len {
                         break;
+                    }
+                    if l >= 7 {
+                        probe8 = load8(data, i + l - 7);
+                    } else if l >= MIN_MATCH {
+                        probe4 = load4(data, i + l - 3);
                     }
                 }
             }
-            cand = prev[cand & (WINDOW - 1)];
+            let d = self.prev[cand & (WINDOW - 1)];
+            if d == 0 {
+                break;
+            }
+            cand = cand.wrapping_sub(d as usize);
             chains -= 1;
+            if chains == 0 {
+                break;
+            }
         }
-        (best_len, best_dist)
-    };
+        if best_dist == 0 {
+            (0, 0)
+        } else {
+            (best_len, best_dist)
+        }
+    }
+}
 
+/// The shared greedy/lazy parse, generic over the candidate index.
+///
+/// Two exact refinements over the reference's literal restatement, both
+/// pinned by the differential suites:
+///
+/// * **Lazy floor.** The lazy probe at `i+1` only influences the parse when
+///   it strictly beats `len`, so `find_best` starts its reject threshold at
+///   `len` instead of 0. Candidates at or below the floor never survive to
+///   an update in the reference walk either (updates require `l > best`,
+///   and `len < good_enough` whenever the probe runs, so no skipped
+///   candidate could have fired the `good_enough` break), hence the
+///   first-candidate-attaining-the-maximum result is unchanged whenever it
+///   matters.
+/// * **Carry memoization.** When the lazy probe wins, the reference
+///   re-walks position `i+1` at the top of the next iteration with an
+///   identical table state (position `i` was inserted before the probe);
+///   the probe's result is carried instead of recomputed.
+// xtask-allow-fn: R1, R5 -- encoder-side parse loop over caller data; every index is i < n maintained by the loop, not untrusted input
+fn parse<I: MatchIndex>(data: &[u8], effort: Effort, mut ix: I, tokens: &mut Vec<Token>) {
+    let n = data.len();
     let mut i = 0usize;
+    let mut carry: Option<(usize, usize)> = None;
     while i < n {
         if i + MIN_MATCH > n {
             tokens.push(Token::Literal(data[i]));
             i += 1;
             continue;
         }
-        let (len, dist) = find_best(&head, &prev, data, i);
+        let (len, dist) = match carry.take() {
+            Some(r) => r,
+            None => ix.find_best(data, i, effort, 0),
+        };
         if len >= MIN_MATCH {
             // Lazy heuristic: literal + longer match at i+1 beats match at i.
             let take_match = if i + 1 + MIN_MATCH <= n && len < effort.good_enough {
-                insert(&mut head, &mut prev, data, i);
-                let (len2, _) = find_best(&head, &prev, data, i + 1);
-                if len2 > len {
+                ix.insert(data, i);
+                let r2 = ix.find_best(data, i + 1, effort, len);
+                if r2.0 > len {
                     tokens.push(Token::Literal(data[i]));
                     i += 1;
+                    carry = Some(r2);
                     false
                 } else {
                     true
                 }
             } else {
-                insert(&mut head, &mut prev, data, i);
+                ix.insert(data, i);
                 true
             };
             if take_match {
@@ -134,19 +491,49 @@ pub fn tokenize(data: &[u8], effort: Effort) -> Vec<Token> {
                 // Index the covered positions (skip some on long matches to
                 // bound cost; deflate does the same above `good_enough`).
                 let end = (i + len).min(n - MIN_MATCH);
-                let step = if len > 64 { 4 } else { 1 };
-                let mut j = i + 1;
-                while j < end {
-                    insert(&mut head, &mut prev, data, j);
-                    j += step;
+                if len > 64 {
+                    let mut j = i + 1;
+                    while j < end {
+                        ix.insert(data, j);
+                        j += 4;
+                    }
+                } else {
+                    ix.insert_run(data, i + 1, end);
                 }
                 i += len;
             }
         } else {
-            insert(&mut head, &mut prev, data, i);
+            ix.insert(data, i);
             tokens.push(Token::Literal(data[i]));
             i += 1;
         }
+    }
+}
+
+/// Parses `data` into LZ77 tokens.
+///
+/// Token-for-token identical to [`crate::reference::ref_tokenize`] at every
+/// effort level. For `max_chain <= SLOTS` the candidate enumeration runs on
+/// [`BucketIndex`] rings (insertion order *is* chain order, so the newest
+/// `min(count, max_chain)` ring entries are exactly the chain walk's
+/// candidates); deeper efforts fall back to [`ChainIndex`], whose u16
+/// delta links encode the same chain the reference's absolute `prev` table
+/// does.
+pub fn tokenize(data: &[u8], effort: Effort) -> Vec<Token> {
+    let n = data.len();
+    let mut tokens = Vec::with_capacity(n / 2);
+    if n < MIN_MATCH + 1 {
+        tokens.extend(data.iter().map(|&b| Token::Literal(b)));
+        return tokens;
+    }
+    // Positions live in u32 slots; the container chunks long before this,
+    // so a >4 GiB buffer is a caller bug, not a data-dependent path.
+    assert!(n <= u32::MAX as usize, "zlite: input exceeds 4 GiB");
+
+    if effort.max_chain <= SLOTS {
+        parse(data, effort, BucketIndex::new(), &mut tokens);
+    } else {
+        parse(data, effort, ChainIndex::new(), &mut tokens);
     }
     tokens
 }
@@ -164,11 +551,19 @@ pub fn detokenize(tokens: &[Token], expected_len: usize) -> Option<Vec<u8>> {
                     return None;
                 }
                 let start = out.len() - dist;
-                // Overlapping copies are the point (run-length encoding via
-                // dist < len), so copy byte-wise.
-                for k in 0..len {
-                    let b = out[start + k];
-                    out.push(b);
+                if dist >= len {
+                    // Disjoint source: one memcpy-class copy.
+                    out.extend_from_within(start..start + len);
+                } else if dist == 1 {
+                    // Run-length: repeat the last byte.
+                    let b = out[start];
+                    out.resize(out.len() + len, b);
+                } else {
+                    // Overlapping copy is the semantics (period-`dist` fill).
+                    for k in 0..len {
+                        let b = out[start + k];
+                        out.push(b);
+                    }
                 }
             }
         }
@@ -235,6 +630,22 @@ mod tests {
         data.extend(std::iter::repeat_n(0xEE, 20_000));
         data.extend_from_slice(&phrase); // 20 KiB back, inside the window
         roundtrip(&data);
+    }
+
+    #[test]
+    fn deep_effort_uses_chain_fallback() {
+        // max_chain above SLOTS exercises ChainIndex; output must match the
+        // bucket path's parse on inputs where both walks see every candidate.
+        let data = b"abcabcabc abcabcabc abcabcabc tail".to_vec();
+        let deep = tokenize(
+            &data,
+            Effort {
+                max_chain: 256,
+                good_enough: 96,
+            },
+        );
+        let back = detokenize(&deep, data.len()).expect("detokenize");
+        assert_eq!(back, data);
     }
 
     #[test]

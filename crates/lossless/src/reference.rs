@@ -2,19 +2,21 @@
 //! through the byte-at-a-time entropy reference kernels.
 //!
 //! [`ref_compress_with`] and [`ref_decompress`] are verbatim copies of the
-//! pre-rewrite [`crate::compress`]/[`crate::decompress`]: the encoder writes
-//! through [`RefBitWriter`], and the decoder materializes a `Vec<Token>`
-//! before detokenizing — exactly the two behaviours the batched rewrite
-//! replaces. Differential tests assert byte-identical compressed streams and
-//! identical decode results; `stage_bench` uses this pair as the same-host
-//! pre-rewrite baseline. Do not optimize this module.
+//! pre-rewrite [`crate::compress`]/[`crate::decompress`]: the encoder runs
+//! the byte-at-a-time tokenizer ([`ref_tokenize`]) and writes through
+//! [`RefBitWriter`], and the decoder materializes a `Vec<Token>` before
+//! replaying it with the byte-wise [`ref_detokenize`] — exactly the
+//! behaviours the word-at-a-time/batched rewrites replace. Differential
+//! tests assert byte-identical compressed streams and identical decode
+//! results; `stage_bench` uses this pair as the same-host pre-rewrite
+//! baseline. Do not optimize this module.
 
 use crate::codes::{
     dist_code, dist_decode, length_code, length_decode, DIST_ALPHABET, EOB, LEN_SYM_BASE,
-    LITLEN_ALPHABET,
+    LITLEN_ALPHABET, MAX_MATCH, MIN_MATCH, WINDOW,
 };
 use crate::format::Error;
-use crate::lz::{detokenize, tokenize, Effort, Token};
+use crate::lz::{Effort, Token};
 use cliz_entropy::reference::{
     ref_encode_symbol, ref_write_table, RefBitReader, RefBitWriter, RefHuffmanDecoder,
 };
@@ -27,6 +29,156 @@ use cliz_format::spec::ZLT1;
 // registry and the mode bytes are shared with the live module.
 use crate::format::{MODE_LZ, MODE_STORED};
 
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+
+// xtask-allow-fn: R1, R5 -- frozen pre-rewrite copy of the encoder-side hash; every call site guarantees i+2 < data.len()
+#[inline]
+fn ref_hash3(data: &[u8], i: usize) -> usize {
+    // Multiplicative hash of a 3-byte little-endian load.
+    let v = u32::from(data[i]) | u32::from(data[i + 1]) << 8 | u32::from(data[i + 2]) << 16;
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Frozen pre-rewrite [`crate::lz::tokenize`]: byte-wise match extension,
+/// one-byte quick reject, per-position scalar chain insertion over
+/// `usize`-wide head/prev tables. The live tokenizer must reproduce this
+/// token stream exactly at every effort level; the differential and
+/// adversarial suites enforce it.
+// xtask-allow-fn: R1, R5 -- frozen pre-rewrite match finder over caller data; indices are bounded by the scan invariants (cand < i, best_len < max_len <= n - i), not by untrusted input
+pub fn ref_tokenize(data: &[u8], effort: Effort) -> Vec<Token> {
+    let n = data.len();
+    let mut tokens = Vec::with_capacity(n / 2);
+    if n < MIN_MATCH + 1 {
+        tokens.extend(data.iter().map(|&b| Token::Literal(b)));
+        return tokens;
+    }
+
+    // head[h] = most recent position with hash h; prev[i & (WINDOW-1)] = the
+    // previous position in i's chain.
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; WINDOW];
+
+    let insert = |head: &mut [usize], prev: &mut [usize], data: &[u8], i: usize| {
+        let h = ref_hash3(data, i);
+        prev[i & (WINDOW - 1)] = head[h];
+        head[h] = i;
+    };
+
+    let find_best = |head: &[usize], prev: &[usize], data: &[u8], i: usize| -> (usize, usize) {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        let max_len = MAX_MATCH.min(n - i);
+        if max_len < MIN_MATCH {
+            return (0, 0);
+        }
+        let mut cand = head[ref_hash3(data, i)];
+        let mut chains = effort.max_chain;
+        while cand != usize::MAX && chains > 0 {
+            let dist = i - cand;
+            if dist > WINDOW {
+                break;
+            }
+            if best_len == max_len {
+                break;
+            }
+            // Quick reject: check the byte where we must improve (in-bounds
+            // because best_len < max_len <= n - i, and cand < i).
+            if best_len == 0 || data[cand + best_len] == data[i + best_len] {
+                let mut l = 0usize;
+                while l < max_len && data[cand + l] == data[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = dist;
+                    if l >= effort.good_enough {
+                        break;
+                    }
+                }
+            }
+            cand = prev[cand & (WINDOW - 1)];
+            chains -= 1;
+        }
+        (best_len, best_dist)
+    };
+
+    let mut i = 0usize;
+    while i < n {
+        if i + MIN_MATCH > n {
+            tokens.push(Token::Literal(data[i]));
+            i += 1;
+            continue;
+        }
+        let (len, dist) = find_best(&head, &prev, data, i);
+        if len >= MIN_MATCH {
+            // Lazy heuristic: literal + longer match at i+1 beats match at i.
+            let take_match = if i + 1 + MIN_MATCH <= n && len < effort.good_enough {
+                insert(&mut head, &mut prev, data, i);
+                let (len2, _) = find_best(&head, &prev, data, i + 1);
+                if len2 > len {
+                    tokens.push(Token::Literal(data[i]));
+                    i += 1;
+                    false
+                } else {
+                    true
+                }
+            } else {
+                insert(&mut head, &mut prev, data, i);
+                true
+            };
+            if take_match {
+                tokens.push(Token::Match {
+                    len: len as u32,
+                    dist: dist as u32,
+                });
+                // Index the covered positions (skip some on long matches to
+                // bound cost; deflate does the same above `good_enough`).
+                let end = (i + len).min(n - MIN_MATCH);
+                let step = if len > 64 { 4 } else { 1 };
+                let mut j = i + 1;
+                while j < end {
+                    insert(&mut head, &mut prev, data, j);
+                    j += step;
+                }
+                i += len;
+            }
+        } else {
+            insert(&mut head, &mut prev, data, i);
+            tokens.push(Token::Literal(data[i]));
+            i += 1;
+        }
+    }
+    tokens
+}
+
+/// Frozen pre-rewrite [`crate::lz::detokenize`]: every match copy is
+/// byte-wise, including the non-overlapping `dist >= len` case the live
+/// replayer now serves with `extend_from_within`.
+pub fn ref_detokenize(tokens: &[Token], expected_len: usize) -> Option<Vec<u8>> {
+    let mut out: Vec<u8> = Vec::with_capacity(expected_len);
+    for &t in tokens {
+        match t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { len, dist } => {
+                let dist = dist as usize;
+                let len = len as usize;
+                if dist == 0 || dist > out.len() {
+                    return None;
+                }
+                let start = out.len() - dist;
+                // Overlapping copies are the point (run-length encoding via
+                // dist < len), so copy byte-wise.
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    Some(out)
+}
+
 /// Pre-rewrite [`crate::compress`] (default effort).
 pub fn ref_compress(data: &[u8]) -> Vec<u8> {
     ref_compress_with(data, Effort::default())
@@ -35,7 +187,7 @@ pub fn ref_compress(data: &[u8]) -> Vec<u8> {
 /// Pre-rewrite [`crate::compress_with`]: identical tokenization and codebook
 /// construction, bit stream assembled by the byte-at-a-time writer.
 pub fn ref_compress_with(data: &[u8], effort: Effort) -> Vec<u8> {
-    let tokens = tokenize(data, effort);
+    let tokens = ref_tokenize(data, effort);
 
     let mut litlen_freq = vec![0u64; LITLEN_ALPHABET];
     let mut dist_freq = vec![0u64; DIST_ALPHABET];
@@ -157,7 +309,8 @@ pub fn ref_decompress(data: &[u8]) -> Result<Vec<u8>, Error> {
                     dist: (dbase + dval as usize) as u32,
                 });
             }
-            let out = detokenize(&tokens, raw_len).ok_or(Error::Corrupt("bad back-reference"))?;
+            let out =
+                ref_detokenize(&tokens, raw_len).ok_or(Error::Corrupt("bad back-reference"))?;
             if out.len() != raw_len {
                 return Err(Error::Corrupt("length mismatch"));
             }

@@ -116,6 +116,94 @@ fn zlite_effort_levels_stay_byte_identical() {
     }
 }
 
+/// Mirror of the encoder's `hash3` (multiplicative hash of a 3-byte LE
+/// load, folded to `HASH_BITS = 15`). Used to *construct* colliding
+/// triples rather than hope a random stream finds them.
+fn hash3(b0: u8, b1: u8, b2: u8) -> u32 {
+    let v = u32::from(b0) | u32::from(b1) << 8 | u32::from(b2) << 16;
+    v.wrapping_mul(0x9E37_79B1) >> 17
+}
+
+#[test]
+fn zlite_hash_collision_floods_match_reference() {
+    // Gather >64 distinct 3-byte triples that land in one hash bucket —
+    // more than the bucket ring's SLOTS capacity — so the tokenizer's
+    // chain walk is flooded with colliding-but-unequal candidates and the
+    // ring wraps. Token choices under eviction must still match the
+    // frozen reference exactly.
+    let target = hash3(1, 2, 3);
+    let mut triples: Vec<[u8; 3]> = Vec::new();
+    'scan: for b0 in 0..=255u8 {
+        for b1 in 0..=255u8 {
+            for b2 in 0..=255u8 {
+                if hash3(b0, b1, b2) == target {
+                    triples.push([b0, b1, b2]);
+                    if triples.len() >= 96 {
+                        break 'scan;
+                    }
+                }
+            }
+        }
+    }
+    assert!(triples.len() >= 96, "bucket too sparse: {}", triples.len());
+
+    // One pass of every colliding triple (all-miss chain walks), then a
+    // shuffled second pass so far-back real matches hide behind dozens of
+    // colliding impostors in the same bucket.
+    let mut payload = Vec::new();
+    for t in &triples {
+        payload.extend_from_slice(t);
+    }
+    let mut rng = Lcg(0xC0111D);
+    let mut order: Vec<usize> = (0..triples.len()).collect();
+    for i in (1..order.len()).rev() {
+        let j = (rng.next() >> 33) as usize % (i + 1);
+        order.swap(i, j);
+    }
+    for &i in &order {
+        payload.extend_from_slice(&triples[i]);
+    }
+    // Repeat to push every bucket ring past wrap-around several times.
+    let once = payload.clone();
+    for _ in 0..8 {
+        payload.extend_from_slice(&once);
+    }
+    assert_payload_identity(&payload);
+}
+
+#[test]
+fn zlite_all_zero_payload_matches_reference() {
+    for n in [1usize, 2, 3, 4, 257, 4_096, 100_000] {
+        assert_payload_identity(&vec![0u8; n]);
+    }
+}
+
+#[test]
+fn zlite_effort_fast_roundtrips_with_bounded_ratio() {
+    use cliz_lossless::lz::Effort;
+    // `Effort::fast` is the one profile NOT pinned to the reference token
+    // stream: its contract is (a) lossless roundtrip through both
+    // decoders and (b) a bounded ratio give-up vs the pinned default.
+    // stage_bench enforces the same 1.2x bound as a speed gate.
+    for payload in [
+        runs(21, 60_000),
+        noise(22, 30_000),
+        periodic(3, 30_000),
+        vec![0u8; 50_000],
+    ] {
+        let fast = cliz_lossless::compress_with(&payload, Effort::fast());
+        assert_eq!(decompress(&fast).as_deref(), Ok(&payload[..]));
+        assert_eq!(ref_decompress(&fast).as_deref(), Ok(&payload[..]));
+        let pinned = compress(&payload);
+        assert!(
+            fast.len() <= pinned.len().saturating_mul(12) / 10,
+            "fast ratio give-up too large: {} vs {} pinned",
+            fast.len(),
+            pinned.len()
+        );
+    }
+}
+
 #[test]
 fn zlite_rejects_truncation_like_reference() {
     let payload = runs(5, 20_000);

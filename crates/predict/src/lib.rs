@@ -25,9 +25,11 @@
 
 pub mod fitting;
 pub mod interp;
+pub mod reference;
 
 pub use fitting::{cubic_coeffs, linear_coeffs, Fitting};
 pub use interp::{
     predict_quantize, predict_quantize_leveled, reconstruct, reconstruct_leveled, InterpParams,
     ReconstructError,
 };
+pub use reference::{ref_predict_quantize, ref_predict_quantize_leveled};

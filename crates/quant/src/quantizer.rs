@@ -43,6 +43,12 @@ impl LinearQuantizer {
         self.eb
     }
 
+    /// Maximum |bin| this quantizer emits (the escape threshold).
+    #[inline]
+    pub fn radius(&self) -> i32 {
+        self.radius
+    }
+
     /// Quantization step: the bin width `2·eb`. The only place the error
     /// bound is scaled — encoder and decoder both go through this helper so
     /// the two sides can never disagree on the step (xtask rule R8).
@@ -58,37 +64,55 @@ impl LinearQuantizer {
     }
 
     /// Quantizes `value` against `pred`.
+    // xtask-allow-fn: R4 -- thin wrapper over quantize_select, which asserts the error-bound invariant on every emitted bin
     #[inline]
     pub fn quantize(&self, value: f32, pred: f64) -> Quantized {
+        let (symbol, recon, ok) = self.quantize_select(value, pred);
+        if ok {
+            Quantized::Bin { symbol, recon }
+        } else {
+            Quantized::Escape
+        }
+    }
+
+    /// Branch-free form of [`Self::quantize`] for hot encode loops: returns
+    /// `(symbol, recon, ok)` where `ok == false` means escape, in which case
+    /// `symbol` is [`ESCAPE`] and `recon` is `value` unchanged (so callers
+    /// may unconditionally store both without altering buffer contents on
+    /// the escape path). Decision-identical to `quantize` — same rounding,
+    /// same radius/overflow/exactness rejections — but every rejection is a
+    /// flag folded into one select instead of an early return, so the loop
+    /// body compiles to straight-line code with conditional moves.
+    #[inline]
+    pub fn quantize_select(&self, value: f32, pred: f64) -> (u32, f32, bool) {
         let err = f64::from(value) - pred;
         let step = self.eb_step();
-        let bin_f = (err / step).round();
-        // quantize_index rejects NaN/inf bin estimates (from non-finite
-        // inputs or predictions) along with out-of-radius bins, so neither
-        // can wrap into a bogus index.
-        let Some(bin) = cast::quantize_index(bin_f, self.radius) else {
-            return Quantized::Escape;
-        };
+        // quantize_round_index_select folds the `.round()` into the radius
+        // check (bit-identical to `quantize_index((err / step).round(), r)`,
+        // pinned by a differential sweep in cliz-grid); `in_radius` is false
+        // for NaN/inf bin estimates, so neither can wrap into a bogus index.
+        let (bin, in_radius) = cast::quantize_round_index_select(err / step, self.radius);
         // Checked narrowing: a correction that overflows f32 escapes instead
-        // of silently reconstructing ±∞.
-        let Some(recon) = cast::f64_to_f32_checked(pred + step * f64::from(bin)) else {
-            return Quantized::Escape;
-        };
+        // of silently reconstructing ±∞. (When `in_radius` is false `bin` is
+        // garbage and `recon` with it — harmless, the select discards both.)
+        let (recon, finite) = cast::f64_to_f32_select(pred + step * f64::from(bin));
         // Exactness check in decoder arithmetic: reject on any rounding slip.
-        // Written as a negated `<=` so a NaN difference also escapes.
-        if !((f64::from(recon) - f64::from(value)).abs() <= self.eb) {
-            return Quantized::Escape;
-        }
+        // A NaN difference compares false, so it also escapes.
+        let in_bound = (f64::from(recon) - f64::from(value)).abs() <= self.eb;
+        // Non-short-circuiting `&`: all three flags are already computed, a
+        // single combined flag keeps the path branch-free.
+        let ok = in_radius & finite & in_bound;
         // Error-bound invariant at the encode boundary: every emitted bin's
         // reconstruction is within eb of the input (xtask rule R4).
         debug_assert!(
-            (f64::from(recon) - f64::from(value)).abs() <= self.eb,
+            !ok || (f64::from(recon) - f64::from(value)).abs() <= self.eb,
             "quantize emitted a bin violating |x - recon| <= eb"
         );
-        Quantized::Bin {
-            symbol: bin_to_symbol(bin),
-            recon,
-        }
+        // Per-field selects (not a branch over two tuples) so each lowers to
+        // a conditional move feeding an unconditional store in the caller.
+        let symbol = if ok { bin_to_symbol(bin) } else { ESCAPE };
+        let out = if ok { recon } else { value };
+        (symbol, out, ok)
     }
 
     /// Decoder-side reconstruction for a non-escape symbol.
@@ -192,5 +216,55 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn rejects_nonpositive_eb() {
         LinearQuantizer::new(-1.0);
+    }
+
+    #[test]
+    fn select_form_is_decision_identical() {
+        // quantize_select must agree with quantize on every input, including
+        // the escape contract: symbol == ESCAPE and recon bit-equal to the
+        // input value, so stores through the select path are no-ops there.
+        let quantizers = [
+            LinearQuantizer::new(1e-3),
+            LinearQuantizer::new(1e-6),
+            LinearQuantizer::with_radius(0.5, 4),
+        ];
+        let mut state = 0x5151_d00d_cafe_f00du64;
+        let mut probes: Vec<(f32, f64)> = vec![
+            (f32::NAN, 0.0),
+            (1.0, f64::MAX),
+            (1e9, 0.0),
+            (0.0, 0.0),
+            (-0.0, 0.0),
+            (f32::INFINITY, 1.0),
+        ];
+        for _ in 0..20_000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = (f64::from(cliz_grid::cast::low_u32(state >> 32)) / 4096.0 - 524288.0) as f32;
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let p = f64::from(cliz_grid::cast::low_u32(state >> 32)) / 4096.0 - 524288.0;
+            probes.push((v, p));
+            probes.push((v, f64::from(v) + p / 1e7));
+        }
+        for q in &quantizers {
+            for &(value, pred) in &probes {
+                let (sym, recon, ok) = q.quantize_select(value, pred);
+                match q.quantize(value, pred) {
+                    Quantized::Bin { symbol, recon: r } => {
+                        assert!(ok, "value {value} pred {pred}");
+                        assert_eq!(sym, symbol);
+                        assert_eq!(recon.to_bits(), r.to_bits());
+                    }
+                    Quantized::Escape => {
+                        assert!(!ok, "value {value} pred {pred}");
+                        assert_eq!(sym, ESCAPE);
+                        assert_eq!(recon.to_bits(), value.to_bits());
+                    }
+                }
+            }
+        }
     }
 }
