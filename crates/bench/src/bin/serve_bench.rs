@@ -1,0 +1,304 @@
+//! Region-server load benchmark: concurrent `cliz serve` clients over
+//! pluggable storage backends.
+//!
+//! A synthetic field is packed into a CZS store once, then served from a
+//! fresh [`Server`] per configuration — every combination of backend
+//! (`mem`, `file`, `delay` = in-memory plus simulated per-call/per-KiB
+//! network latency) and client count (1, 8, 64). Each client thread drives
+//! its own TCP connection through a deterministic region-spec schedule
+//! (seeded LCG, shared pool) and records per-request round-trip latency.
+//!
+//! Two gates, both fatal (exit 1) on violation:
+//!
+//! 1. **identity** — every concurrent response is compared f32-exact
+//!    against a serial `read_region` on a private reader; the shared
+//!    LRU/stampede path must never change bytes.
+//! 2. **scaling** (scaled/full tiers) — 64-client aggregate MB/s must be
+//!    at least the 1-client figure for every backend: the shared cache and
+//!    worker pool must add throughput under concurrency, not serialize.
+//!
+//! ```sh
+//! cargo run -p cliz-bench --release --bin serve_bench [--quick|--full]
+//! # writes BENCH_serve.json into the current directory
+//! ```
+//!
+//! See docs/SERVING.md and docs/PERFORMANCE.md ("Region server") for how
+//! to read the output.
+
+use cliz::grid::{Grid, Shape};
+use cliz::quant::ErrorBound;
+use cliz::store::storage::{DelayBackend, FileBackend, MemBackend, ReadableStorage};
+use cliz::store::{pack_store, ChunkStoreReader, Dataset, DEFAULT_CACHE_BUDGET};
+use cliz::PipelineConfig;
+use cliz_bench::Args;
+use cliz_serve::{Client, Server, ServerConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const EB: f64 = 1e-3;
+const SERVER_THREADS: usize = 4;
+
+fn smooth(dims: &[usize]) -> Grid<f32> {
+    Grid::from_fn(Shape::new(dims), |c| {
+        let mut v = 0.0f64;
+        for (k, &x) in c.iter().enumerate() {
+            v += ((x as f64) * 0.07 * (k + 1) as f64).sin() * 5.0;
+        }
+        v as f32
+    })
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Deterministic spec pool: row windows (and two thin slices) over axis 0,
+/// full extent on the trailing axes — the access pattern a time-series
+/// dashboard issues against a `[time, lat, lon]` store.
+fn spec_pool(dims: &[usize]) -> Vec<String> {
+    let mut lcg = 0x2545F491_4F6CDD1Du64;
+    let mut next = move |bound: usize| {
+        lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((lcg >> 33) as usize) % bound.max(1)
+    };
+    let tail: String = dims[1..].iter().map(|_| ",:".to_string()).collect();
+    let span = (dims[0] / 4).max(1);
+    let mut pool = Vec::new();
+    for _ in 0..6 {
+        let start = next(dims[0] - span + 1);
+        pool.push(format!("{start}:{}{tail}", start + span));
+    }
+    for _ in 0..2 {
+        let start = next(dims[0].saturating_sub(4).max(1));
+        pool.push(format!("{start}:{}{tail}", (start + 4).min(dims[0])));
+    }
+    pool
+}
+
+/// Per-request latencies and streamed bytes for one client thread.
+struct ClientRun {
+    latencies_ms: Vec<f64>,
+    bytes: u64,
+    diverged: bool,
+}
+
+fn drive_client(
+    addr: std::net::SocketAddr,
+    schedule: &[usize],
+    pool: &[String],
+    expected: &[Grid<f32>],
+) -> Result<ClientRun, String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let mut run = ClientRun {
+        latencies_ms: Vec::with_capacity(schedule.len()),
+        bytes: 0,
+        diverged: false,
+    };
+    for &idx in schedule {
+        let t0 = Instant::now();
+        let (shape, values) = client
+            .region(&pool[idx])
+            .map_err(|e| format!("region {}: {e}", pool[idx]))?;
+        run.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        run.bytes += (values.len() * 4) as u64;
+        let want = &expected[idx];
+        if shape != want.shape().dims() || values != want.as_slice() {
+            eprintln!("DIVERGENCE: response for {} != serial read_region", pool[idx]);
+            run.diverged = true;
+        }
+    }
+    client.quit().map_err(|e| format!("quit: {e}"))?;
+    Ok(run)
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return f64::NAN;
+    }
+    let pos = (p / 100.0 * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[pos.min(sorted_ms.len() - 1)]
+}
+
+fn main() {
+    let args = Args::parse();
+    let dims: Vec<usize> = if args.quick {
+        vec![32, 16, 24]
+    } else if args.full {
+        vec![256, 96, 128]
+    } else {
+        vec![96, 48, 64]
+    };
+    let reqs_per_client: usize = if args.quick { 3 } else { 12 };
+    let chunk_len = dims[0].div_ceil(12).max(1);
+    let n_chunks = dims[0].div_ceil(chunk_len);
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mb = (dims.iter().product::<usize>() * 4) as f64 / 1e6;
+
+    let ds = Dataset::new("T", smooth(&dims), None);
+    let config = PipelineConfig::default_for(dims.len());
+    let bytes = pack_store(&ds, ErrorBound::Abs(EB), &config, chunk_len, 1).expect("pack");
+    println!(
+        "serve_bench: {dims:?} ({mb:.1} MB) -> {} store bytes, {n_chunks} chunks of \
+         {chunk_len} rows, {host_cores} host core(s), {SERVER_THREADS} server threads",
+        bytes.len()
+    );
+
+    // The identity oracle: serial reads on a private reader, once per spec.
+    let pool = spec_pool(&dims);
+    let oracle = ChunkStoreReader::from_bytes(bytes.clone()).expect("open oracle");
+    let expected: Vec<Grid<f32>> = pool
+        .iter()
+        .map(|spec| {
+            let ranges = cliz_serve::parse_region(spec, oracle.dims()).expect("oracle spec");
+            oracle.read_region(&ranges).expect("oracle read")
+        })
+        .collect();
+
+    // The file backend serves the same bytes from disk.
+    let dir = std::env::temp_dir().join("cliz_serve_bench");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let store_path = dir.join("bench.czs");
+    std::fs::write(&store_path, &bytes).expect("write store file");
+
+    let backends = ["mem", "file", "delay"];
+    let client_counts = [1usize, 8, 64];
+    let mut diverged = false;
+    let mut backend_json = Vec::new();
+
+    for backend in backends {
+        let mut results_json = Vec::new();
+        let mut agg_by_clients = Vec::new();
+        for &clients in &client_counts {
+            // Fresh storage + reader + server per configuration: every run
+            // starts cache-cold so the backend actually gets exercised.
+            let storage: Arc<dyn ReadableStorage> = match backend {
+                "mem" => Arc::new(MemBackend::new(bytes.clone())),
+                "file" => Arc::new(FileBackend::open(&store_path).expect("file backend")),
+                _ => Arc::new(DelayBackend::new(
+                    MemBackend::new(bytes.clone()),
+                    Duration::from_micros(1500),
+                    Duration::from_micros(4),
+                )),
+            };
+            let reader = Arc::new(
+                ChunkStoreReader::from_storage(storage, DEFAULT_CACHE_BUDGET).expect("open"),
+            );
+            let server = Server::start(
+                reader,
+                "127.0.0.1:0",
+                ServerConfig {
+                    threads: SERVER_THREADS,
+                    ..ServerConfig::default()
+                },
+            )
+            .expect("server start");
+            let addr = server.addr();
+
+            let t0 = Instant::now();
+            let runs: Vec<Result<ClientRun, String>> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..clients)
+                    .map(|i| {
+                        let (pool, expected) = (&pool, &expected);
+                        // Staggered start points so concurrent clients hit a
+                        // mix of shared (cache-hot) and fresh (cold) specs.
+                        let schedule: Vec<usize> = (0..reqs_per_client)
+                            .map(|r| (i * 7 + r) % pool.len())
+                            .collect();
+                        s.spawn(move || drive_client(addr, &schedule, pool, expected))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join()
+                            .unwrap_or_else(|_| Err("client thread panicked".into()))
+                    })
+                    .collect()
+            });
+            let wall_s = t0.elapsed().as_secs_f64();
+            server.stop();
+
+            let mut latencies = Vec::new();
+            let mut total_bytes = 0u64;
+            for run in runs {
+                match run {
+                    Ok(r) => {
+                        diverged |= r.diverged;
+                        latencies.extend(r.latencies_ms);
+                        total_bytes += r.bytes;
+                    }
+                    Err(e) => {
+                        eprintln!("DIVERGENCE: {backend} x{clients}: {e}");
+                        diverged = true;
+                    }
+                }
+            }
+            latencies.sort_by(|a, b| a.total_cmp(b));
+            let (p50, p99) = (percentile(&latencies, 50.0), percentile(&latencies, 99.0));
+            let streamed_mb = total_bytes as f64 / 1e6;
+            let agg = streamed_mb / wall_s;
+            agg_by_clients.push((clients, agg));
+            println!(
+                "  {backend:<5} x{clients:<3} {:>4} reqs  p50 {p50:>7.2} ms  p99 {p99:>7.2} ms  \
+                 {agg:>8.1} MB/s aggregate ({streamed_mb:.1} MB in {wall_s:.2}s)",
+                latencies.len()
+            );
+            results_json.push(format!(
+                "{{\"clients\":{clients},\"requests\":{},\"p50_ms\":{},\"p99_ms\":{},\
+                 \"wall_s\":{},\"streamed_mb\":{},\"agg_mb_s\":{}}}",
+                latencies.len(),
+                json_f64(p50),
+                json_f64(p99),
+                json_f64(wall_s),
+                json_f64(streamed_mb),
+                json_f64(agg),
+            ));
+        }
+        // Shared-cache scaling gate: concurrency must add throughput. Only
+        // on the bigger tiers — --quick runs too few requests to time.
+        let one = agg_by_clients.first().map_or(0.0, |&(_, a)| a);
+        let many = agg_by_clients.last().map_or(0.0, |&(_, a)| a);
+        let scaling_ok = args.quick || many >= one;
+        if !scaling_ok {
+            eprintln!(
+                "DIVERGENCE: {backend}: 64-client aggregate {many:.1} MB/s < \
+                 1-client {one:.1} MB/s"
+            );
+            diverged = true;
+        }
+        backend_json.push(format!(
+            "{{\"backend\":\"{backend}\",\"results\":[{}],\"scaling_ok\":{scaling_ok}}}",
+            results_json.join(",")
+        ));
+    }
+
+    let tier = if args.quick {
+        "quick"
+    } else if args.full {
+        "full"
+    } else {
+        "scaled"
+    };
+    let json = format!(
+        "{{\"schema\":\"cliz-serve-bench-v1\",\"tier\":\"{tier}\",\"dims\":{dims:?},\
+         \"host_cores\":{host_cores},\"server_threads\":{SERVER_THREADS},\
+         \"chunk_len\":{chunk_len},\"n_chunks\":{n_chunks},\"store_bytes\":{},\
+         \"requests_per_client\":{reqs_per_client},\"spec_pool\":{},\
+         \"backends\":[{}],\"identical\":{}}}\n",
+        bytes.len(),
+        pool.len(),
+        backend_json.join(","),
+        !diverged,
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("\nwrote BENCH_serve.json");
+
+    if diverged {
+        eprintln!("FAIL: serve invariants violated");
+        std::process::exit(1);
+    }
+}

@@ -30,13 +30,17 @@ impl<E: std::error::Error> From<E> for CliError {
     }
 }
 
-/// Parsed command line: a command word, positional arguments, and
-/// `--key value` options.
+/// Options that are presence-only flags: `--stats` takes no value.
+const FLAG_KEYS: &[&str] = &["stats"];
+
+/// Parsed command line: a command word, positional arguments,
+/// `--key value` options, and presence-only `--flag`s.
 #[derive(Debug, Default)]
 pub struct Parsed {
     pub command: String,
     pub positionals: Vec<String>,
     pub options: BTreeMap<String, String>,
+    pub flags: std::collections::BTreeSet<String>,
 }
 
 impl Parsed {
@@ -48,8 +52,13 @@ impl Parsed {
             .ok_or_else(|| CliError::new(crate::usage()))?;
         let mut positionals = Vec::new();
         let mut options = BTreeMap::new();
+        let mut flags = std::collections::BTreeSet::new();
         while let Some(arg) = it.next() {
             if let Some(key) = arg.strip_prefix("--") {
+                if FLAG_KEYS.contains(&key) {
+                    flags.insert(key.to_string());
+                    continue;
+                }
                 let value = it
                     .next()
                     .cloned()
@@ -69,7 +78,13 @@ impl Parsed {
             command,
             positionals,
             options,
+            flags,
         })
+    }
+
+    /// Whether a presence-only flag (e.g. `--stats`) was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.contains(key)
     }
 
     pub fn positional(&self, index: usize, what: &str) -> Result<&str, CliError> {
@@ -118,6 +133,14 @@ mod tests {
         assert_eq!(p.positionals, vec!["in.caf"]);
         assert_eq!(p.option("out"), Some("out.cz"));
         assert_eq!(p.option("rel"), Some("1e-3"));
+    }
+
+    #[test]
+    fn presence_flags_take_no_value() {
+        let p = Parsed::parse(&sv(&["query", "s.czs", "--stats", "--region", "0:4,:"])).unwrap();
+        assert!(p.flag("stats"));
+        assert_eq!(p.option("region"), Some("0:4,:"));
+        assert!(!Parsed::parse(&sv(&["query", "s.czs"])).unwrap().flag("stats"));
     }
 
     #[test]

@@ -3,8 +3,28 @@
 use crate::args::{CliError, Parsed};
 use crate::czfile::{self, Codec, CzFile};
 use cliz::prelude::*;
-use cliz_store::Dataset;
+use cliz_store::storage::HttpRangeBackend;
+use cliz_store::{ChunkStoreReader, Dataset};
 use std::path::Path;
+use std::sync::Arc;
+
+/// Opens a chunk store from a local path or an `http://` URL (range-read
+/// through the HTTP backend — only the queried chunks travel the wire).
+fn open_reader(path: &str) -> Result<ChunkStoreReader, CliError> {
+    if path.starts_with("http://") {
+        let backend = HttpRangeBackend::new(path)?;
+        Ok(ChunkStoreReader::from_storage(
+            Arc::new(backend),
+            cliz_store::DEFAULT_CACHE_BUDGET,
+        )?)
+    } else if path.starts_with("https://") {
+        Err(CliError::new(
+            "https:// stores are not supported (TLS needs an external terminator); use http://",
+        ))
+    } else {
+        Ok(ChunkStoreReader::open(Path::new(path))?)
+    }
+}
 
 fn parse_dims(text: &str) -> Result<Vec<usize>, CliError> {
     let dims: Result<Vec<usize>, _> = text.split(',').map(|p| p.trim().parse()).collect();
@@ -428,7 +448,7 @@ fn parse_region(text: &str, dims: &[usize]) -> Result<Vec<std::ops::Range<usize>
 pub fn query(p: &Parsed) -> Result<(), CliError> {
     let path = p.positional(0, "store file")?;
     let spec = p.required("region")?;
-    let reader = cliz_store::ChunkStoreReader::open(Path::new(path))?;
+    let reader = open_reader(path)?;
     let ranges = parse_region(spec, reader.dims())?;
 
     let t0 = std::time::Instant::now();
@@ -448,11 +468,113 @@ pub fn query(p: &Parsed) -> Result<(), CliError> {
         "cache: {} hits / {} misses, {} bytes resident",
         stats.cache.hits, stats.cache.misses, stats.cache.resident_bytes
     );
+    if p.flag("stats") {
+        println!(
+            "backend: {} gets, {} bytes fetched (coalesced over {} cold chunks)",
+            stats.backend_gets, stats.backend_bytes, stats.decodes
+        );
+        println!("decode:  {:.3} ms inside the chunk codec", stats.decode_ns as f64 / 1e6);
+    }
     match p.option("out") {
         Some(out) => {
             let mut ds = Dataset::new(format!("{}[region]", reader.name()), region, None);
             ds.dim_names = reader.dim_names().to_vec();
             ds.attrs = reader.attrs().to_vec();
+            ds.set_attr("region", spec.to_string());
+            cliz_store::save(Path::new(out), &ds)?;
+            println!("wrote {out}");
+        }
+        None => {
+            if let Some((mn, mx)) = region.finite_min_max() {
+                println!("range: [{mn}, {mx}]");
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `cliz serve <file.czs|http://...> [--addr HOST:PORT] [--threads N]
+/// [--port-file F]` — serve region queries over TCP until killed.
+pub fn serve(p: &Parsed) -> Result<(), CliError> {
+    let path = p.positional(0, "store file")?;
+    let addr = p.option("addr").unwrap_or("127.0.0.1:4664");
+    let threads: usize = p.parse_option("threads", 4usize)?;
+    let reader = Arc::new(open_reader(path)?);
+    let name = reader.name().to_string();
+    let (n_chunks, chunk_len) = (reader.n_chunks(), reader.chunk_len());
+    let server = cliz_serve::Server::start(
+        reader,
+        addr,
+        cliz_serve::ServerConfig {
+            threads,
+            ..cliz_serve::ServerConfig::default()
+        },
+    )?;
+    println!(
+        "serving {name} ({n_chunks} chunks of {chunk_len} rows) on {} with {threads} threads",
+        server.addr()
+    );
+    // Scripts that bind an ephemeral port (`--addr 127.0.0.1:0`) learn the
+    // real address from the port file instead of scraping stdout.
+    if let Some(f) = p.option("port-file") {
+        std::fs::write(f, server.addr().to_string())?;
+    }
+    // Serve until the process is killed; the worker pool owns all work.
+    loop {
+        std::thread::park();
+    }
+}
+
+/// `cliz fetch <host:port> --region SPEC [-o region.caf]` — query a running
+/// `cliz serve` instance; `-o` writes the same CAF bytes `cliz query -o`
+/// would write against the local store.
+pub fn fetch(p: &Parsed) -> Result<(), CliError> {
+    let addr = p.positional(0, "server address")?;
+    let spec = p.required("region")?;
+    let mut client = cliz_serve::Client::connect(addr)?;
+    let pairs = client.info()?;
+    let find = |key: &str| {
+        pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+    };
+    let name = find("variable").ok_or_else(|| CliError::new("server INFO lacks a variable"))?;
+
+    let t0 = std::time::Instant::now();
+    let (shape, values) = client.region(spec)?;
+    let secs = t0.elapsed().as_secs_f64();
+    if p.flag("stats") {
+        println!("server stats: {}", client.stats_json()?);
+    }
+    client.quit()?;
+
+    let dims_text = shape
+        .iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join("x");
+    println!(
+        "fetched region {dims_text} of {name} from {addr} ({} bytes) in {secs:.3}s",
+        values.len() * 4
+    );
+    let region = Grid::from_vec(Shape::new(&shape), values);
+    match p.option("out") {
+        Some(out) => {
+            // Mirror `query -o` exactly (name, dim names, attrs, region
+            // attr) so fetching over the wire and querying the local store
+            // produce byte-identical CAF files.
+            let mut ds = Dataset::new(format!("{name}[region]"), region, None);
+            ds.dim_names = find("dim_names")
+                .unwrap_or_default()
+                .split(',')
+                .map(str::to_string)
+                .collect();
+            for (k, v) in &pairs {
+                if let Some(attr) = k.strip_prefix("attr:") {
+                    ds.attrs.push((attr.to_string(), v.clone()));
+                }
+            }
             ds.set_attr("region", spec.to_string());
             cliz_store::save(Path::new(out), &ds)?;
             println!("wrote {out}");

@@ -36,6 +36,8 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         "slab" => commands::slab(&parsed),
         "pack-store" => commands::pack_store(&parsed),
         "query" => commands::query(&parsed),
+        "serve" => commands::serve(&parsed),
+        "fetch" => commands::fetch(&parsed),
         "eval" => commands::eval(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
@@ -63,7 +65,11 @@ USAGE:
   cliz slab <file.cz> --index N -o slab.caf [--mask-from orig.caf]
   cliz pack-store <file.caf> -o file.czs --chunk ROWS
                   [--rel 1e-3 | --abs X] [--config model.clizcfg] [--threads N]
-  cliz query <file.czs> --region SPEC [-o region.caf]
+  cliz query <file.czs|http://host/store.czs> --region SPEC [-o region.caf]
+             [--stats]
+  cliz serve <file.czs|http://host/store.czs> [--addr HOST:PORT]
+             [--threads N] [--port-file F]
+  cliz fetch <host:port> --region SPEC [-o region.caf] [--stats]
   cliz eval <orig.caf> <recon.caf>
 
 REGION SPEC: one range per dimension, comma-separated. Each range is
@@ -72,7 +78,10 @@ open ends, or a bare index `i` for a single slice. Examples:
   --region 120:240,:,:        times 120..240, whole globe
   --region 0:1,40:80,100:200  one timestep, a lat/lon window
 Only the chunks the region intersects are decompressed; `query` reports
-how many chunks were decoded and the cache hit rate.
+how many chunks were decoded and the cache hit rate, and `--stats` adds
+backend fetch counts and codec time. Stores can live behind any HTTP
+server that honours Range requests (`http://` paths); `cliz serve`
+exposes a store over a line protocol that `cliz fetch` speaks.
 
 KINDS: ssh, cesm-t, relhum, soilliq, salt, tsfc, hurricane-t"
 }

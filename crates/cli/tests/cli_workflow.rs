@@ -239,3 +239,54 @@ fn czf1_regenerate_golden() {
     std::fs::create_dir_all(&dir).unwrap();
     cliz_cli::czfile::save(&dir.join("czf1.cz"), &golden_czfile()).unwrap();
 }
+
+#[test]
+fn serve_and_fetch_mirror_local_query() {
+    let dir = workdir("serve_fetch");
+    let caf = dir.join("t.caf").display().to_string();
+    let czs = dir.join("t.czs").display().to_string();
+    let fetched = dir.join("fetched.caf").display().to_string();
+    let queried = dir.join("queried.caf").display().to_string();
+    let port_file = dir.join("port").display().to_string();
+    cliz_cli::run(&args(&["gen", "hurricane-t", "--dims", "24,16,16", "-o", &caf])).unwrap();
+    cliz_cli::run(&args(&[
+        "pack-store", &caf, "--chunk", "4", "--rel", "1e-3", "-o", &czs,
+    ]))
+    .unwrap();
+
+    // `cliz serve` never returns; run it on a throwaway thread and learn the
+    // ephemeral port from --port-file (the documented scripting idiom). The
+    // thread dies with the test process.
+    let czs_bg = czs.clone();
+    let pf_bg = port_file.clone();
+    std::thread::spawn(move || {
+        let _ = cliz_cli::run(&args(&[
+            "serve", &czs_bg, "--addr", "127.0.0.1:0", "--port-file", &pf_bg,
+        ]));
+    });
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let addr = loop {
+        if let Ok(s) = std::fs::read_to_string(&port_file) {
+            if !s.is_empty() {
+                break s;
+            }
+        }
+        assert!(std::time::Instant::now() < deadline, "serve never wrote the port file");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    };
+
+    // A remote fetch writes byte-for-byte what a local query writes.
+    let spec = "3:14,2:9,:";
+    cliz_cli::run(&args(&["fetch", &addr, "--region", spec, "-o", &fetched])).unwrap();
+    cliz_cli::run(&args(&["query", &czs, "--region", spec, "--stats", "-o", &queried]))
+        .unwrap();
+    let a = std::fs::read(&fetched).unwrap();
+    let b = std::fs::read(&queried).unwrap();
+    assert_eq!(a, b, "fetch -o and query -o diverged");
+
+    // --stats against the live server is accepted, and bad input is a clean
+    // client-side error, not a wedged connection.
+    cliz_cli::run(&args(&["fetch", &addr, "--region", spec, "--stats"])).unwrap();
+    assert!(cliz_cli::run(&args(&["fetch", &addr, "--region", "not-a-region"])).is_err());
+    assert!(cliz_cli::run(&args(&["fetch", "127.0.0.1:1", "--region", spec])).is_err());
+}

@@ -128,7 +128,10 @@ pub mod store {
     pub use cliz_store::*;
 }
 
-pub use cliz_core::{decompress_chunk_arena, read_header, ChunkIndex, ChunkedHeader};
+pub use cliz_core::{
+    decompress_chunk_arena, decompress_chunk_blob_arena, read_header, read_header_prefix,
+    ChunkIndex, ChunkedHeader,
+};
 pub use cliz_store::{pack_store, ChunkStoreReader};
 
 /// Common imports for applications.

@@ -379,6 +379,19 @@ impl ChunkedHeader {
 
 /// Reads just the header (cheap; no decompression).
 pub fn read_header(bytes: &[u8]) -> Result<ChunkedHeader, ClizError> {
+    read_header_prefix(bytes, bytes.len())
+}
+
+/// Reads the header from a *prefix* of a container whose full length is
+/// `container_len`.
+///
+/// Remote (range-request) openers fetch only the first bytes of a
+/// container and cannot hand the whole buffer to [`read_header`], whose
+/// offset-table bound would reject offsets past the prefix. This variant
+/// validates the table against the declared container length instead; a
+/// prefix too short to hold the header itself surfaces as
+/// [`ClizError::Truncated`], which openers treat as "fetch more".
+pub fn read_header_prefix(bytes: &[u8], container_len: usize) -> Result<ChunkedHeader, ClizError> {
     let mut r = ByteReader::new(bytes);
     r.expect_magic(&CLZC)?;
     let ndim = r.u8()? as usize;
@@ -415,7 +428,7 @@ pub fn read_header(bytes: &[u8]) -> Result<ChunkedHeader, ClizError> {
         offsets.push(r.u64()? as usize);
     }
     if offsets.windows(2).any(|w| w[1] < w[0])
-        || offsets.last().copied().unwrap_or(usize::MAX) > bytes.len()
+        || offsets.last().copied().unwrap_or(usize::MAX) > container_len
     {
         return Err(ClizError::Corrupt("bad offset table"));
     }
@@ -611,6 +624,28 @@ pub fn decompress_chunk_arena(
         .copied()
         .ok_or(ClizError::Truncated)?;
     let blob = bytes.get(start..end).ok_or(ClizError::Truncated)?;
+    decompress_chunk_blob_arena(blob, header, mask_grid, i, arena)
+}
+
+/// Decodes chunk `i` from its own compressed blob, without the rest of the
+/// container.
+///
+/// Storage-backed readers fetch exactly the byte range the offset table
+/// names for a chunk (possibly coalesced with its neighbours) and never
+/// hold the whole container in memory; this is the decode entry they
+/// slice those fetches into. `blob` must be the bytes at
+/// `header.offsets[i]..header.offsets[i + 1]`; the same shape verification
+/// as [`decompress_chunk_arena`] applies.
+pub fn decompress_chunk_blob_arena(
+    blob: &[u8],
+    header: &ChunkedHeader,
+    mask_grid: Option<&Grid<bool>>,
+    i: usize,
+    arena: &mut ScratchArena,
+) -> Result<Grid<f32>, ClizError> {
+    if i >= header.n_chunks {
+        return Err(ClizError::BadConfig("chunk index out of range"));
+    }
     let chunk_mask = mask_grid.map(|mg| {
         let s = slab(mg, header.chunk_len, i);
         MaskMap::from_flags(s.shape().clone(), s.into_vec())

@@ -54,7 +54,8 @@ pub use autotune::{autotune, autotune_fast, TuneResult, TuneSpec};
 pub use cliz_grid::cast;
 pub use chunked::{
     compress_chunked, compress_chunked_with_threads, decompress_chunk, decompress_chunk_arena,
-    decompress_chunked, decompress_chunked_with_threads, read_header, ChunkIndex, ChunkedHeader,
+    decompress_chunk_blob_arena, decompress_chunked, decompress_chunked_with_threads, read_header,
+    read_header_prefix, ChunkIndex, ChunkedHeader,
 };
 pub use scratch::ScratchArena;
 pub use stream::{ChunkedReader, ChunkedWriter};

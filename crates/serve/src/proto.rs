@@ -1,0 +1,221 @@
+//! The line-oriented region protocol.
+//!
+//! Requests are single ASCII lines; responses are a status line optionally
+//! followed by a length-prefixed binary or text body, so a client never
+//! has to guess where a frame ends:
+//!
+//! ```text
+//! client                          server
+//! ------                          ------
+//! REGION 120:240,:,:\n            OK 120x80x360 13824000\n  + that many
+//!                                 bytes of little-endian f32
+//! INFO\n                          OK <nlines>\n + nlines of "key\tvalue"
+//!                                 (percent-encoded)
+//! STATS\n                         OK <nbytes>\n + one JSON object
+//! QUIT\n                          OK bye\n, then the server closes
+//! anything else / malformed       ERR <reason>\n (connection stays open)
+//! ```
+//!
+//! The region spec grammar is the CLI's `--region` grammar: one range per
+//! dimension, comma-separated; `start:end` half-open, `:` full extent,
+//! `start:`/`:end` open ends, bare `i` a single slice.
+
+use crate::error::ServeError;
+use std::ops::Range;
+
+/// Longest request line the server will buffer before rejecting; region
+/// specs are tens of bytes, so this is generous without letting a rogue
+/// peer grow an unbounded line.
+pub const MAX_REQUEST_LINE: usize = 4096;
+
+/// One parsed request line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// `REGION <spec>` — decode and stream a region.
+    Region(String),
+    /// `INFO` — dataset name, dims, attrs.
+    Info,
+    /// `STATS` — server and reader counters as JSON.
+    Stats,
+    /// `QUIT` — close the connection.
+    Quit,
+}
+
+/// Parses a request line (without its trailing newline).
+pub fn parse_request(line: &str) -> Result<Request, ServeError> {
+    let line = line.trim_end_matches('\r');
+    let (verb, rest) = match line.split_once(' ') {
+        Some((v, r)) => (v, r.trim()),
+        None => (line, ""),
+    };
+    match (verb, rest) {
+        ("REGION", spec) if !spec.is_empty() => Ok(Request::Region(spec.to_string())),
+        ("REGION", _) => Err(ServeError::BadRequest("REGION needs a spec".into())),
+        ("INFO", "") => Ok(Request::Info),
+        ("STATS", "") => Ok(Request::Stats),
+        ("QUIT", "") => Ok(Request::Quit),
+        _ => Err(ServeError::BadRequest(format!(
+            "unknown request '{}'",
+            truncate_for_log(line)
+        ))),
+    }
+}
+
+fn truncate_for_log(line: &str) -> &str {
+    match line.char_indices().nth(64) {
+        Some((i, _)) => &line[..i],
+        None => line,
+    }
+}
+
+/// Parses a region spec against the dataset's extents (the CLI `--region`
+/// grammar). Structural errors — wrong arity, unparsable numbers — are
+/// [`ServeError::BadRequest`]; out-of-extent ranges are left to the store,
+/// which reports them as `BadRegion` with the reader's own wording.
+pub fn parse_region(text: &str, dims: &[usize]) -> Result<Vec<Range<usize>>, ServeError> {
+    let parts: Vec<&str> = text.split(',').collect();
+    if parts.len() != dims.len() {
+        return Err(ServeError::BadRequest(format!(
+            "region has {} ranges but the dataset has {} dims",
+            parts.len(),
+            dims.len()
+        )));
+    }
+    let mut ranges = Vec::with_capacity(dims.len());
+    for (part, &extent) in parts.iter().zip(dims) {
+        let part = part.trim();
+        let bad = || ServeError::BadRequest(format!("bad range '{part}'"));
+        let range = match part.split_once(':') {
+            Some((lo, hi)) => {
+                let start: usize = if lo.is_empty() {
+                    0
+                } else {
+                    lo.parse().map_err(|_| bad())?
+                };
+                let end: usize = if hi.is_empty() {
+                    extent
+                } else {
+                    hi.parse().map_err(|_| bad())?
+                };
+                start..end
+            }
+            None => {
+                let i: usize = part.parse().map_err(|_| bad())?;
+                i..i.saturating_add(1)
+            }
+        };
+        ranges.push(range);
+    }
+    Ok(ranges)
+}
+
+/// Percent-encodes a metadata value for an `INFO` line: tabs, newlines,
+/// `%`, and non-ASCII-printable bytes become `%XX`, so one line always
+/// carries one key/value pair.
+pub fn encode_value(value: &str) -> String {
+    let mut enc = String::with_capacity(value.len());
+    for b in value.bytes() {
+        match b {
+            b'%' | b'\t' | b'\r' | b'\n' => push_escaped(&mut enc, b),
+            0x20..=0x7e => enc.push(b as char),
+            _ => push_escaped(&mut enc, b),
+        }
+    }
+    enc
+}
+
+fn push_escaped(enc: &mut String, b: u8) {
+    const HEX: &[u8; 16] = b"0123456789ABCDEF";
+    enc.push('%');
+    enc.push(HEX[(b >> 4) as usize] as char);
+    enc.push(HEX[(b & 0xf) as usize] as char);
+}
+
+/// Reverses [`encode_value`]. Invalid escapes are a protocol error.
+pub fn decode_value(encoded: &str) -> Result<String, ServeError> {
+    let mut out = Vec::with_capacity(encoded.len());
+    let mut it = encoded.bytes();
+    while let Some(b) = it.next() {
+        if b != b'%' {
+            out.push(b);
+            continue;
+        }
+        let hi = it.next().and_then(hex_nibble);
+        let lo = it.next().and_then(hex_nibble);
+        match (hi, lo) {
+            (Some(h), Some(l)) => out.push((h << 4) | l),
+            _ => return Err(ServeError::BadResponse("invalid percent escape")),
+        }
+    }
+    String::from_utf8(out).map_err(|_| ServeError::BadResponse("invalid UTF-8 after unescape"))
+}
+
+fn hex_nibble(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_grammar() {
+        assert_eq!(
+            parse_request("REGION 0:5,:").ok(),
+            Some(Request::Region("0:5,:".into()))
+        );
+        assert_eq!(parse_request("INFO").ok(), Some(Request::Info));
+        assert_eq!(parse_request("STATS\r").ok(), Some(Request::Stats));
+        assert_eq!(parse_request("QUIT").ok(), Some(Request::Quit));
+        assert!(matches!(
+            parse_request("REGION"),
+            Err(ServeError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse_request("INFO extra"),
+            Err(ServeError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse_request("FETCH 1"),
+            Err(ServeError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn region_specs_follow_the_cli_grammar() {
+        let dims = [20, 8];
+        assert_eq!(parse_region("3:7,:", &dims).unwrap(), vec![3..7, 0..8]);
+        assert_eq!(parse_region("5,2:", &dims).unwrap(), vec![5..6, 2..8]);
+        assert_eq!(parse_region(":5,:4", &dims).unwrap(), vec![0..5, 0..4]);
+        assert!(matches!(
+            parse_region(":", &dims),
+            Err(ServeError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse_region("a:b,:", &dims),
+            Err(ServeError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn value_encoding_roundtrips() {
+        for v in ["plain", "tab\there", "100%", "newline\nend", "héllo"] {
+            let enc = encode_value(v);
+            assert!(!enc.contains('\t') && !enc.contains('\n'), "{enc}");
+            assert_eq!(decode_value(&enc).unwrap(), v);
+        }
+        assert!(matches!(
+            decode_value("%G1"),
+            Err(ServeError::BadResponse(_))
+        ));
+        assert!(matches!(
+            decode_value("%ff"),
+            Err(ServeError::BadResponse(_))
+        ));
+    }
+}

@@ -1,0 +1,161 @@
+//! End-to-end protocol tests: a real server on a loopback socket, real
+//! clients, concurrent load, and graceful shutdown.
+
+use cliz_core::config::PipelineConfig;
+use cliz_grid::{Grid, Shape};
+use cliz_quant::ErrorBound;
+use cliz_serve::{Client, ServeError, Server, ServerConfig};
+use cliz_store::{ChunkStoreReader, Dataset};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn packed_reader(dims: &[usize], chunk_len: usize) -> Arc<ChunkStoreReader> {
+    let grid = Grid::from_fn(Shape::new(dims), |c| {
+        let mut v = 0.0f64;
+        for (k, &x) in c.iter().enumerate() {
+            v += ((x as f64) * 0.29 * (k + 1) as f64).sin() * 2.0;
+        }
+        v as f32
+    });
+    let mut ds = Dataset::new("tas", grid, None);
+    ds.attrs.push(("units".into(), "K".into()));
+    ds.attrs.push(("note".into(), "tabs\tand\nnewlines".into()));
+    let cfg = PipelineConfig::default_for(dims.len());
+    let packed = cliz_store::pack_store(&ds, ErrorBound::Abs(1e-3), &cfg, chunk_len, 1)
+        .expect("pack succeeds");
+    Arc::new(ChunkStoreReader::from_bytes(packed).expect("store opens"))
+}
+
+fn start(reader: &Arc<ChunkStoreReader>, threads: usize) -> Server {
+    Server::start(
+        Arc::clone(reader),
+        "127.0.0.1:0",
+        ServerConfig {
+            threads,
+            read_poll: Duration::from_millis(50),
+        },
+    )
+    .expect("server binds")
+}
+
+#[test]
+fn region_bytes_match_direct_reads() {
+    let reader = packed_reader(&[20, 10], 5);
+    let server = start(&reader, 2);
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    for spec in ["3:17,2:9", ":,:", "7,:", "0:5,0:10"] {
+        let (shape, values) = client.region(spec).expect(spec);
+        let direct = reader
+            .read_region(&cliz_serve::parse_region(spec, reader.dims()).expect(spec))
+            .expect(spec);
+        assert_eq!(shape, direct.shape().dims().to_vec(), "shape for {spec}");
+        assert_eq!(values, direct.as_slice(), "values for {spec}");
+    }
+    client.quit().expect("clean quit");
+    server.stop();
+}
+
+#[test]
+fn info_and_stats_roundtrip() {
+    let reader = packed_reader(&[12, 6], 4);
+    let server = start(&reader, 2);
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let pairs = client.info().expect("info");
+    let get = |key: &str| {
+        pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .unwrap_or_default()
+            .to_string()
+    };
+    assert_eq!(get("variable"), "tas");
+    assert_eq!(get("dims"), "12,6");
+    assert_eq!(get("n_chunks"), "3");
+    assert_eq!(get("attr:units"), "K");
+    // Metadata with protocol-hostile bytes survives the percent encoding.
+    assert_eq!(get("attr:note"), "tabs\tand\nnewlines");
+
+    client.region("0:4,:").expect("one region");
+    let json = client.stats_json().expect("stats");
+    assert!(json.contains("\"schema\":\"cliz-serve-stats-v1\""));
+    assert!(json.contains("\"regions\":1"), "{json}");
+    assert!(json.contains("\"decodes\":1"), "{json}");
+    client.quit().expect("clean quit");
+    server.stop();
+}
+
+#[test]
+fn protocol_errors_keep_the_connection_alive() {
+    let reader = packed_reader(&[12, 6], 4);
+    let server = start(&reader, 1);
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // Unknown verb → ERR, then the same connection still serves.
+    let err = client.region("not-a-region").expect_err("bad spec rejected");
+    assert!(matches!(err, ServeError::Remote(_)), "{err}");
+    // Out-of-extent region → the store's BadRegion, relayed as ERR.
+    let err = client.region("0:99,:").expect_err("oversized rejected");
+    assert!(matches!(err, ServeError::Remote(ref m) if m.contains("region")), "{err}");
+    let (shape, _) = client.region("0:4,:").expect("connection survived");
+    assert_eq!(shape, vec![4, 6]);
+    client.quit().expect("clean quit");
+
+    let snapshot = server.stats_json();
+    server.stop();
+    assert!(snapshot.contains("\"errors\":2"), "{snapshot}");
+}
+
+#[test]
+fn concurrent_clients_share_one_decode_per_chunk() {
+    let reader = packed_reader(&[40, 8], 5); // 8 chunks
+    let server = start(&reader, 4);
+    let addr = server.addr();
+
+    // 8 clients × 4 requests over the same region set: whatever the
+    // interleaving, the shared cache+stampede locks mean each of the 8
+    // chunks decodes exactly once, and every client sees identical bytes.
+    let expected = reader.read_all().expect("direct full read");
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            scope.spawn(|| {
+                let mut client = Client::connect(addr).expect("connect");
+                for _ in 0..4 {
+                    let (shape, values) = client.region(":,:").expect("region");
+                    assert_eq!(shape, vec![40, 8]);
+                    assert_eq!(values, expected.as_slice());
+                }
+                client.quit().expect("clean quit");
+            });
+        }
+    });
+
+    assert_eq!(
+        reader.decode_count(),
+        8,
+        "concurrent clients must not stampede-decode shared chunks"
+    );
+    server.stop();
+}
+
+#[test]
+fn graceful_stop_joins_and_refuses_new_work() {
+    let reader = packed_reader(&[12, 6], 4);
+    let server = start(&reader, 2);
+    let addr = server.addr();
+
+    let mut client = Client::connect(addr).expect("connect");
+    client.region("0:4,:").expect("served before stop");
+    client.quit().expect("clean quit");
+    server.stop();
+
+    // After stop() returns every thread is joined and the listener is
+    // gone: a fresh connect must fail outright or die on first use.
+    let refused = match Client::connect_timeout(&addr, Duration::from_millis(200)) {
+        Err(_) => true,
+        Ok(mut c) => c.region("0:4,:").is_err(),
+    };
+    assert!(refused, "stopped server must not serve new clients");
+}

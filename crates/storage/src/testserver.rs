@@ -1,0 +1,230 @@
+//! A minimal single-blob HTTP/1.1 range server.
+//!
+//! Serves one immutable byte blob over `GET` + `Range:`, just enough to
+//! exercise [`crate::HttpRangeBackend`] end to end — in unit tests, in the
+//! robustness sweeps, and in CI smoke jobs that want a real network hop
+//! without external infrastructure. Failure modes are scriptable:
+//! a budget of 5xx answers, ignoring the range (200), or truncating the
+//! body mid-response.
+//!
+//! Connections are handled sequentially on one thread; the coalescing
+//! reader issues few, large gets, so this is not a throughput bottleneck
+//! for what it is used for.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How the server mistreats the next requests (see [`BlobHttpServer`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Misbehaviour {
+    /// Answer 500 Internal Server Error.
+    ServerError,
+    /// Ignore the `Range:` header and answer 200 with the whole blob.
+    IgnoreRange,
+    /// Declare the full range but close the connection halfway through
+    /// the body.
+    TruncateBody,
+}
+
+struct Shared {
+    blob: Vec<u8>,
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+    /// Remaining requests to answer with `misbehaviour`.
+    fail_budget: AtomicU32,
+    misbehaviour: std::sync::Mutex<Misbehaviour>,
+}
+
+/// Handle to a running blob server; dropping it stops the server.
+pub struct BlobHttpServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl BlobHttpServer {
+    /// Serve `blob` on an ephemeral localhost port.
+    pub fn start(blob: Vec<u8>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        // Accept with a poll interval so shutdown is prompt without
+        // needing a wake-up connection.
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            blob,
+            shutdown: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            fail_budget: AtomicU32::new(0),
+            misbehaviour: std::sync::Mutex::new(Misbehaviour::ServerError),
+        });
+        let worker = Arc::clone(&shared);
+        let handle = std::thread::spawn(move || {
+            while !worker.shutdown.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_nonblocking(false);
+                        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+                        let _ = serve_connection(&worker, stream);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(BlobHttpServer {
+            addr,
+            shared,
+            handle: Some(handle),
+        })
+    }
+
+    /// `http://127.0.0.1:PORT/blob` — feed this to [`crate::HttpRangeBackend`].
+    pub fn url(&self) -> String {
+        format!("http://{}/blob", self.addr)
+    }
+
+    /// Total requests observed.
+    pub fn requests(&self) -> u64 {
+        self.shared.requests.load(Ordering::Relaxed)
+    }
+
+    /// Answer the next `n` requests with `how` instead of honouring them.
+    pub fn misbehave(&self, how: Misbehaviour, n: u32) {
+        if let Ok(mut m) = self.shared.misbehaviour.lock() {
+            *m = how;
+        }
+        self.shared.fail_budget.store(n, Ordering::Relaxed);
+    }
+
+    /// Stop the accept loop and join the server thread.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for BlobHttpServer {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+/// Parse one request off `stream` and write the (possibly scripted)
+/// response. Errors only abort this connection, never the server.
+fn serve_connection(shared: &Shared, stream: TcpStream) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    if request_line.is_empty() {
+        return Ok(());
+    }
+    shared.requests.fetch_add(1, Ordering::Relaxed);
+
+    // Headers: only Range matters.
+    let mut range: Option<(u64, u64)> = None;
+    for _ in 0..128 {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(spec) = line
+            .to_ascii_lowercase()
+            .strip_prefix("range: bytes=")
+            .map(str::to_string)
+        {
+            if let Some((a, b)) = spec.split_once('-') {
+                if let (Ok(a), Ok(b)) = (a.trim().parse::<u64>(), b.trim().parse::<u64>()) {
+                    range = Some((a, b));
+                }
+            }
+        }
+    }
+
+    let mut stream = reader.into_inner();
+    let total = shared.blob.len() as u64;
+
+    // Scripted misbehaviour consumes its budget first.
+    let misbehave = shared.fail_budget.load(Ordering::Relaxed) > 0 && {
+        shared.fail_budget.fetch_sub(1, Ordering::Relaxed);
+        true
+    };
+    if misbehave {
+        let how = shared
+            .misbehaviour
+            .lock()
+            .map(|m| *m)
+            .unwrap_or(Misbehaviour::ServerError);
+        match how {
+            Misbehaviour::ServerError => {
+                return stream.write_all(
+                    b"HTTP/1.1 500 Internal Server Error\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+                );
+            }
+            Misbehaviour::IgnoreRange => {
+                let head = format!(
+                    "HTTP/1.1 200 OK\r\nContent-Length: {total}\r\nConnection: close\r\n\r\n"
+                );
+                stream.write_all(head.as_bytes())?;
+                return stream.write_all(&shared.blob);
+            }
+            Misbehaviour::TruncateBody => {
+                if let Some((a, b)) = range {
+                    let end = b.min(total.saturating_sub(1));
+                    let len = end + 1 - a.min(end);
+                    let head = format!(
+                        "HTTP/1.1 206 Partial Content\r\nContent-Length: {len}\r\nContent-Range: bytes {a}-{end}/{total}\r\nConnection: close\r\n\r\n"
+                    );
+                    stream.write_all(head.as_bytes())?;
+                    let half = (len / 2) as usize;
+                    let start = a as usize;
+                    if let Some(view) = shared.blob.get(start..start + half) {
+                        stream.write_all(view)?;
+                    }
+                    return Ok(()); // connection closes mid-body
+                }
+            }
+        }
+    }
+
+    match range {
+        Some((a, b)) if a < total && a <= b => {
+            let end = b.min(total - 1);
+            let len = end + 1 - a;
+            let head = format!(
+                "HTTP/1.1 206 Partial Content\r\nContent-Length: {len}\r\nContent-Range: bytes {a}-{end}/{total}\r\nConnection: close\r\n\r\n"
+            );
+            stream.write_all(head.as_bytes())?;
+            if let Some(view) = shared.blob.get(a as usize..=end as usize) {
+                stream.write_all(view)?;
+            }
+            Ok(())
+        }
+        Some(_) => stream.write_all(
+            format!(
+                "HTTP/1.1 416 Range Not Satisfiable\r\nContent-Length: 0\r\nContent-Range: bytes */{total}\r\nConnection: close\r\n\r\n"
+            )
+            .as_bytes(),
+        ),
+        None => {
+            let head = format!(
+                "HTTP/1.1 200 OK\r\nContent-Length: {total}\r\nConnection: close\r\n\r\n"
+            );
+            stream.write_all(head.as_bytes())?;
+            stream.write_all(&shared.blob)
+        }
+    }
+}

@@ -167,6 +167,25 @@ impl ChunkCache {
         if let Some(g) = self.get(chunk) {
             return Ok(g);
         }
+        self.decode_quiet(chunk, decode_lock, decode)
+    }
+
+    /// The decode-once half of the stampede protocol, without the counted
+    /// probe.
+    ///
+    /// Callers that already probed the cache (and counted the miss) — the
+    /// coalesced `read_region` path, which plans its backend fetches from
+    /// one batch of probes — use this to publish prefetched chunks under
+    /// the same per-chunk lock discipline as [`ChunkCache::get_or_decode`]:
+    /// take the lock, re-probe quietly (a racing thread may have published
+    /// while we waited, making our prefetched bytes redundant), decode,
+    /// publish. One logical request still counts at most one hit or miss.
+    pub fn decode_quiet<E>(
+        &self,
+        chunk: usize,
+        decode_lock: &Mutex<()>,
+        decode: impl FnOnce() -> Result<Arc<Grid<f32>>, E>,
+    ) -> Result<Arc<Grid<f32>>, E> {
         let _decode_guard = lock_or_recover(decode_lock);
         if let Some(g) = self.peek(chunk) {
             return Ok(g);

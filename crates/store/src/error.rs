@@ -21,6 +21,8 @@ pub enum StoreError {
     BadRegion(&'static str),
     /// The chunk codec rejected a payload.
     Codec(ClizError),
+    /// The storage backend failed to produce the requested bytes.
+    Storage(cliz_storage::StorageError),
 }
 
 impl std::fmt::Display for StoreError {
@@ -36,6 +38,7 @@ impl std::fmt::Display for StoreError {
             }
             StoreError::BadRegion(w) => write!(f, "store: bad region query ({w})"),
             StoreError::Codec(e) => write!(f, "store: codec error: {e}"),
+            StoreError::Storage(e) => write!(f, "store: storage backend error: {e}"),
         }
     }
 }
@@ -58,6 +61,12 @@ impl From<cliz_format::FormatError> for StoreError {
             cliz_format::FormatError::UnsupportedVersion(v) => StoreError::UnsupportedVersion(v),
             cliz_format::FormatError::Corrupt(what) => StoreError::Corrupt(what),
         }
+    }
+}
+
+impl From<cliz_storage::StorageError> for StoreError {
+    fn from(e: cliz_storage::StorageError) -> Self {
+        StoreError::Storage(e)
     }
 }
 

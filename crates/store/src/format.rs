@@ -83,17 +83,63 @@ pub struct ParsedStore {
     pub payload: std::ops::Range<usize>,
 }
 
+/// Store metadata parsed from a (possibly partial) buffer: everything up
+/// to where the payload begins, plus where it begins. Storage-backed
+/// openers fetch a prefix, parse this, and then range-read the payload.
+#[derive(Debug)]
+pub struct StoreMeta {
+    pub index: StoreIndex,
+    pub mask: Option<MaskMap>,
+    /// Byte offset of the payload within the whole store object.
+    pub payload_start: usize,
+    /// Payload length in bytes (the `plen` field).
+    pub payload_len: usize,
+}
+
 /// Parses and validates a CZS store from one in-memory buffer. All reads go
 /// through the `cliz-format` [`HeaderReader`], so truncation is an error at
 /// the read site and nothing downstream ever indexes past the buffer.
 pub fn parse_store(bytes: &[u8]) -> Result<ParsedStore, StoreError> {
+    let meta = parse_store_prefix(bytes, bytes.len())?;
+    let end = meta
+        .payload_start
+        .checked_add(meta.payload_len)
+        .ok_or(StoreError::Corrupt("index entry overflows"))?;
+    if end > bytes.len() {
+        return Err(StoreError::Corrupt("truncated"));
+    }
+    if end < bytes.len() {
+        return Err(StoreError::Corrupt("trailing bytes after payload"));
+    }
+    Ok(ParsedStore {
+        index: meta.index,
+        mask: meta.mask,
+        payload: meta.payload_start..end,
+    })
+}
+
+/// Parses store metadata from a *prefix* of an object whose full size is
+/// `full_len` bytes.
+///
+/// Remote openers cannot afford to download a store just to learn where
+/// its chunks live; they fetch the first N bytes and call this. Reads past
+/// the prefix surface as [`StoreError::Corrupt`]`("truncated")` — the
+/// caller's cue to fetch a longer prefix — while the plausibility guards
+/// that bound allocations compare claimed counts against `full_len`, the
+/// size the object actually has, so a legitimate store with a big index or
+/// mask is never misdiagnosed as corrupt just because the prefix was
+/// short. The payload itself is *not* required to be present; its
+/// location is returned instead.
+pub fn parse_store_prefix(bytes: &[u8], full_len: usize) -> Result<StoreMeta, StoreError> {
     let mut cur = HeaderReader::new(bytes);
     cur.expect_magic(&CZS1)?;
     let name = cur.str16()?.to_string();
     let nattrs = cur.u16()? as usize;
     // Each attr needs ≥ 4 bytes (two empty strings); bound the Vec by what
-    // is physically present before allocating.
-    if nattrs > cur.remaining() / 4 {
+    // the full object can physically hold before allocating. (Using the
+    // object size, not the prefix length, keeps a short prefix looking
+    // "truncated" rather than "corrupt".)
+    if nattrs > full_len.saturating_sub(cur.pos()) / 4 {
         return Err(StoreError::Corrupt("attribute count exceeds file size"));
     }
     let mut attrs = Vec::with_capacity(nattrs);
@@ -136,7 +182,7 @@ pub fn parse_store(bytes: &[u8]) -> Result<ParsedStore, StoreError> {
     if n_chunks != dims[0].div_ceil(chunk_len) {
         return Err(StoreError::Corrupt("chunk count mismatch"));
     }
-    if n_chunks > cur.remaining() / ENTRY_BYTES {
+    if n_chunks > full_len.saturating_sub(cur.pos()) / ENTRY_BYTES {
         return Err(StoreError::Corrupt("index exceeds file size"));
     }
     let mut entries = Vec::with_capacity(n_chunks);
@@ -187,12 +233,13 @@ pub fn parse_store(bytes: &[u8]) -> Result<ParsedStore, StoreError> {
         None
     };
     let payload_start = cur.pos();
-    let payload_bytes = cur.take(payload_len)?;
-    debug_assert_eq!(payload_bytes.len(), payload_len);
-    if cur.remaining() != 0 {
-        return Err(StoreError::Corrupt("trailing bytes after payload"));
+    if payload_start
+        .checked_add(payload_len)
+        .is_none_or(|end| end > full_len)
+    {
+        return Err(StoreError::Corrupt("truncated"));
     }
-    Ok(ParsedStore {
+    Ok(StoreMeta {
         index: StoreIndex {
             name,
             dim_names,
@@ -203,7 +250,8 @@ pub fn parse_store(bytes: &[u8]) -> Result<ParsedStore, StoreError> {
             entries,
         },
         mask,
-        payload: payload_start..payload_start + payload_len,
+        payload_start,
+        payload_len,
     })
 }
 

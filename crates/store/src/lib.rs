@@ -49,4 +49,10 @@ pub use cache::{CacheStats, ChunkCache};
 pub use error::StoreError;
 pub use format::{IndexEntry, StoreIndex};
 pub use pack::{pack_store, pack_store_to, save_store};
-pub use reader::{ChunkStoreReader, StoreStats};
+pub use reader::{ChunkStoreReader, StoreStats, DEFAULT_CACHE_BUDGET, DEFAULT_COALESCE_GAP};
+
+/// The pluggable byte-range backends the reader reads through
+/// (re-exported from `cliz-storage` so store users need one import path).
+pub mod storage {
+    pub use cliz_storage::*;
+}

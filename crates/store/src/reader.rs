@@ -1,14 +1,31 @@
-//! Random-access reads over a CZS store.
+//! Random-access reads over a CZS store, through a pluggable storage
+//! backend.
 //!
-//! [`ChunkStoreReader`] owns the store bytes and serves region queries by
-//! decoding only the slabs a query intersects. It is `Sync`: concurrent
-//! readers share one decoded-chunk LRU cache, and a per-chunk decode lock
-//! guarantees a cold chunk is decompressed exactly once no matter how many
-//! threads race for it (no decode stampede):
+//! [`ChunkStoreReader`] serves region queries by decoding only the slabs a
+//! query intersects. Bytes come through a [`cliz_storage::ReadableStorage`]
+//! backend — a local file, a memory buffer, or an HTTP range endpoint —
+//! never through direct `std::fs` access:
 //!
-//! 1. probe the cache (lock-free of the decode path; records hit/miss);
-//! 2. on miss, take that chunk's decode mutex;
-//! 3. re-probe quietly — a racing thread may have decoded while we waited;
+//! * **Open** fetches a small prefix (doubling on truncation) and parses
+//!   the store metadata and the CLZC container header out of it, then
+//!   cross-checks the store index against the container's own offset
+//!   table. No payload bytes are read until a query needs them.
+//! * **`chunk(i)`** range-reads exactly that chunk's bytes, CRC-checks
+//!   them, and decodes under the per-chunk stampede lock.
+//! * **`read_region`** probes the cache for every intersected chunk, then
+//!   plans the misses through the range-coalescing planner
+//!   ([`cliz_storage::coalesce`]): adjacent or near-adjacent chunk ranges
+//!   (gap ≤ [`DEFAULT_COALESCE_GAP`]) merge into single backend gets, so
+//!   k contiguous cold chunks cost one round trip, not k.
+//!
+//! The reader is `Sync`: concurrent readers share one decoded-chunk LRU
+//! cache, and a per-chunk decode lock guarantees a cold chunk is
+//! decompressed exactly once no matter how many threads race for it:
+//!
+//! 1. probe the cache (records hit/miss);
+//! 2. on miss, fetch the chunk's bytes (coalesced when part of a region);
+//! 3. take that chunk's decode mutex and re-probe quietly — a racing
+//!    thread may have decoded while we waited;
 //! 4. verify the chunk's CRC32, decode into a pooled [`ScratchArena`], and
 //!    publish the `Arc` into the cache.
 //!
@@ -18,35 +35,61 @@
 use crate::cache::{CacheStats, ChunkCache};
 use crate::checksum::crc32;
 use crate::error::StoreError;
-use crate::format::{parse_store, StoreIndex};
+use crate::format::{parse_store_prefix, StoreIndex, StoreMeta};
 use crate::sync::{lock_or_recover, AtomicU64, Mutex, MutexGuard, Ordering};
-use cliz_core::{decompress_chunk_arena, read_header, ChunkIndex, ChunkedHeader, ScratchArena};
+use cliz_core::{
+    decompress_chunk_blob_arena, read_header_prefix, ChunkIndex, ChunkedHeader, ClizError,
+    ScratchArena,
+};
 use cliz_grid::{Grid, MaskMap, Shape};
+use cliz_storage::{coalesce, FileBackend, MemBackend, RangeItem, ReadableStorage, StorageError};
+use std::collections::HashMap;
 use std::ops::Range;
 use std::path::Path;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Default decoded-chunk cache budget: 64 MiB.
 pub const DEFAULT_CACHE_BUDGET: usize = 64 << 20;
 
-/// Reader-level counters: decodes actually performed plus cache counters.
+/// Default coalescing gap: misses whose byte ranges are separated by at
+/// most this many bytes (e.g. by a chunk that is already cached) are
+/// fetched in one backend get. 64 KiB trades at most that much wasted
+/// transfer for one fewer round trip — the right trade everywhere except
+/// pathologically slow links.
+pub const DEFAULT_COALESCE_GAP: u64 = 64 << 10;
+
+/// First metadata prefix fetched at open; doubled until the store header
+/// parses (stores with big indexes or masks need more than one round).
+const OPEN_PREFIX_BYTES: u64 = 64 << 10;
+
+/// Reader-level counters: decode work plus backend traffic plus cache
+/// counters.
 #[derive(Clone, Copy, Debug)]
 pub struct StoreStats {
     /// Chunks decompressed (cache misses that did real work).
     pub decodes: u64,
+    /// Nanoseconds spent inside the chunk codec (sums across threads).
+    pub decode_ns: u64,
+    /// Backend `get` calls issued, after coalescing.
+    pub backend_gets: u64,
+    /// Bytes fetched from the backend.
+    pub backend_bytes: u64,
     pub cache: CacheStats,
 }
 
-/// Concurrent random-access reader over an in-memory CZS store.
+/// Concurrent random-access reader over a CZS store behind a storage
+/// backend.
 pub struct ChunkStoreReader {
-    raw: Vec<u8>,
+    storage: Arc<dyn ReadableStorage>,
     index: StoreIndex,
-    payload: Range<usize>,
+    /// Absolute byte range of the CLZC payload within the object.
+    payload: Range<u64>,
     header: ChunkedHeader,
     geometry: ChunkIndex,
     mask: Option<MaskMap>,
-    /// Mask flags as a grid, the shape `decompress_chunk_arena` slices
-    /// per-slab mask views from.
+    /// Mask flags as a grid, the shape the chunk decoder slices per-slab
+    /// mask views from.
     mask_grid: Option<Grid<bool>>,
     cache: ChunkCache,
     /// One decode lock per chunk; holders are decoding that chunk.
@@ -55,6 +98,10 @@ pub struct ChunkStoreReader {
     /// a shared bottleneck.
     arenas: Mutex<Vec<ScratchArena>>,
     decodes: AtomicU64,
+    decode_ns: AtomicU64,
+    backend_gets: AtomicU64,
+    backend_bytes: AtomicU64,
+    coalesce_gap: u64,
 }
 
 // The whole point of the reader: shared across scoped threads.
@@ -71,22 +118,91 @@ impl ChunkStoreReader {
 
     /// Opens a store file with the [`DEFAULT_CACHE_BUDGET`].
     pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
-        Self::from_bytes(std::fs::read(path)?)
+        let backend = FileBackend::open(path.as_ref())?;
+        Self::from_storage(Arc::new(backend), DEFAULT_CACHE_BUDGET)
     }
 
     /// Opens a store from bytes with an explicit cache byte budget.
-    ///
-    /// Open-time validation parses both headers and cross-checks the store
-    /// index against the CLZC container's own offset table, so a store
-    /// whose index lies about chunk locations is rejected before any
-    /// region query runs. Chunk CRCs are verified lazily, per decode.
     pub fn with_cache_budget(raw: Vec<u8>, budget: usize) -> Result<Self, StoreError> {
-        let parsed = parse_store(&raw)?;
-        let container = raw
-            .get(parsed.payload.clone())
-            .ok_or(StoreError::Corrupt("payload range out of bounds"))?;
-        let header = read_header(container)?;
-        let index = parsed.index;
+        Self::from_storage(Arc::new(MemBackend::new(raw)), budget)
+    }
+
+    /// Opens a store through any [`ReadableStorage`] backend with the
+    /// [`DEFAULT_COALESCE_GAP`].
+    pub fn from_storage(
+        storage: Arc<dyn ReadableStorage>,
+        budget: usize,
+    ) -> Result<Self, StoreError> {
+        Self::from_storage_with(storage, budget, DEFAULT_COALESCE_GAP)
+    }
+
+    /// Opens a store through a backend with an explicit coalescing gap.
+    ///
+    /// Open-time validation range-reads a metadata prefix (doubling on
+    /// truncation until the header parses), then parses both headers and
+    /// cross-checks the store index against the CLZC container's own
+    /// offset table, so a store whose index lies about chunk locations is
+    /// rejected before any region query runs. Chunk CRCs are verified
+    /// lazily, per decode. No payload bytes beyond the container header
+    /// are fetched at open.
+    pub fn from_storage_with(
+        storage: Arc<dyn ReadableStorage>,
+        budget: usize,
+        coalesce_gap: u64,
+    ) -> Result<Self, StoreError> {
+        let size = storage.size()?;
+        let full_len =
+            usize::try_from(size).map_err(|_| StoreError::Corrupt("implausible size"))?;
+        let gets = AtomicU64::new(0);
+        let bytes_fetched = AtomicU64::new(0);
+        let fetch = |range: Range<u64>| -> Result<Vec<u8>, StoreError> {
+            let want = (range.end - range.start) as usize;
+            let got = storage.get(range)?;
+            gets.fetch_add(1, Ordering::Relaxed);
+            bytes_fetched.fetch_add(got.len() as u64, Ordering::Relaxed);
+            if got.len() != want {
+                return Err(StoreError::Storage(StorageError::ShortRead {
+                    expected: want,
+                    got: got.len(),
+                }));
+            }
+            Ok(got)
+        };
+
+        // Metadata prefix loop: fetch, parse, double on truncation.
+        let mut take = OPEN_PREFIX_BYTES.min(size);
+        let meta: StoreMeta = loop {
+            let prefix = fetch(0..take)?;
+            match parse_store_prefix(&prefix, full_len) {
+                Ok(m) => break m,
+                Err(StoreError::Corrupt("truncated")) if take < size => {
+                    take = take.saturating_mul(2).min(size);
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        let payload_start = meta.payload_start as u64;
+        let payload_len = meta.payload_len as u64;
+        // parse_store_prefix already rejected payloads past the object
+        // end; anything *after* the payload is not part of the format.
+        if payload_start + payload_len != size {
+            return Err(StoreError::Corrupt("trailing bytes after payload"));
+        }
+
+        // Container header prefix loop over the payload range.
+        let mut take = OPEN_PREFIX_BYTES.min(payload_len);
+        let header: ChunkedHeader = loop {
+            let prefix = fetch(payload_start..payload_start + take)?;
+            match read_header_prefix(&prefix, meta.payload_len) {
+                Ok(h) => break h,
+                Err(ClizError::Truncated) if take < payload_len => {
+                    take = take.saturating_mul(2).min(payload_len);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        };
+
+        let index = meta.index;
         if header.dims != index.dims {
             return Err(StoreError::Corrupt("container dims disagree with index"));
         }
@@ -108,23 +224,27 @@ impl ChunkStoreReader {
             }
         }
         let geometry = header.index()?;
-        let mask_grid = parsed
+        let mask_grid = meta
             .mask
             .as_ref()
             .map(|m| Grid::from_vec(m.shape().clone(), m.as_slice().to_vec()));
         let n = index.entries.len();
         Ok(Self {
+            storage,
             index,
-            payload: parsed.payload,
+            payload: payload_start..payload_start + payload_len,
             header,
             geometry,
-            mask: parsed.mask,
+            mask: meta.mask,
             mask_grid,
             cache: ChunkCache::new(budget),
             locks: (0..n).map(|_| Mutex::new(())).collect(),
             arenas: Mutex::new(Vec::new()),
             decodes: AtomicU64::new(0),
-            raw,
+            decode_ns: AtomicU64::new(0),
+            backend_gets: gets,
+            backend_bytes: bytes_fetched,
+            coalesce_gap,
         })
     }
 
@@ -168,70 +288,159 @@ impl ChunkStoreReader {
         self.decodes.load(Ordering::Relaxed)
     }
 
-    /// Reader and cache counters.
+    /// Reader, backend, and cache counters.
     pub fn stats(&self) -> StoreStats {
         StoreStats {
             decodes: self.decode_count(),
+            decode_ns: self.decode_ns.load(Ordering::Relaxed),
+            backend_gets: self.backend_gets.load(Ordering::Relaxed),
+            backend_bytes: self.backend_bytes.load(Ordering::Relaxed),
             cache: self.cache.stats(),
         }
-    }
-
-    fn container(&self) -> &[u8] {
-        // Validated at open; an empty slice here would mean `raw` shrank,
-        // which nothing does.
-        self.raw.get(self.payload.clone()).unwrap_or(&[])
     }
 
     fn lock_arena(&self) -> MutexGuard<'_, Vec<ScratchArena>> {
         lock_or_recover(&self.arenas)
     }
 
+    /// One counted, length-checked backend get. Every payload byte the
+    /// reader ever sees flows through here.
+    fn fetch(&self, range: Range<u64>) -> Result<Vec<u8>, StoreError> {
+        let want = (range.end.saturating_sub(range.start)) as usize;
+        let got = self.storage.get(range)?;
+        self.backend_gets.fetch_add(1, Ordering::Relaxed);
+        self.backend_bytes.fetch_add(got.len() as u64, Ordering::Relaxed);
+        if got.len() != want {
+            // A backend that acknowledges a range and then under-delivers
+            // (truncated file, lying server, injected fault) is a contract
+            // violation, surfaced typed rather than decoded as garbage.
+            return Err(StoreError::Storage(StorageError::ShortRead {
+                expected: want,
+                got: got.len(),
+            }));
+        }
+        Ok(got)
+    }
+
+    /// Absolute byte range of chunk `i` within the storage object.
+    fn chunk_byte_range(&self, i: usize) -> Result<Range<u64>, StoreError> {
+        let entry = self
+            .index
+            .entries
+            .get(i)
+            .copied()
+            .ok_or(StoreError::Corrupt("index entry missing"))?;
+        let end = entry
+            .offset
+            .checked_add(entry.len)
+            .ok_or(StoreError::Corrupt("index entry overflows"))?;
+        let abs_start = self
+            .payload
+            .start
+            .checked_add(entry.offset as u64)
+            .ok_or(StoreError::Corrupt("index entry overflows"))?;
+        let abs_end = self
+            .payload
+            .start
+            .checked_add(end as u64)
+            .ok_or(StoreError::Corrupt("index entry overflows"))?;
+        Ok(abs_start..abs_end)
+    }
+
+    /// CRC-check and decode chunk `i` from its fetched blob. Called only
+    /// under the chunk's decode lock (via the cache's stampede protocol).
+    fn decode_blob(&self, i: usize, blob: &[u8]) -> Result<Arc<Grid<f32>>, StoreError> {
+        let entry = self
+            .index
+            .entries
+            .get(i)
+            .copied()
+            .ok_or(StoreError::Corrupt("index entry missing"))?;
+        if blob.len() != entry.len {
+            return Err(StoreError::Storage(StorageError::ShortRead {
+                expected: entry.len,
+                got: blob.len(),
+            }));
+        }
+        if crc32(blob) != entry.checksum {
+            return Err(StoreError::Checksum { chunk: i });
+        }
+        let mut arena = self.lock_arena().pop().unwrap_or_default();
+        let t0 = Instant::now();
+        let decoded =
+            decompress_chunk_blob_arena(blob, &self.header, self.mask_grid.as_ref(), i, &mut arena);
+        self.decode_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.lock_arena().push(arena);
+        let grid = Arc::new(decoded?);
+        self.decodes.fetch_add(1, Ordering::Relaxed);
+        Ok(grid)
+    }
+
     /// Returns decoded chunk `i`, from cache when resident. On a cold
-    /// chunk the CRC32 is verified against the store index before the
-    /// codec sees a byte. The stampede protocol itself lives in
-    /// [`ChunkCache::get_or_decode`]; this method supplies the per-chunk
-    /// lock and the CRC-check-plus-decompress closure.
+    /// chunk exactly that chunk's byte range is fetched, its CRC32 is
+    /// verified against the store index before the codec sees a byte, and
+    /// the stampede protocol in [`ChunkCache::get_or_decode`] guarantees
+    /// one decode however many threads race.
     pub fn chunk(&self, i: usize) -> Result<Arc<Grid<f32>>, StoreError> {
         let lock = self
             .locks
             .get(i)
             .ok_or(StoreError::BadRegion("chunk index out of range"))?;
         self.cache.get_or_decode(i, lock, || {
-            let entry = self
-                .index
-                .entries
-                .get(i)
-                .copied()
-                .ok_or(StoreError::Corrupt("index entry missing"))?;
-            let end = entry
-                .offset
-                .checked_add(entry.len)
-                .ok_or(StoreError::Corrupt("index entry overflows"))?;
-            let blob = self
-                .container()
-                .get(entry.offset..end)
-                .ok_or(StoreError::Corrupt("index entry past payload end"))?;
-            if crc32(blob) != entry.checksum {
-                return Err(StoreError::Checksum { chunk: i });
-            }
-            let mut arena = self.lock_arena().pop().unwrap_or_default();
-            let decoded = decompress_chunk_arena(
-                self.container(),
-                &self.header,
-                self.mask_grid.as_ref(),
-                i,
-                &mut arena,
-            );
-            self.lock_arena().push(arena);
-            let grid = Arc::new(decoded?);
-            self.decodes.fetch_add(1, Ordering::Relaxed);
-            Ok(grid)
+            let blob = self.fetch(self.chunk_byte_range(i)?)?;
+            self.decode_blob(i, &blob)
         })
+    }
+
+    /// Probe the cache for every chunk in `needed`, then fetch the misses
+    /// in coalesced backend gets and decode them (once each, across
+    /// racing threads). Returns the decoded grid per needed chunk.
+    fn gather_chunks(
+        &self,
+        needed: &[usize],
+    ) -> Result<HashMap<usize, Arc<Grid<f32>>>, StoreError> {
+        let mut chunks: HashMap<usize, Arc<Grid<f32>>> = HashMap::with_capacity(needed.len());
+        let mut missing: Vec<RangeItem> = Vec::new();
+        for &ci in needed {
+            match self.cache.get(ci) {
+                Some(g) => {
+                    chunks.insert(ci, g);
+                }
+                None => missing.push(RangeItem {
+                    id: ci,
+                    range: self.chunk_byte_range(ci)?,
+                }),
+            }
+        }
+        for get in coalesce(&missing, self.coalesce_gap) {
+            let fetched = self.fetch(get.range.clone())?;
+            for (ci, sub) in get.items {
+                let view = fetched
+                    .get(sub)
+                    .ok_or(StoreError::Corrupt("coalesced fetch shorter than plan"))?;
+                let lock = self
+                    .locks
+                    .get(ci)
+                    .ok_or(StoreError::BadRegion("chunk index out of range"))?;
+                // The probe above already counted this chunk's miss; the
+                // quiet variant re-checks under the lock without
+                // double-counting, in case a racing reader published it
+                // while we were fetching.
+                let grid = self
+                    .cache
+                    .decode_quiet(ci, lock, || self.decode_blob(ci, view))?;
+                chunks.insert(ci, grid);
+            }
+        }
+        Ok(chunks)
     }
 
     /// Reads the axis-aligned region `ranges` (one half-open range per
     /// dimension), decoding only the slabs whose rows intersect
-    /// `ranges[0]`. Returns a grid shaped by the range lengths.
+    /// `ranges[0]`. Cold chunks are fetched in coalesced backend gets —
+    /// k contiguous missing chunks cost one `get`, not k. Returns a grid
+    /// shaped by the range lengths.
     pub fn read_region(&self, ranges: &[Range<usize>]) -> Result<Grid<f32>, StoreError> {
         let dims = self.dims().to_vec();
         if ranges.len() != dims.len() {
@@ -258,13 +467,17 @@ impl ChunkStoreReader {
             .first()
             .cloned()
             .ok_or(StoreError::BadRegion("rank mismatch"))?;
-        for ci in self.geometry.intersecting(&row0) {
+        let needed: Vec<usize> = self.geometry.intersecting(&row0).collect();
+        let chunks = self.gather_chunks(&needed)?;
+        for ci in needed {
             let rows = self
                 .geometry
                 .rows(ci)
                 .ok_or(StoreError::Corrupt("chunk geometry out of range"))?;
             let isect = row0.start.max(rows.start)..row0.end.min(rows.end);
-            let chunk = self.chunk(ci)?;
+            let chunk = chunks
+                .get(&ci)
+                .ok_or(StoreError::Corrupt("chunk missing after gather"))?;
             let dst_start = (isect.start - row0.start) * trailing;
             let dst = out
                 .get_mut(dst_start..dst_start + isect.len() * trailing)
@@ -306,6 +519,7 @@ mod tests {
     use crate::pack::pack_store;
     use cliz_core::config::PipelineConfig;
     use cliz_quant::ErrorBound;
+    use cliz_storage::{Fault, FlakyBackend};
 
     fn smooth(dims: &[usize]) -> Grid<f32> {
         Grid::from_fn(Shape::new(dims), |c| {
@@ -357,6 +571,121 @@ mod tests {
         let stats = reader.stats();
         assert_eq!(stats.cache.hits, 1);
         assert_eq!(stats.cache.misses, 3);
+    }
+
+    #[test]
+    fn region_over_contiguous_chunks_is_one_coalesced_get() {
+        let (_, bytes) = store_bytes(&[20, 8], 5); // 4 chunks of 5 rows
+        let reader = ChunkStoreReader::from_bytes(bytes).unwrap();
+        let after_open = reader.stats().backend_gets;
+        // All 4 chunks are cold and byte-contiguous: the planner must
+        // merge them into a single backend get, not issue 4.
+        reader.read_all().unwrap();
+        let stats = reader.stats();
+        assert_eq!(
+            stats.backend_gets - after_open,
+            1,
+            "k contiguous cold chunks must cost exactly 1 coalesced get"
+        );
+        assert_eq!(reader.decode_count(), 4);
+        // Warm repeat: all hits, no new backend traffic at all.
+        let bytes_before = stats.backend_bytes;
+        reader.read_all().unwrap();
+        let warm = reader.stats();
+        assert_eq!(warm.backend_gets - after_open, 1);
+        assert_eq!(warm.backend_bytes, bytes_before);
+    }
+
+    #[test]
+    fn cached_hole_reads_through_within_gap_and_splits_at_zero_gap() {
+        let (_, bytes) = store_bytes(&[20, 8], 5);
+        // Default gap (64 KiB) dwarfs any chunk here: warming chunk 1
+        // first leaves a hole the planner reads straight through.
+        let reader = ChunkStoreReader::from_bytes(bytes.clone()).unwrap();
+        reader.read_region(&[6..9, 0..8]).unwrap(); // warm chunk 1
+        let before = reader.stats().backend_gets;
+        reader.read_all().unwrap(); // misses 0, 2, 3 around the cached 1
+        assert_eq!(reader.stats().backend_gets - before, 1);
+
+        // Gap 0: the hole at chunk 1 splits the plan into two gets.
+        let reader =
+            ChunkStoreReader::from_storage_with(
+                Arc::new(MemBackend::new(bytes)),
+                DEFAULT_CACHE_BUDGET,
+                0,
+            )
+            .unwrap();
+        reader.read_region(&[6..9, 0..8]).unwrap();
+        let before = reader.stats().backend_gets;
+        reader.read_all().unwrap();
+        assert_eq!(reader.stats().backend_gets - before, 2);
+    }
+
+    #[test]
+    fn single_chunk_query_fetches_only_that_chunk() {
+        let (_, bytes) = store_bytes(&[20, 8], 5);
+        let total = bytes.len() as u64;
+        let reader = ChunkStoreReader::from_bytes(bytes).unwrap();
+        let open_stats = reader.stats();
+        reader.read_region(&[6..9, 0..8]).unwrap(); // chunk 1 only
+        let stats = reader.stats();
+        assert_eq!(stats.backend_gets - open_stats.backend_gets, 1);
+        // The fetch was one chunk's bytes, nowhere near the whole store.
+        assert!(stats.backend_bytes - open_stats.backend_bytes < total);
+    }
+
+    #[test]
+    fn transient_backend_failure_is_typed_not_panic() {
+        let (_, bytes) = store_bytes(&[20, 8], 5);
+        // Open performs 2 gets (metadata + container header); the third
+        // get — the first region fetch — fails transiently.
+        let backend = FlakyBackend::new(
+            MemBackend::new(bytes),
+            vec![Fault::Ok, Fault::Ok, Fault::Transient],
+        );
+        let reader =
+            ChunkStoreReader::from_storage(Arc::new(backend), DEFAULT_CACHE_BUDGET).unwrap();
+        let err = reader.read_region(&[6..9, 0..8]).unwrap_err();
+        assert!(matches!(
+            err,
+            StoreError::Storage(StorageError::Transient(_))
+        ));
+        // The failure published nothing: a clean retry succeeds.
+        assert!(reader.read_region(&[6..9, 0..8]).is_ok());
+        assert_eq!(reader.decode_count(), 1);
+    }
+
+    #[test]
+    fn short_read_mid_region_is_typed_not_panic() {
+        let (_, bytes) = store_bytes(&[20, 8], 5);
+        let backend = FlakyBackend::new(
+            MemBackend::new(bytes),
+            vec![Fault::Ok, Fault::Ok, Fault::ShortRead(10)],
+        );
+        let reader =
+            ChunkStoreReader::from_storage(Arc::new(backend), DEFAULT_CACHE_BUDGET).unwrap();
+        let err = reader.read_all().unwrap_err();
+        assert!(matches!(
+            err,
+            StoreError::Storage(StorageError::ShortRead { .. })
+        ));
+    }
+
+    #[test]
+    fn eof_truncated_object_fails_open_typed() {
+        let (_, bytes) = store_bytes(&[20, 8], 5);
+        // The object claims its full size but every read is clipped as if
+        // the file were cut off right after the metadata.
+        let parsed = crate::format::parse_store(&bytes).unwrap();
+        let cut = parsed.payload.start as u64 + 8;
+        let backend = FlakyBackend::new(
+            MemBackend::new(bytes),
+            vec![Fault::TruncateAt(cut), Fault::TruncateAt(cut), Fault::TruncateAt(cut)],
+        );
+        assert!(matches!(
+            ChunkStoreReader::from_storage(Arc::new(backend), DEFAULT_CACHE_BUDGET).err(),
+            Some(StoreError::Storage(StorageError::ShortRead { .. }))
+        ));
     }
 
     #[test]

@@ -81,6 +81,56 @@ fn failed_decode_is_not_published() {
     });
 }
 
+/// The coalesced-fetch race: one thread walks the `read_region` path (a
+/// counted probe planning a batch fetch, then `decode_quiet` to publish
+/// the prefetched chunk), while a peer requests the same chunk through
+/// `get_or_decode`. In every schedule exactly one decode runs — the
+/// prefetched bytes become redundant, never a second decode — and each
+/// logical request still counts exactly one hit or miss.
+#[test]
+fn prefetch_publish_races_direct_request_decodes_once() {
+    loom::model(|| {
+        let cache = Arc::new(ChunkCache::new(1 << 16));
+        let lock = Arc::new(Mutex::new(()));
+        let decodes = Arc::new(AtomicU64::new(0));
+
+        // Peer: the direct `chunk(i)` path.
+        let (c2, l2, d2) = (Arc::clone(&cache), Arc::clone(&lock), Arc::clone(&decodes));
+        let peer = thread::spawn(move || {
+            let grid = c2
+                .get_or_decode(0, &l2, || {
+                    d2.fetch_add(1, Ordering::Relaxed);
+                    Ok::<_, ()>(grid_of(8, 3.5))
+                })
+                .expect("decode closure never fails");
+            assert_eq!(grid.as_slice()[0], 3.5);
+        });
+
+        // Main: the coalesced `read_region` path — probe (counts the
+        // miss or hit), "fetch", publish via the quiet variant.
+        let grid = match cache.get(0) {
+            Some(g) => g,
+            None => cache
+                .decode_quiet(0, &lock, || {
+                    decodes.fetch_add(1, Ordering::Relaxed);
+                    Ok::<_, ()>(grid_of(8, 3.5))
+                })
+                .expect("decode closure never fails"),
+        };
+        assert_eq!(grid.as_slice()[0], 3.5);
+        peer.join().unwrap();
+
+        assert_eq!(
+            decodes.load(Ordering::Relaxed),
+            1,
+            "prefetch racing a direct request must still decode exactly once"
+        );
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, 2, "each request counts exactly once");
+        assert_eq!((s.resident_entries, s.resident_bytes), (1, 32));
+    });
+}
+
 /// LRU bookkeeping under racing insert/evict/get: whatever the schedule,
 /// the byte account balances against residency and the eviction counter
 /// accounts for every insert that is no longer resident.

@@ -58,6 +58,9 @@ const SOURCE_SCOPE: &[&str] = &[
     "crates/cli/src/czfile.rs",
     "crates/store/src/caf.rs",
     "crates/store/src/format.rs",
+    "crates/storage/src/http.rs",
+    "crates/serve/src/client.rs",
+    "crates/serve/src/proto.rs",
 ];
 
 /// Files where hazards are reported: the container parsers, the codec
@@ -68,6 +71,8 @@ const HAZARD_SCOPE: &[&str] = &[
     "crates/cli/src/",
     "crates/cliz/src/",
     "crates/store/src/",
+    "crates/storage/src/",
+    "crates/serve/src/",
 ];
 
 /// Raw length-read primitives. Calls to these taint the binding they

@@ -54,6 +54,8 @@ const FORMAT_SCOPE: &[&str] = &[
     "crates/cli/src/",
     "crates/lossless/src/",
     "crates/baselines/src/",
+    "crates/storage/src/",
+    "crates/serve/src/",
 ];
 
 fn in_scope(rel: &str) -> bool {

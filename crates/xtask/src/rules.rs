@@ -118,6 +118,8 @@ const R1_SCOPE: &[&str] = &[
     "crates/core/src/periodic.rs",
     "crates/cli/src/czfile.rs",
     "crates/store/src/",
+    "crates/storage/src/",
+    "crates/serve/src/",
 ];
 
 /// Crates whose hot paths must use checked casts (R2).

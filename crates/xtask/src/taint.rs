@@ -34,6 +34,8 @@ const SEED_SCOPES: &[&str] = &[
     "crates/core/src/autotune.rs",
     "crates/core/src/periodic.rs",
     "crates/store/src/",
+    "crates/storage/src/",
+    "crates/serve/src/",
 ];
 
 /// Crates exempt from R5: the linter itself, the bench harness (dev

@@ -650,9 +650,20 @@ fn version_mutation_rejected_on_baseline_containers() {
 
 #[test]
 fn store_open_on_missing_path_is_io() {
+    // The chunk store reads through the storage trait, so a missing path
+    // surfaces as a typed backend error...
     let err = match cliz::store::ChunkStoreReader::open("/nonexistent/cliz-r16-probe.czs") {
         Err(e) => e,
         Ok(_) => panic!("opened a store at a nonexistent path"),
+    };
+    assert!(matches!(
+        err,
+        cliz::store::StoreError::Storage(cliz::store::storage::StorageError::Io(_))
+    ));
+    // ...while the CAF loader still talks to the filesystem directly.
+    let err = match cliz::store::load(std::path::Path::new("/nonexistent/cliz-r16-probe.caf")) {
+        Err(e) => e,
+        Ok(_) => panic!("loaded a dataset from a nonexistent path"),
     };
     assert!(matches!(err, cliz::store::StoreError::Io(_)));
 }
